@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+// TestRunModes smoke-tests every mode of the tool.
+func TestRunModes(t *testing.T) {
+	cases := []struct {
+		name                                                    string
+		fig, table, n                                           int
+		csv, all, ablations, recovery, writeperf, degra, motive bool
+		planFor                                                 string
+	}{
+		{name: "fig15", fig: 15, n: 6},
+		{name: "fig15csv", fig: 15, n: 6, csv: true},
+		{name: "fig18", fig: 18},
+		{name: "table3", table: 3},
+		{name: "table4", table: 4, n: 5},
+		{name: "table6", table: 6, n: 6},
+		{name: "ablations", ablations: true},
+		{name: "recovery", recovery: true},
+		{name: "degraded", degra: true},
+		{name: "motivation", motive: true},
+		{name: "plan", planFor: "code56", n: 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := run(c.fig, c.table, c.n, c.csv, c.all, c.ablations, c.recovery, c.writeperf, c.degra, c.motive, c.planFor); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if err := run(0, 0, 0, false, false, false, false, false, false, false, ""); err == nil {
+		t.Error("no-op invocation should error with usage hint")
+	}
+	if err := run(0, 0, 5, false, false, false, false, false, false, false, "nonesuch"); err == nil {
+		t.Error("unknown plan code accepted")
+	}
+}
+
+// TestRunAll smoke-tests the full -all report (a few seconds).
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-all report skipped in -short mode")
+	}
+	if err := run(0, 0, 6, false, true, false, false, false, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}

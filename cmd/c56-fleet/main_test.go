@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunDemoFleet(t *testing.T) {
+	if err := run("", 0, 4096, 24); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 1, 4096, 24); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomFleet(t *testing.T) {
+	if err := run("4:3:6000,8:5:20000", 0, 4096, 24); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"4:3", "x:3:100", "4:y:100", "4:3:z"} {
+		if err := run(bad, 0, 4096, 24); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunAllCodes(t *testing.T) {
+	if err := run("", 5, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("code56", 7, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("code56", 4, -1); err == nil {
+		t.Error("non-prime p accepted")
+	}
+	if err := run("code56", 5, 999); err == nil {
+		t.Error("out-of-range chain accepted")
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	if err := run("code56", 5, "1,3", false, false, 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 5, "0,1", false, true, 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 5, "", true, false, 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("nonesuch", 5, "0,1", false, false, 256); err == nil {
+		t.Error("unknown code accepted")
+	}
+	if err := run("code56", 5, "0,99", false, false, 256); err == nil {
+		t.Error("out-of-range failed column accepted")
+	}
+	if err := run("code56", 5, "x", false, false, 256); err == nil {
+		t.Error("malformed fail spec accepted")
+	}
+}

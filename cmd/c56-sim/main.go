@@ -1,0 +1,158 @@
+// Command c56-sim regenerates the paper's §V-C simulation study (Figure 19
+// and Table V): it synthesizes migration I/O traces for every conversion
+// scheme and replays them through the DiskSim-substitute disk simulator.
+//
+// Usage:
+//
+//	c56-sim                          # both panels of Fig. 19 + Table V
+//	c56-sim -p 7 -block 8192        # one panel
+//	c56-sim -by-n -n 6              # group codes by resulting disk count
+//	c56-sim -B 600000               # the paper's full 0.6M-block scale
+//	c56-sim -dump-trace out.trace -p 5 -code code56
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"code56/internal/analysis"
+	"code56/internal/disksim"
+	"code56/internal/migrate"
+	"code56/internal/trace"
+)
+
+func main() {
+	var (
+		p         = flag.Int("p", 0, "prime parameter (default: both 5 and 7)")
+		n         = flag.Int("n", 0, "with -by-n: target disk count")
+		byN       = flag.Bool("by-n", false, "group codes by resulting disk count instead of by p")
+		block     = flag.Int("block", 0, "block size in bytes (default: both 4096 and 8192)")
+		b         = flag.Int("B", 60000, "total data blocks (paper: 600000)")
+		nlb       = flag.Bool("nlb", false, "disable load-balancing support (paper's Fig. 19 uses LB)")
+		seek      = flag.Float64("seek", 8.5, "average seek time, ms")
+		rot       = flag.Float64("rotation", 8.33, "full-rotation time, ms")
+		rate      = flag.Float64("rate", 100, "media transfer rate, MB/s")
+		window    = flag.Int64("window", 16, "read-through window, blocks")
+		util      = flag.Bool("utilization", false, "also print per-disk utilization of each winner")
+		dumpTrace = flag.String("dump-trace", "", "write the migration trace for -code to a file and exit")
+		codeName  = flag.String("code", "code56", "with -dump-trace: which code's trace to dump")
+	)
+	flag.Parse()
+
+	model := disksim.Model{SeekTime: *seek, RotationTime: *rot, TransferMBps: *rate, SeqWindow: *window}
+	cfg := analysis.SimConfig{TotalDataBlocks: *b, LoadBalanced: !*nlb, Model: model}
+
+	if err := run(*p, *n, *byN, *block, cfg, *dumpTrace, *codeName, *util); err != nil {
+		fmt.Fprintln(os.Stderr, "c56-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(p, n int, byN bool, block int, cfg analysis.SimConfig, dumpTrace, codeName string, util bool) error {
+	blocks := []int{4096, 8192}
+	if block != 0 {
+		blocks = []int{block}
+	}
+
+	if dumpTrace != "" {
+		if p == 0 {
+			p = 5
+		}
+		cfg.BlockSize = blocks[0]
+		return dump(p, cfg, dumpTrace, codeName)
+	}
+
+	if byN {
+		ns := []int{5, 6, 7}
+		if n != 0 {
+			ns = []int{n}
+		}
+		for _, n := range ns {
+			for _, bs := range blocks {
+				c := cfg
+				c.BlockSize = bs
+				if err := analysis.RenderSimulation(os.Stdout, n, c); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+		}
+		return nil
+	}
+
+	ps := []int{5, 7}
+	if p != 0 {
+		ps = []int{p}
+	}
+	for _, p := range ps {
+		for _, bs := range blocks {
+			c := cfg
+			c.BlockSize = bs
+			if err := analysis.RenderSimulationByP(os.Stdout, p, c); err != nil {
+				return err
+			}
+			if util {
+				details, err := analysis.SimulateBestByPDetailed(p, c)
+				if err != nil {
+					return err
+				}
+				for _, d := range details {
+					fmt.Printf("  %-10s seq %.0f%%  util:", d.Code, d.SequentialFrac*100)
+					for _, u := range d.Utilization {
+						fmt.Printf(" %.2f", u)
+					}
+					fmt.Println()
+				}
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// dump writes one code's best-approach migration trace in the DiskSim-style
+// ASCII format.
+func dump(p int, cfg analysis.SimConfig, path, codeName string) error {
+	convs, err := analysis.ConversionsByP(p)
+	if err != nil {
+		return err
+	}
+	var best *migrate.Plan
+	var bestTime float64
+	for _, c := range convs {
+		if c.Code.Name() != codeName {
+			continue
+		}
+		plan, err := migrate.NewPlan(c)
+		if err != nil {
+			return err
+		}
+		tm := plan.Metrics().TimeLB
+		if best == nil || tm < bestTime {
+			best, bestTime = plan, tm
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("no conversion for code %q at p=%d", codeName, p)
+	}
+	phases := trace.FromPlan(best, trace.Options{
+		TotalDataBlocks: cfg.TotalDataBlocks,
+		LoadBalanced:    cfg.LoadBalanced,
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i, ph := range phases {
+		if _, err := fmt.Fprintf(f, "# phase %d (%s)\n", i, best.PhaseNames[i]); err != nil {
+			return err
+		}
+		if err := trace.Write(f, ph); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %s trace (%s) to %s\n", codeName, best.Conv.Label(), path)
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"code56/internal/analysis"
+	"code56/internal/disksim"
+)
+
+func TestRunByPAndByN(t *testing.T) {
+	cfg := analysis.SimConfig{TotalDataBlocks: 600, LoadBalanced: true, Model: disksim.DefaultModel()}
+	if err := run(5, 0, false, 4096, cfg, "", "", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0, 5, true, 4096, cfg, "", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpTrace(t *testing.T) {
+	cfg := analysis.SimConfig{TotalDataBlocks: 120, LoadBalanced: true, Model: disksim.DefaultModel()}
+	path := filepath.Join(t.TempDir(), "out.trace")
+	if err := run(5, 0, false, 4096, cfg, path, "code56", false); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("empty trace file")
+	}
+	if err := run(5, 0, false, 4096, cfg, path, "nonesuch", false); err == nil {
+		t.Error("unknown code accepted for dump")
+	}
+}

@@ -1,0 +1,3 @@
+module code56
+
+go 1.22

@@ -1,0 +1,270 @@
+// Package analysis regenerates the paper's evaluation section: the
+// quantitative comparison of conversion approaches (Figures 9–17), the
+// storage-efficiency study (Figure 18), the qualitative code comparison
+// (Table III), the conversion-time speedup table (Table IV), and the
+// trace-driven simulation results (Figure 19, Table V). Everything derives
+// from the migration planner and the disk simulator; nothing is hardcoded
+// from the paper.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"code56/internal/disksim"
+	"code56/internal/migrate"
+	"code56/internal/trace"
+)
+
+// Entry is one (conversion, metrics) pair of the comparison figures.
+type Entry struct {
+	// Label is the paper-style conversion label.
+	Label string
+	// Code is the target code's name.
+	Code string
+	// Approach is the conversion approach.
+	Approach migrate.Approach
+	// N is the resulting RAID-6 disk count.
+	N int
+	// Metrics holds the paper's §V-A quantities for the conversion.
+	Metrics migrate.Metrics
+	// Plan is the underlying plan (nil in derived tables).
+	Plan *migrate.Plan
+}
+
+// Compare computes the metrics of every standard conversion targeting n
+// disks (the bars of Figures 9–17 for that n), sorted by label.
+func Compare(n int) ([]Entry, error) {
+	var out []Entry
+	for _, c := range migrate.StandardConversions(n) {
+		p, err := migrate.NewPlan(c)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", c.Label(), err)
+		}
+		out = append(out, Entry{
+			Label:    c.Label(),
+			Code:     c.Code.Name(),
+			Approach: c.Approach,
+			N:        c.N(),
+			Metrics:  p.Metrics(),
+			Plan:     p,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out, nil
+}
+
+// Figure identifies one of the paper's metric figures.
+type Figure int
+
+// The comparison figures of §V-B.
+const (
+	Fig9InvalidParity Figure = 9 + iota
+	Fig10Migration
+	Fig11NewParity
+	Fig12ExtraSpace
+	Fig13Computation
+	Fig14WriteIO
+	Fig15TotalIO
+	Fig16TimeNLB
+	Fig17TimeLB
+)
+
+// Title returns the figure's caption subject.
+func (f Figure) Title() string {
+	switch f {
+	case Fig9InvalidParity:
+		return "Invalid parity ratio"
+	case Fig10Migration:
+		return "Old parity migration ratio"
+	case Fig11NewParity:
+		return "New parity generation ratio"
+	case Fig12ExtraSpace:
+		return "Extra space ratio"
+	case Fig13Computation:
+		return "Computation cost (XORs, x B)"
+	case Fig14WriteIO:
+		return "Write I/Os (x B)"
+	case Fig15TotalIO:
+		return "Total I/Os (x B)"
+	case Fig16TimeNLB:
+		return "Conversion time, no load balancing (x B*Te)"
+	case Fig17TimeLB:
+		return "Conversion time, load balanced (x B*Te)"
+	default:
+		return fmt.Sprintf("Figure %d", int(f))
+	}
+}
+
+// Value extracts the figure's metric from an entry.
+func (f Figure) Value(m migrate.Metrics) float64 {
+	switch f {
+	case Fig9InvalidParity:
+		return m.InvalidParityRatio
+	case Fig10Migration:
+		return m.MigrationRatio
+	case Fig11NewParity:
+		return m.NewParityRatio
+	case Fig12ExtraSpace:
+		return m.ExtraSpaceRatio
+	case Fig13Computation:
+		return m.XORRatio
+	case Fig14WriteIO:
+		return m.WriteRatio
+	case Fig15TotalIO:
+		return m.TotalIORatio
+	case Fig16TimeNLB:
+		return m.TimeNLB
+	case Fig17TimeLB:
+		return m.TimeLB
+	default:
+		return 0
+	}
+}
+
+// SpeedupRow is one row of Table IV: the speedup of Code 5-6's direct
+// conversion over each code's best approach, at one n and one
+// load-balancing mode.
+type SpeedupRow struct {
+	N            int
+	LoadBalanced bool
+	// Speedups maps code name -> time(code)/time(Code 5-6).
+	Speedups map[string]float64
+}
+
+// SpeedupTable computes the paper's Table IV for the given disk counts.
+func SpeedupTable(ns []int, loadBalanced bool) ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for _, n := range ns {
+		best, err := migrate.BestPlans(n, loadBalanced)
+		if err != nil {
+			return nil, err
+		}
+		c56, ok := best["code56"]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no Code 5-6 plan for n=%d", n)
+		}
+		t56 := c56.Metrics().TimeNLB
+		if loadBalanced {
+			t56 = c56.Metrics().TimeLB
+		}
+		row := SpeedupRow{N: n, LoadBalanced: loadBalanced, Speedups: make(map[string]float64)}
+		for name, p := range best {
+			if name == "code56" {
+				continue
+			}
+			tm := p.Metrics().TimeNLB
+			if loadBalanced {
+				tm = p.Metrics().TimeLB
+			}
+			row.Speedups[name] = tm / t56
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// EffPoint is one point of Figure 18.
+type EffPoint struct {
+	M       int     // RAID-5 disks before conversion
+	Typical float64 // MDS RAID-6 of m+1 disks: (m-1)/(m+1)
+	Code56  float64 // Eq. 6 with virtual disks
+}
+
+// StorageEfficiencySeries computes Figure 18 over m in [minM, maxM].
+func StorageEfficiencySeries(minM, maxM int) []EffPoint {
+	var out []EffPoint
+	for m := minM; m <= maxM; m++ {
+		out = append(out, EffPoint{
+			M:       m,
+			Typical: migrate.TypicalRAID6StorageEfficiency(m),
+			Code56:  migrate.Code56StorageEfficiency(m),
+		})
+	}
+	return out
+}
+
+// SimEntry is one bar of Figure 19: the simulated conversion time of one
+// code's best approach.
+type SimEntry struct {
+	Label      string
+	Code       string
+	MakespanMS float64
+	Requests   int
+}
+
+// SimConfig parameterizes the §V-C simulation.
+type SimConfig struct {
+	// BlockSize in bytes (the paper uses 4 KB and 8 KB).
+	BlockSize int
+	// TotalDataBlocks is the paper's B (0.6 million in §V-C).
+	TotalDataBlocks int
+	// LoadBalanced selects the paper's "with load balancing support"
+	// trace shape.
+	LoadBalanced bool
+	// Model is the disk model (DefaultModel if zero).
+	Model disksim.Model
+}
+
+// SimulateBestByN runs the Fig. 19 methodology for the codes targeting n
+// disks: each code's best (lowest simulated time) approach is reported.
+func SimulateBestByN(n int, cfg SimConfig) ([]SimEntry, error) {
+	if cfg.Model == (disksim.Model{}) {
+		cfg.Model = disksim.DefaultModel()
+	}
+	bestTimes := make(map[string]SimEntry)
+	for _, c := range migrate.StandardConversions(n) {
+		p, err := migrate.NewPlan(c)
+		if err != nil {
+			return nil, err
+		}
+		phases := trace.FromPlan(p, trace.Options{
+			TotalDataBlocks: cfg.TotalDataBlocks,
+			LoadBalanced:    cfg.LoadBalanced,
+		})
+		sim, err := disksim.New(c.N(), cfg.BlockSize, cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		st, err := sim.RunPhases(phases)
+		if err != nil {
+			return nil, err
+		}
+		cur, ok := bestTimes[c.Code.Name()]
+		if !ok || st.Makespan < cur.MakespanMS {
+			bestTimes[c.Code.Name()] = SimEntry{
+				Label:      c.Label(),
+				Code:       c.Code.Name(),
+				MakespanMS: st.Makespan,
+				Requests:   st.Requests,
+			}
+		}
+	}
+	var out []SimEntry
+	for _, e := range bestTimes {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out, nil
+}
+
+// SimSpeedups derives Table V from Figure 19 entries: each code's simulated
+// time over Code 5-6's.
+func SimSpeedups(entries []SimEntry) (map[string]float64, error) {
+	var t56 float64
+	for _, e := range entries {
+		if e.Code == "code56" {
+			t56 = e.MakespanMS
+		}
+	}
+	if t56 == 0 {
+		return nil, fmt.Errorf("analysis: no Code 5-6 entry in simulation set")
+	}
+	out := make(map[string]float64)
+	for _, e := range entries {
+		if e.Code != "code56" {
+			out[e.Code] = e.MakespanMS / t56
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,557 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"code56/internal/disksim"
+	"code56/internal/migrate"
+)
+
+func TestCompareCoversExpectedCodes(t *testing.T) {
+	want := map[int][]string{
+		5: {"evenodd", "xcode", "pcode-p", "code56"},
+		6: {"rdp", "hcode", "pcode", "hdp", "code56"},
+		7: {"evenodd", "xcode", "pcode-p", "code56"},
+	}
+	for n, codes := range want {
+		entries, err := Compare(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, e := range entries {
+			seen[e.Code] = true
+			if e.N != n {
+				t.Errorf("n=%d: entry %s reports N=%d", n, e.Label, e.N)
+			}
+		}
+		for _, c := range codes {
+			if !seen[c] {
+				t.Errorf("n=%d: code %s missing from comparison", n, c)
+			}
+		}
+	}
+}
+
+func TestFigureValueExtraction(t *testing.T) {
+	m := migrate.Metrics{
+		InvalidParityRatio: 1, MigrationRatio: 2, NewParityRatio: 3,
+		ExtraSpaceRatio: 4, XORRatio: 5, WriteRatio: 6, TotalIORatio: 7,
+		TimeNLB: 8, TimeLB: 9,
+	}
+	for f, want := range map[Figure]float64{
+		Fig9InvalidParity: 1, Fig10Migration: 2, Fig11NewParity: 3,
+		Fig12ExtraSpace: 4, Fig13Computation: 5, Fig14WriteIO: 6,
+		Fig15TotalIO: 7, Fig16TimeNLB: 8, Fig17TimeLB: 9,
+	} {
+		if got := f.Value(m); got != want {
+			t.Errorf("%v.Value = %v, want %v", f, got, want)
+		}
+		if f.Title() == "" {
+			t.Errorf("%v has no title", f)
+		}
+	}
+}
+
+// TestSpeedupTableShape: every speedup of Code 5-6 over other codes must be
+// > 1 at prime n (the paper's Table IV shows 1.27–3.38), with the
+// documented HDP/NLB exception at n=6.
+func TestSpeedupTableShape(t *testing.T) {
+	for _, lb := range []bool{false, true} {
+		rows, err := SpeedupTable([]int{5, 6, 7}, lb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("%d rows, want 3", len(rows))
+		}
+		var maxSpeedup float64
+		for _, r := range rows {
+			if len(r.Speedups) == 0 {
+				t.Fatalf("n=%d: empty speedup row", r.N)
+			}
+			for code, s := range r.Speedups {
+				if s > maxSpeedup {
+					maxSpeedup = s
+				}
+				// Documented deviations at non-prime n under the NLB
+				// bottleneck model (see EXPERIMENTS.md): HDP edges the
+				// virtual-disk Code 5-6 and P-Code ties it.
+				if !lb && r.N == 6 && (code == "hdp" || code == "pcode") {
+					if s < 0.8 {
+						t.Errorf("n=6 NLB: %s speedup %.2f below documented band", code, s)
+					}
+					continue
+				}
+				if s <= 1 {
+					t.Errorf("lb=%v n=%d: speedup over %s is %.2f, want > 1", lb, r.N, code, s)
+				}
+			}
+		}
+		// The paper reports speedups up to 3.38x; our model must reach a
+		// comparable magnitude somewhere in the table.
+		if maxSpeedup < 1.5 {
+			t.Errorf("lb=%v: max speedup %.2f — no pronounced advantage found", lb, maxSpeedup)
+		}
+	}
+}
+
+// TestTableIIIMatchesPaper: the derived qualitative grades must reproduce
+// the paper's Table III exactly.
+func TestTableIIIMatchesPaper(t *testing.T) {
+	type want struct{ sw, cc, ce Grade }
+	paper := map[string]want{
+		"evenodd": {Low, High, Low},
+		"rdp":     {Medium, High, Low},
+		"xcode":   {High, Medium, Medium},
+		"pcode":   {High, Medium, Medium},
+		"hcode":   {High, High, Low},
+		"hdp":     {Medium, Medium, Medium},
+		"code56":  {High, Low, High},
+	}
+	seen := map[string]bool{}
+	for _, n := range []int{5, 6, 7} {
+		rows, err := TableIII(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			w, ok := paper[r.Code]
+			if !ok {
+				continue // pcode-p variant is not in the paper's table
+			}
+			seen[r.Code] = true
+			if r.SingleWrite != w.sw {
+				t.Errorf("n=%d %s: single write %v, paper says %v (avg %.2f worst %d)",
+					n, r.Code, r.SingleWrite, w.sw, r.AvgParityWrites, r.WorstParityWrites)
+			}
+			if r.ConversionComplexity != w.cc {
+				t.Errorf("n=%d %s: complexity %v, paper says %v", n, r.Code, r.ConversionComplexity, w.cc)
+			}
+			if r.ConversionEfficiency != w.ce {
+				t.Errorf("n=%d %s: efficiency %v, paper says %v", n, r.Code, r.ConversionEfficiency, w.ce)
+			}
+		}
+	}
+	for code := range paper {
+		if !seen[code] {
+			t.Errorf("code %s never graded", code)
+		}
+	}
+}
+
+func TestStorageEfficiencySeries(t *testing.T) {
+	pts := StorageEfficiencySeries(3, 20)
+	if len(pts) != 18 {
+		t.Fatalf("%d points, want 18", len(pts))
+	}
+	for _, p := range pts {
+		if p.Code56 > p.Typical+1e-9 {
+			t.Errorf("m=%d: Code 5-6 efficiency above MDS optimum", p.M)
+		}
+		if p.Typical-p.Code56 > 0.039 {
+			t.Errorf("m=%d: penalty %.4f too large", p.M, p.Typical-p.Code56)
+		}
+	}
+}
+
+// TestSimulationShape runs the Fig. 19 methodology at reduced scale: Code
+// 5-6 must be the fastest at n=5 and n=7 for both block sizes, and larger
+// blocks must increase every makespan.
+func TestSimulationShape(t *testing.T) {
+	for _, n := range []int{5, 7} {
+		var prev map[string]float64
+		for _, bs := range []int{4096, 8192} {
+			cfg := SimConfig{BlockSize: bs, TotalDataBlocks: 3000, LoadBalanced: true}
+			entries, err := SimulateBestByN(n, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			times := map[string]float64{}
+			var t56 float64
+			for _, e := range entries {
+				times[e.Code] = e.MakespanMS
+				if e.Code == "code56" {
+					t56 = e.MakespanMS
+				}
+			}
+			if t56 == 0 {
+				t.Fatalf("n=%d: no code56 entry", n)
+			}
+			for code, tm := range times {
+				if code != "code56" && tm <= t56 {
+					t.Errorf("n=%d bs=%d: %s simulated time %.1f <= code56's %.1f", n, bs, code, tm, t56)
+				}
+				if prev != nil && tm <= prev[code] {
+					t.Errorf("n=%d: %s time did not grow with block size", n, code)
+				}
+			}
+			sp, err := SimSpeedups(entries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for code, s := range sp {
+				if s <= 1 {
+					t.Errorf("n=%d bs=%d: Table V speedup over %s = %.2f", n, bs, code, s)
+				}
+			}
+			prev = times
+		}
+	}
+}
+
+// TestTableVShape checks Table V in the paper's own grouping by p
+// (Figure 19): Code 5-6's best approach beats every other code's best
+// approach in simulated conversion time.
+func TestTableVShape(t *testing.T) {
+	cfg := SimConfig{BlockSize: 4096, TotalDataBlocks: 3000, LoadBalanced: true}
+	sp := map[int]map[string]float64{}
+	for _, p := range []int{5, 7} {
+		entries, err := SimulateBestByP(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SimSpeedups(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp[p] = s
+	}
+	// Primary Table V shape: Code 5-6 is fastest at both p values, for
+	// every code. (The paper's secondary observation that the speedup
+	// *grows* from p=5 to p=7 does not reproduce under our disk model;
+	// see EXPERIMENTS.md.)
+	for _, p := range []int{5, 7} {
+		for code, s := range sp[p] {
+			if s <= 1 {
+				t.Errorf("%s: Table V speedup %.2f at p=%d not > 1", code, s, p)
+			}
+		}
+	}
+	if _, err := ConversionsByP(4); err == nil {
+		t.Error("non-prime p accepted")
+	}
+}
+
+func TestAblationHCodeDirect(t *testing.T) {
+	ab, err := AblationHCodeDirect(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Entries) != 4 {
+		t.Fatalf("%d entries, want 4", len(ab.Entries))
+	}
+	var direct, via0 *Entry
+	for i := range ab.Entries {
+		e := &ab.Entries[i]
+		if e.Code == "hcode" {
+			switch e.Approach {
+			case migrate.Direct:
+				direct = e
+			case migrate.ViaRAID0:
+				via0 = e
+			}
+		}
+	}
+	if direct == nil || via0 == nil {
+		t.Fatal("missing H-Code entries")
+	}
+	// The ablation's finding: H-Code *could* convert directly with reuse,
+	// beating its intermediate-form approaches.
+	if direct.Plan.Reused == 0 {
+		t.Error("H-Code direct conversion should reuse old parities")
+	}
+	if direct.Metrics.TotalIORatio >= via0.Metrics.TotalIORatio {
+		t.Error("H-Code direct should beat via-RAID0 on total I/O")
+	}
+}
+
+func TestAblationLayoutMismatch(t *testing.T) {
+	ab, err := AblationLayoutMismatch(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Entries) != 3 {
+		t.Fatalf("%d entries, want 3", len(ab.Entries))
+	}
+	matched, mismatched, matchedRight := ab.Entries[0].Metrics, ab.Entries[1].Metrics, ab.Entries[2].Metrics
+	if matched.InvalidParityRatio != 0 || matchedRight.InvalidParityRatio != 0 {
+		t.Error("matched orientations should invalidate nothing")
+	}
+	if mismatched.InvalidParityRatio == 0 {
+		t.Error("mismatched orientation should invalidate old parities")
+	}
+	if mismatched.TotalIORatio <= matched.TotalIORatio {
+		t.Error("mismatch should cost more I/O")
+	}
+	if matchedRight.TotalIORatio != matched.TotalIORatio {
+		t.Error("Fig. 7: the right-oriented code should restore the matched cost")
+	}
+}
+
+func TestHybridRecoverySeries(t *testing.T) {
+	pts, err := HybridRecoverySeries([]int{5, 7, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].ConventionalReads != 12 || pts[0].HybridReads != 9 {
+		t.Errorf("p=5: %d/%d reads, want 12/9", pts[0].ConventionalReads, pts[0].HybridReads)
+	}
+	for _, pt := range pts {
+		if pt.Saving <= 0 {
+			t.Errorf("p=%d: no read saving", pt.P)
+		}
+	}
+}
+
+// TestRenderers smoke-tests every text renderer.
+func TestRenderers(t *testing.T) {
+	var b bytes.Buffer
+	if err := RenderFigure(&b, Fig11NewParity, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderFigureCSV(&b, Fig15TotalIO, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderAllMetrics(&b, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderTableIII(&b, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderSpeedupTable(&b, []int{5, 6, 7}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderStorageEfficiency(&b, 3, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderSimulation(&b, 5, SimConfig{BlockSize: 4096, TotalDataBlocks: 1200, LoadBalanced: true, Model: disksim.DefaultModel()}); err != nil {
+		t.Fatal(err)
+	}
+	ab, err := AblationHCodeDirect(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderAblation(&b, ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderHybridRecovery(&b, []int{5, 7}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 11", "Table III", "Table IV", "Figure 18", "Figure 19", "Table V", "code56", "hybrid"} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+// TestTableVIMatchesPaper: the derived in-flight reliability grades must
+// reproduce the paper's Table VI: Low for the RAID-0 path, Medium for the
+// RAID-4 path, High for direct conversions — with one exception our
+// measurement surfaces (documented in EXPERIMENTS.md): HDP's anti-diagonal
+// parities physically overwrite the old RAID-5 parities mid-conversion, so
+// "retain old parities until conversion is done" is impossible for it and
+// windows of unprotected data exist.
+func TestTableVIMatchesPaper(t *testing.T) {
+	for _, n := range []int{5, 6, 7} {
+		rows, err := TableVI(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			var want migrate.ReliabilityGrade
+			switch {
+			case r.Code == "hdp":
+				want = migrate.ReliabilityLow // measured deviation
+			case r.Label[:len("RAID-5→RAID-0")] == "RAID-5→RAID-0":
+				want = migrate.ReliabilityLow
+			case r.Label[:len("RAID-5→RAID-4")] == "RAID-5→RAID-4":
+				want = migrate.ReliabilityMedium
+			default:
+				want = migrate.ReliabilityHigh
+			}
+			if r.Grade != want {
+				t.Errorf("n=%d %s: grade %v, want %v (safe=%v unsafe=%d moves=%d)",
+					n, r.Label, r.Grade, want, r.SingleFailureSafe, r.UnsafeSteps, r.ParityMoves)
+			}
+			// Consistency between the grade and its evidence.
+			if (r.Grade == migrate.ReliabilityLow) == r.SingleFailureSafe {
+				t.Errorf("n=%d %s: grade %v inconsistent with safety %v", n, r.Label, r.Grade, r.SingleFailureSafe)
+			}
+		}
+	}
+}
+
+// TestRenderTableVI smoke-tests the renderer.
+func TestRenderTableVI(t *testing.T) {
+	var b bytes.Buffer
+	if err := RenderTableVI(&b, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Table VI") {
+		t.Fatal("missing header")
+	}
+}
+
+// TestRecoveryAcrossCodes: the hybrid strategy must save reads for every
+// code with two parity families (the §III-E-4 generalization); Code 5-6's
+// saving must be at least RDP's (the paper positions it as benefiting more).
+func TestRecoveryAcrossCodes(t *testing.T) {
+	for _, p := range []int{5, 7} {
+		rows, err := RecoveryAcrossCodes(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byCode := map[string]CrossCodeRecovery{}
+		for _, r := range rows {
+			byCode[r.Code] = r
+			if r.HybridReads > r.ConventionalReads {
+				t.Errorf("p=%d %s: hybrid worse than conventional", p, r.Code)
+			}
+		}
+		for _, code := range []string{"code56", "rdp", "xcode", "hcode"} {
+			if byCode[code].Saving <= 0 {
+				t.Errorf("p=%d %s: no hybrid saving", p, code)
+			}
+		}
+		if byCode["code56"].Saving < byCode["rdp"].Saving {
+			t.Errorf("p=%d: Code 5-6 saving %.2f below RDP's %.2f", p, byCode["code56"].Saving, byCode["rdp"].Saving)
+		}
+	}
+	var b bytes.Buffer
+	if err := RenderRecoveryAcrossCodes(&b, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "code56") {
+		t.Fatal("render missing code56 row")
+	}
+}
+
+// TestWritePerformance validates §V-D's post-conversion write claim with
+// measured I/O: optimal-update codes average 6 I/Os per single-block
+// update; EVENODD's S-diagonal and the cascading codes cost more.
+func TestWritePerformance(t *testing.T) {
+	rows, err := MeasureWritePerformance(5, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]WritePerf{}
+	for _, r := range rows {
+		by[r.Code] = r
+	}
+	for _, code := range []string{"code56", "xcode", "pcode", "hcode"} {
+		if got := by[code].AvgIOsPerWrite; got < 5.99 || got > 6.01 {
+			t.Errorf("%s: %.2f I/Os per write, want 6 (optimal)", code, got)
+		}
+	}
+	for _, code := range []string{"evenodd", "rdp", "hdp"} {
+		if by[code].AvgIOsPerWrite <= 6.01 {
+			t.Errorf("%s: %.2f I/Os per write — should exceed the optimum", code, by[code].AvgIOsPerWrite)
+		}
+		if by[code].AvgIOsPerWrite <= by["code56"].AvgIOsPerWrite {
+			t.Errorf("%s writes cheaper than Code 5-6", code)
+		}
+	}
+	// HDP's design goal: best load balance among the dedicated/diagonal
+	// layouts (all its disks carry parity).
+	if by["hdp"].MaxDiskShare >= by["rdp"].MaxDiskShare {
+		t.Errorf("hdp busiest-disk share %.2f not below rdp's %.2f", by["hdp"].MaxDiskShare, by["rdp"].MaxDiskShare)
+	}
+	var b bytes.Buffer
+	if err := RenderWritePerformance(&b, 5, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "small-write") {
+		t.Fatal("render missing header")
+	}
+}
+
+// TestDegradedReads: healthy reads cost exactly one I/O per block; a failed
+// disk amplifies reads for every code (stripe-wide reconstruction), and no
+// code reads less than healthy.
+func TestDegradedReads(t *testing.T) {
+	rows, err := MeasureDegradedReads(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if r.HealthyAmplification != 1.0 {
+			t.Errorf("%s: healthy amplification %.2f, want 1.0", r.Code, r.HealthyAmplification)
+		}
+		if r.Amplification <= 1.0 {
+			t.Errorf("%s: degraded amplification %.2f should exceed 1", r.Code, r.Amplification)
+		}
+	}
+	var b bytes.Buffer
+	if err := RenderDegradedReads(&b, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Degraded-read") {
+		t.Fatal("render missing header")
+	}
+}
+
+// TestMotivationTable quantifies §I: RAID-6 after migration reduces the
+// five-year data-loss probability by orders of magnitude for every Table I
+// disk age.
+func TestMotivationTable(t *testing.T) {
+	rows, err := MotivationTable(5, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.FiveYearLossRAID6 >= r.FiveYearLossRAID5/100 {
+			t.Errorf("year %d: RAID-6 loss %.2e not two orders below RAID-5's %.2e",
+				r.YearOfUse, r.FiveYearLossRAID6, r.FiveYearLossRAID5)
+		}
+		if r.RAID6MTTDLYears <= r.RAID5MTTDLYears {
+			t.Errorf("year %d: RAID-6 MTTDL not above RAID-5", r.YearOfUse)
+		}
+	}
+	var b bytes.Buffer
+	if err := RenderMotivation(&b, 5, 24); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Motivation") {
+		t.Fatal("render missing header")
+	}
+}
+
+// TestCompareScalesBeyondPaperSizes: the harness is not hardwired to the
+// paper's n ∈ {5,6,7}; larger arrays compare the same way, with Code 5-6
+// (virtual-padded where n-1+1 is not prime) still cheapest on total I/O.
+func TestCompareScalesBeyondPaperSizes(t *testing.T) {
+	for _, n := range []int{8, 11, 12, 14} {
+		entries, err := Compare(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var c56 *Entry
+		for i := range entries {
+			if entries[i].Code == "code56" {
+				c56 = &entries[i]
+			}
+		}
+		if c56 == nil {
+			t.Fatalf("n=%d: Code 5-6 missing", n)
+		}
+		for _, e := range entries {
+			if e.Code == "code56" {
+				continue
+			}
+			if e.Metrics.TotalIORatio < c56.Metrics.TotalIORatio {
+				t.Errorf("n=%d: %s total I/O %.3f beats Code 5-6's %.3f",
+					n, e.Label, e.Metrics.TotalIORatio, c56.Metrics.TotalIORatio)
+			}
+		}
+	}
+}

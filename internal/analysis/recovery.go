@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"code56/internal/codes/evenodd"
+	"code56/internal/codes/hdp"
+	"code56/internal/codes/pcode"
+	"code56/internal/codes/rdp"
+	"code56/internal/codes/xcode"
+	"code56/internal/core"
+	"code56/internal/layout"
+	"code56/internal/recovery"
+
+	hcodepkg "code56/internal/codes/hcode"
+)
+
+// CrossCodeRecovery is one row of the cross-code single-disk recovery
+// study: the paper's §III-E-4 notes the hybrid approach "can be used in
+// many MDS codes"; this measures it for all of them.
+type CrossCodeRecovery struct {
+	Code              string
+	P                 int
+	ConventionalReads int
+	HybridReads       int
+	Saving            float64
+}
+
+// RecoveryAcrossCodes measures conventional vs optimized single-disk
+// rebuild reads per stripe for every code at the given prime (worst data
+// column: column 0 unless it holds no data).
+func RecoveryAcrossCodes(p int) ([]CrossCodeRecovery, error) {
+	codes := map[string]layout.Code{
+		"code56":  core.MustNew(p),
+		"rdp":     rdp.MustNew(p),
+		"evenodd": evenodd.MustNew(p),
+		"xcode":   xcode.MustNew(p),
+		"hcode":   hcodepkg.MustNew(p),
+		"hdp":     hdp.MustNew(p),
+		"pcode":   pcode.MustNew(p, pcode.VariantPMinus1),
+	}
+	var out []CrossCodeRecovery
+	for name, code := range codes {
+		col := 0
+		conv, err := recovery.ConventionalReads(code, col)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		plan, err := recovery.PlanColumn(code, col)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, CrossCodeRecovery{
+			Code:              name,
+			P:                 p,
+			ConventionalReads: conv,
+			HybridReads:       plan.Reads,
+			Saving:            1 - float64(plan.Reads)/float64(conv),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out, nil
+}
+
+// RenderRecoveryAcrossCodes writes the cross-code recovery study.
+func RenderRecoveryAcrossCodes(w io.Writer, p int) error {
+	rows, err := RecoveryAcrossCodes(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Hybrid single-disk recovery across codes (p = %d, failed column 0)\n", p)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "code\tconventional reads\thybrid reads\tsaving")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f%%\n", r.Code, r.ConventionalReads, r.HybridReads, r.Saving*100)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// RenderFigure writes one comparison figure as a text table: one row per
+// conversion, the figure's metric as the value column.
+func RenderFigure(w io.Writer, f Figure, n int) error {
+	entries, err := Compare(n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure %d — %s (n = %d)\n", int(f), f.Title(), n)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "conversion\tvalue")
+	for _, e := range entries {
+		fmt.Fprintf(tw, "%s\t%.4f\n", e.Label, f.Value(e.Metrics))
+	}
+	return tw.Flush()
+}
+
+// RenderFigureCSV writes the figure's data as CSV (label,value).
+func RenderFigureCSV(w io.Writer, f Figure, n int) error {
+	entries, err := Compare(n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "conversion,%s\n", strings.ReplaceAll(f.Title(), ",", ";"))
+	for _, e := range entries {
+		fmt.Fprintf(w, "%q,%.6f\n", e.Label, f.Value(e.Metrics))
+	}
+	return nil
+}
+
+// RenderAllMetrics writes the full metric matrix for one n: every
+// conversion against every figure column (a compact view of Figs 9–17).
+func RenderAllMetrics(w io.Writer, n int) error {
+	entries, err := Compare(n)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Conversion metrics, n = %d (per data block B; time per B*Te)\n", n)
+	fmt.Fprintln(tw, "conversion\tinvalid\tmigrate\tnewpar\textra\txors\twrites\ttotalIO\ttNLB\ttLB")
+	for _, e := range entries {
+		m := e.Metrics
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			e.Label, m.InvalidParityRatio, m.MigrationRatio, m.NewParityRatio,
+			m.ExtraSpaceRatio, m.XORRatio, m.WriteRatio, m.TotalIORatio, m.TimeNLB, m.TimeLB)
+	}
+	return tw.Flush()
+}
+
+// RenderTableIII writes the derived qualitative comparison.
+func RenderTableIII(w io.Writer, n int) error {
+	rows, err := TableIII(n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table III — comparison among MDS codes on conversion (derived, n = %d)\n", n)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "code\tsingle-write\t(avg/worst parity writes)\tconv. complexity\tconv. efficiency\t(best tNLB)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f/%d\t%s\t%s\t%.3f\n",
+			r.Code, r.SingleWrite, r.AvgParityWrites, r.WorstParityWrites,
+			r.ConversionComplexity, r.ConversionEfficiency, r.TimeNLB)
+	}
+	return tw.Flush()
+}
+
+// RenderSpeedupTable writes Table IV.
+func RenderSpeedupTable(w io.Writer, ns []int, loadBalanced bool) error {
+	rows, err := SpeedupTable(ns, loadBalanced)
+	if err != nil {
+		return err
+	}
+	mode := "NLB"
+	if loadBalanced {
+		mode = "LB"
+	}
+	fmt.Fprintf(w, "Table IV — speedup of Code 5-6 over each code's best approach (%s)\n", mode)
+	codes := map[string]bool{}
+	for _, r := range rows {
+		for c := range r.Speedups {
+			codes[c] = true
+		}
+	}
+	var names []string
+	for c := range codes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "n")
+	for _, c := range names {
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d (%s)", r.N, mode)
+		for _, c := range names {
+			if v, ok := r.Speedups[c]; ok {
+				fmt.Fprintf(tw, "\t%.2f", v)
+			} else {
+				fmt.Fprintf(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// RenderStorageEfficiency writes Figure 18.
+func RenderStorageEfficiency(w io.Writer, minM, maxM int) error {
+	fmt.Fprintln(w, "Figure 18 — storage efficiency: typical RAID-6 vs Code 5-6 with virtual disks")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "m\ttypical\tcode56\tpenalty")
+	for _, p := range StorageEfficiencySeries(minM, maxM) {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\n", p.M, p.Typical, p.Code56, p.Typical-p.Code56)
+	}
+	return tw.Flush()
+}
+
+// RenderSimulation writes one panel of Figure 19 plus the Table V speedup
+// line derived from it.
+func RenderSimulation(w io.Writer, n int, cfg SimConfig) error {
+	entries, err := SimulateBestByN(n, cfg)
+	if err != nil {
+		return err
+	}
+	mode := "NLB"
+	if cfg.LoadBalanced {
+		mode = "LB"
+	}
+	fmt.Fprintf(w, "Figure 19 — simulated conversion time (n = %d, block %d B, B = %d, %s)\n",
+		n, cfg.BlockSize, cfg.TotalDataBlocks, mode)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "conversion\ttime (s)\trequests")
+	for _, e := range entries {
+		fmt.Fprintf(tw, "%s\t%.2f\t%d\n", e.Label, e.MakespanMS/1e3, e.Requests)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	sp, err := SimSpeedups(entries)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for c := range sp {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "Table V — simulated speedup of Code 5-6:")
+	for _, c := range names {
+		fmt.Fprintf(w, " %s %.2fx", c, sp[c])
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// RenderAblation writes an ablation's entries.
+func RenderAblation(w io.Writer, ab Ablation) error {
+	fmt.Fprintf(w, "Ablation %s — %s\n", ab.Name, ab.Description)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "case\tinvalid\tmigrate\tnewpar\textra\twrites\ttotalIO\ttNLB\ttLB")
+	for _, e := range ab.Entries {
+		m := e.Metrics
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			e.Label, m.InvalidParityRatio, m.MigrationRatio, m.NewParityRatio,
+			m.ExtraSpaceRatio, m.WriteRatio, m.TotalIORatio, m.TimeNLB, m.TimeLB)
+	}
+	return tw.Flush()
+}
+
+// RenderHybridRecovery writes the §III-E-4 recovery study.
+func RenderHybridRecovery(w io.Writer, primes []int) error {
+	pts, err := HybridRecoverySeries(primes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Hybrid single-disk recovery (paper Fig. 6): reads per stripe")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "p\tconventional\thybrid\tsaving")
+	for _, pt := range pts {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f%%\n", pt.P, pt.ConventionalReads, pt.HybridReads, pt.Saving*100)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"code56/internal/codes/evenodd"
+	"code56/internal/codes/hdp"
+	"code56/internal/codes/pcode"
+	"code56/internal/codes/rdp"
+	"code56/internal/codes/xcode"
+	"code56/internal/core"
+	"code56/internal/disksim"
+	"code56/internal/layout"
+	"code56/internal/migrate"
+	"code56/internal/raid5"
+	"code56/internal/trace"
+
+	hcodepkg "code56/internal/codes/hcode"
+)
+
+// ConversionsByP returns the §V-C comparison set grouped by the prime
+// parameter p — the grouping of Figure 19 and Table V ("with the same value
+// of p"), where the codes' disk counts differ but their stripe mathematics
+// share p.
+func ConversionsByP(p int) ([]migrate.Conversion, error) {
+	if !layout.IsPrime(p) || p < 5 {
+		return nil, fmt.Errorf("analysis: p = %d must be a prime >= 5", p)
+	}
+	mk := func(m int, code layout.Code, a migrate.Approach) migrate.Conversion {
+		return migrate.Conversion{M: m, SourceLayout: raid5.LeftAsymmetric, Code: code, Approach: a}
+	}
+	var out []migrate.Conversion
+	for _, a := range []migrate.Approach{migrate.ViaRAID0, migrate.ViaRAID4} {
+		out = append(out,
+			mk(p, evenodd.MustNew(p), a),
+			mk(p-1, rdp.MustNew(p), a),
+			mk(p-1, hcodepkg.MustNew(p), a),
+		)
+	}
+	out = append(out,
+		mk(p, xcode.MustNew(p), migrate.Direct),
+		mk(p-1, pcode.MustNew(p, pcode.VariantPMinus1), migrate.Direct),
+		mk(p, pcode.MustNew(p, pcode.VariantP), migrate.Direct),
+		mk(p-1, hdp.MustNew(p), migrate.Direct),
+		mk(p-1, core.MustNew(p), migrate.Direct),
+	)
+	return out, nil
+}
+
+// SimEntryDetail extends SimEntry with the winner's per-disk utilization
+// (busy share of the makespan) and sequential-hit fraction.
+type SimEntryDetail struct {
+	SimEntry
+	Utilization    []float64
+	SequentialFrac float64
+}
+
+// SimulateBestByPDetailed is SimulateBestByP plus per-disk utilization for
+// each code's winning approach.
+func SimulateBestByPDetailed(p int, cfg SimConfig) ([]SimEntryDetail, error) {
+	entries, err := simulateByP(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// SimulateBestByP runs the Figure 19 methodology at one p: every code's
+// conversions are traced and replayed through the disk simulator, and the
+// best (fastest) approach per code is reported.
+func SimulateBestByP(p int, cfg SimConfig) ([]SimEntry, error) {
+	detailed, err := simulateByP(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SimEntry, len(detailed))
+	for i, d := range detailed {
+		out[i] = d.SimEntry
+	}
+	return out, nil
+}
+
+func simulateByP(p int, cfg SimConfig) ([]SimEntryDetail, error) {
+	if cfg.Model == (disksim.Model{}) {
+		cfg.Model = disksim.DefaultModel()
+	}
+	convs, err := ConversionsByP(p)
+	if err != nil {
+		return nil, err
+	}
+	best := make(map[string]SimEntryDetail)
+	for _, c := range convs {
+		plan, err := migrate.NewPlan(c)
+		if err != nil {
+			return nil, err
+		}
+		phases := trace.FromPlan(plan, trace.Options{
+			TotalDataBlocks: cfg.TotalDataBlocks,
+			LoadBalanced:    cfg.LoadBalanced,
+		})
+		sim, err := disksim.New(c.N(), cfg.BlockSize, cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		st, err := sim.RunPhases(phases)
+		if err != nil {
+			return nil, err
+		}
+		cur, ok := best[c.Code.Name()]
+		if !ok || st.Makespan < cur.MakespanMS {
+			util := make([]float64, len(st.PerDiskBusy))
+			for d := range util {
+				util[d] = st.Utilization(d)
+			}
+			seq := 0.0
+			if st.Requests > 0 {
+				seq = float64(st.SequentialHits) / float64(st.Requests)
+			}
+			best[c.Code.Name()] = SimEntryDetail{
+				SimEntry: SimEntry{
+					Label:      c.Label(),
+					Code:       c.Code.Name(),
+					MakespanMS: st.Makespan,
+					Requests:   st.Requests,
+				},
+				Utilization:    util,
+				SequentialFrac: seq,
+			}
+		}
+	}
+	var out []SimEntryDetail
+	for _, e := range best {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out, nil
+}
+
+// RenderSimulationByP writes one panel of Figure 19 in the paper's own
+// grouping (same p) plus the corresponding Table V row.
+func RenderSimulationByP(w interface{ Write([]byte) (int, error) }, p int, cfg SimConfig) error {
+	entries, err := SimulateBestByP(p, cfg)
+	if err != nil {
+		return err
+	}
+	mode := "NLB"
+	if cfg.LoadBalanced {
+		mode = "LB"
+	}
+	fmt.Fprintf(w, "Figure 19 — simulated conversion time (p = %d, block %d B, B = %d, %s)\n",
+		p, cfg.BlockSize, cfg.TotalDataBlocks, mode)
+	for _, e := range entries {
+		fmt.Fprintf(w, "  %-40s %10.2f s  (%d reqs)\n", e.Label, e.MakespanMS/1e3, e.Requests)
+	}
+	sp, err := SimSpeedups(entries)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for c := range sp {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "Table V (p=%d, %s) — speedup of Code 5-6:", p, mode)
+	for _, c := range names {
+		fmt.Fprintf(w, " %s %.2fx", c, sp[c])
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"code56/internal/codes/evenodd"
+	"code56/internal/codes/rdp"
+	"code56/internal/core"
+	"code56/internal/layout"
+	"code56/internal/migrate"
+
+	hcodepkg "code56/internal/codes/hcode"
+)
+
+// Grade is the paper's three-level qualitative scale.
+type Grade int
+
+// Qualitative grades of Table III.
+const (
+	Low Grade = iota
+	Medium
+	High
+)
+
+// String returns the paper's spelling.
+func (g Grade) String() string {
+	switch g {
+	case Low:
+		return "Low"
+	case Medium:
+		return "Medium"
+	case High:
+		return "High"
+	default:
+		return fmt.Sprintf("Grade(%d)", int(g))
+	}
+}
+
+// QualRow is one row of Table III. Unlike the paper, the grades here are
+// *derived*: the single-write column from each code's parity-update cascade,
+// the conversion columns from the approach class and measured conversion
+// time.
+type QualRow struct {
+	Code string
+	// SingleWrite grades small-write performance: High iff every data
+	// update dirties exactly two parity blocks (optimal), Low if the
+	// worst case exceeds four (EVENODD's S diagonal), Medium otherwise.
+	SingleWrite Grade
+	// AvgParityWrites and WorstParityWrites are the measured update
+	// cascade sizes behind the grade.
+	AvgParityWrites   float64
+	WorstParityWrites int
+	// ConversionComplexity grades the conversion process: High for
+	// approaches that pass through an intermediate RAID form, Medium for
+	// direct conversions, Low for direct conversion with full parity
+	// reuse (Code 5-6).
+	ConversionComplexity Grade
+	// ConversionEfficiency is the inverse ranking, anchored on measured
+	// conversion time.
+	ConversionEfficiency Grade
+	// TimeNLB is the measured best-approach conversion time backing the
+	// efficiency grade.
+	TimeNLB float64
+}
+
+// updateCascade returns the number of parity blocks a write to cell d
+// dirties, following covering chains transitively (a parity covered by
+// another chain propagates the delta, as RDP's row parity does into the
+// diagonals).
+func updateCascade(code layout.Code, d layout.Coord) int {
+	writes := 0
+	queue := []layout.Coord{d}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, ci := range layout.ChainsCovering(code, c) {
+			p := code.Chains()[ci].Parity
+			writes++
+			queue = append(queue, p)
+		}
+	}
+	return writes
+}
+
+// singleWriteProfile measures the average and worst parity-write cascade
+// over all data elements of the code.
+func singleWriteProfile(code layout.Code) (avg float64, worst int) {
+	data := layout.DataElements(code)
+	total := 0
+	for _, d := range data {
+		w := updateCascade(code, d)
+		total += w
+		if w > worst {
+			worst = w
+		}
+	}
+	return float64(total) / float64(len(data)), worst
+}
+
+// representative returns a structurally equivalent instance of the code
+// with p >= 5 for update-complexity grading: at p = 3 some codes degenerate
+// (EVENODD's S diagonal cascade collapses to 3 writes), masking their
+// general behavior.
+func representative(code layout.Code) layout.Code {
+	if code.Geometry().P >= 5 {
+		return code
+	}
+	switch code.Name() {
+	case "evenodd":
+		return evenodd.MustNew(5)
+	case "rdp":
+		return rdp.MustNew(5)
+	case "hcode":
+		return hcodepkg.MustNew(5)
+	case "code56", "code56r":
+		return core.MustNew(5)
+	default:
+		return code
+	}
+}
+
+// TableIII derives the paper's Table III for the codes compared at target
+// size n (grades are structural, so any valid n gives the same answers per
+// code).
+func TableIII(n int) ([]QualRow, error) {
+	type agg struct {
+		code       layout.Code
+		direct     bool
+		bestTime   float64
+		reuses     bool
+		haveMetric bool
+	}
+	byName := make(map[string]*agg)
+	for _, c := range migrate.StandardConversions(n) {
+		p, err := migrate.NewPlan(c)
+		if err != nil {
+			return nil, err
+		}
+		m := p.Metrics()
+		a, ok := byName[c.Code.Name()]
+		if !ok {
+			a = &agg{code: c.Code, bestTime: m.TimeNLB}
+			byName[c.Code.Name()] = a
+		}
+		if m.TimeNLB < a.bestTime {
+			a.bestTime = m.TimeNLB
+		}
+		a.haveMetric = true
+		if c.Approach == migrate.Direct {
+			a.direct = true
+			if p.Reused > 0 && p.Invalidated == 0 && p.Migrated == 0 {
+				a.reuses = true
+			}
+		}
+	}
+
+	var rows []QualRow
+	for name, a := range byName {
+		avg, worst := singleWriteProfile(representative(a.code))
+		row := QualRow{Code: name, AvgParityWrites: avg, WorstParityWrites: worst, TimeNLB: a.bestTime}
+		switch {
+		case worst > 4:
+			row.SingleWrite = Low
+		case worst > 2:
+			row.SingleWrite = Medium
+		default:
+			row.SingleWrite = High
+		}
+		switch {
+		case a.reuses:
+			row.ConversionComplexity = Low
+			row.ConversionEfficiency = High
+		case a.direct:
+			row.ConversionComplexity = Medium
+			row.ConversionEfficiency = Medium
+		default:
+			row.ConversionComplexity = High
+			row.ConversionEfficiency = Low
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Code < rows[j].Code })
+	return rows, nil
+}

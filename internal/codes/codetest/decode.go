@@ -1,0 +1,51 @@
+package codetest
+
+import (
+	"math/rand"
+	"testing"
+
+	"code56/internal/layout"
+)
+
+// DoubleReconstructor is the code-specific recovery API every code package
+// provides alongside the layout.Code interface.
+type DoubleReconstructor interface {
+	layout.Code
+	RecoverSingle(s *layout.Stripe, failed int) (layout.DecodeStats, error)
+	ReconstructDouble(s *layout.Stripe, colA, colB int) (layout.DecodeStats, error)
+}
+
+// DedicatedDecoder runs a code's own recovery entry points over every
+// single and double column failure and checks the results byte for byte.
+func DedicatedDecoder(t *testing.T, c DoubleReconstructor) {
+	t.Helper()
+	g := c.Geometry()
+	orig := layout.NewStripe(g, 32)
+	orig.FillRandom(c, rand.New(rand.NewSource(21)))
+	layout.Encode(c, orig)
+	for f1 := 0; f1 < g.Cols; f1++ {
+		s := orig.Clone()
+		s.ZeroColumn(f1)
+		if _, err := c.RecoverSingle(s, f1); err != nil {
+			t.Fatalf("single %d: %v", f1, err)
+		}
+		if !s.Equal(orig) {
+			t.Fatalf("single %d: wrong recovery", f1)
+		}
+		for f2 := f1 + 1; f2 < g.Cols; f2++ {
+			s := orig.Clone()
+			s.ZeroColumn(f1)
+			s.ZeroColumn(f2)
+			st, err := c.ReconstructDouble(s, f2, f1)
+			if err != nil {
+				t.Fatalf("double (%d,%d): %v", f1, f2, err)
+			}
+			if !s.Equal(orig) {
+				t.Fatalf("double (%d,%d): wrong recovery", f1, f2)
+			}
+			if st.Recovered != 2*g.Rows {
+				t.Errorf("double (%d,%d): recovered %d cells, want %d", f1, f2, st.Recovered, 2*g.Rows)
+			}
+		}
+	}
+}

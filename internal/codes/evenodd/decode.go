@@ -1,0 +1,235 @@
+package evenodd
+
+import (
+	"fmt"
+
+	"code56/internal/layout"
+	"code56/internal/xorblk"
+)
+
+// This file implements EVENODD's dedicated reconstruction algorithms
+// (Blaum et al. 1995, §III): unlike the repository's generic GF(2)
+// elimination decoder — which EVENODD needs because its S-adjusted
+// diagonal chains defeat plain peeling — the dedicated decoder recovers the
+// S adjuster first and then walks the classic zig-zag, costing O(p²) block
+// XORs instead of elimination overhead.
+
+func mod(a, p int) int { return ((a % p) + p) % p }
+
+// computeS recomputes the S adjuster as the XOR of all row parities and all
+// diagonal parities (both parity columns must be intact).
+func (c *Code) computeS(s *layout.Stripe, dst []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < c.p-1; r++ {
+		xorblk.Xor(dst, s.Block(layout.Coord{Row: r, Col: c.p}))
+		xorblk.Xor(dst, s.Block(layout.Coord{Row: r, Col: c.p + 1}))
+	}
+}
+
+// sFromDiagonal recomputes S using the diagonal that passes through the
+// phantom cell of failed data column f: that diagonal has no surviving
+// unknowns, so its chain yields S directly. Requires the diagonal parity
+// column intact.
+func (c *Code) sFromDiagonal(s *layout.Stripe, f int, dst []byte) {
+	p := c.p
+	dStar := mod(p-1+f, p)
+	for i := range dst {
+		dst[i] = 0
+	}
+	if dStar != p-1 {
+		xorblk.Xor(dst, s.Block(layout.Coord{Row: dStar, Col: p + 1}))
+	}
+	// XOR the diagonal's surviving data cells (column f's member is the
+	// phantom row, i.e. zero).
+	for _, co := range c.diagonal(dStar) {
+		if co.Col != f {
+			xorblk.Xor(dst, s.Block(co))
+		}
+	}
+}
+
+// recoverDataColumnByRows rebuilds data column f from the row parities.
+func (c *Code) recoverDataColumnByRows(s *layout.Stripe, f int, st *layout.DecodeStats, read map[layout.Coord]bool) {
+	p := c.p
+	for r := 0; r < p-1; r++ {
+		ch := c.chains[r] // row chain r
+		layout.SolveChainTracked(s, ch, layout.Coord{Row: r, Col: f}, read, st)
+	}
+}
+
+// recoverDataColumnByDiagonals rebuilds data column f from the diagonal
+// parities and S (row parity column unavailable).
+func (c *Code) recoverDataColumnByDiagonals(s *layout.Stripe, f int, sAdj []byte, st *layout.DecodeStats, read map[layout.Coord]bool) {
+	p := c.p
+	acc := make([]byte, s.BlockSize)
+	for r := 0; r < p-1; r++ {
+		d := mod(r+f, p)
+		copy(acc, sAdj)
+		if d != p-1 {
+			xorblk.Xor(acc, s.Block(layout.Coord{Row: d, Col: p + 1}))
+			read[layout.Coord{Row: d, Col: p + 1}] = true
+			st.XORs++
+		}
+		for _, co := range c.diagonal(d) {
+			if co.Col == f {
+				continue
+			}
+			xorblk.Xor(acc, s.Block(co))
+			read[co] = true
+			st.XORs++
+		}
+		s.SetBlock(layout.Coord{Row: r, Col: f}, acc)
+		st.Recovered++
+	}
+}
+
+// reencodeColumn recomputes a parity column (col == p for row parity,
+// col == p+1 for diagonal parity) from intact data.
+func (c *Code) reencodeColumn(s *layout.Stripe, col int, st *layout.DecodeStats, read map[layout.Coord]bool) {
+	for _, ch := range c.chains {
+		if ch.Parity.Col == col {
+			layout.SolveChainTracked(s, ch, ch.Parity, read, st)
+		}
+	}
+}
+
+// RecoverSingle rebuilds one failed column in place using the cheapest
+// dedicated path.
+func (c *Code) RecoverSingle(s *layout.Stripe, failed int) (layout.DecodeStats, error) {
+	p := c.p
+	if failed < 0 || failed > p+1 {
+		return layout.DecodeStats{}, fmt.Errorf("evenodd: column %d out of range [0,%d]", failed, p+1)
+	}
+	var st layout.DecodeStats
+	read := make(map[layout.Coord]bool)
+	switch failed {
+	case p, p + 1:
+		c.reencodeColumn(s, failed, &st, read)
+	default:
+		c.recoverDataColumnByRows(s, failed, &st, read)
+	}
+	st.BlocksRead = len(read)
+	return st, nil
+}
+
+// ReconstructDouble rebuilds any two failed columns in place using the
+// dedicated EVENODD algorithm.
+func (c *Code) ReconstructDouble(s *layout.Stripe, colA, colB int) (layout.DecodeStats, error) {
+	p := c.p
+	if colA == colB {
+		return layout.DecodeStats{}, fmt.Errorf("evenodd: identical failed columns %d", colA)
+	}
+	f1, f2 := colA, colB
+	if f1 > f2 {
+		f1, f2 = f2, f1
+	}
+	if f1 < 0 || f2 > p+1 {
+		return layout.DecodeStats{}, fmt.Errorf("evenodd: columns (%d,%d) out of range", colA, colB)
+	}
+	var st layout.DecodeStats
+	read := make(map[layout.Coord]bool)
+
+	switch {
+	case f1 == p && f2 == p+1:
+		// Both parity columns: re-encode from data.
+		c.reencodeColumn(s, p, &st, read)
+		c.reencodeColumn(s, p+1, &st, read)
+
+	case f2 == p+1:
+		// Data column + diagonal parity: rows first, then diagonals.
+		c.recoverDataColumnByRows(s, f1, &st, read)
+		c.reencodeColumn(s, p+1, &st, read)
+
+	case f2 == p:
+		// Data column + row parity: recover S from the phantom diagonal,
+		// rebuild the data column via diagonals, re-encode row parities.
+		sAdj := make([]byte, s.BlockSize)
+		c.sFromDiagonal(s, f1, sAdj)
+		c.recoverDataColumnByDiagonals(s, f1, sAdj, &st, read)
+		c.reencodeColumn(s, p, &st, read)
+
+	default:
+		// Two data columns: the classic zig-zag.
+		c.zigzag(s, f1, f2, &st, read)
+	}
+	st.BlocksRead = len(read)
+	return st, nil
+}
+
+// zigzag implements the double-data-column reconstruction: compute S (both
+// parity columns intact), form row and diagonal syndromes, then alternate
+// between the two failed columns starting from the phantom row.
+func (c *Code) zigzag(s *layout.Stripe, i, j int, st *layout.DecodeStats, read map[layout.Coord]bool) {
+	p := c.p
+	bs := s.BlockSize
+
+	sAdj := make([]byte, bs)
+	c.computeS(s, sAdj)
+	for r := 0; r < p-1; r++ {
+		read[layout.Coord{Row: r, Col: p}] = true
+		read[layout.Coord{Row: r, Col: p + 1}] = true
+	}
+	st.XORs += 2*(p-1) - 1
+
+	// Row syndromes R[u] = C[u][i] ^ C[u][j]; phantom row p-1 is zero.
+	rowSyn := make([][]byte, p)
+	for u := 0; u < p-1; u++ {
+		acc := make([]byte, bs)
+		copy(acc, s.Block(layout.Coord{Row: u, Col: p}))
+		for col := 0; col <= p-1; col++ {
+			if col == i || col == j {
+				continue
+			}
+			co := layout.Coord{Row: u, Col: col}
+			xorblk.Xor(acc, s.Block(co))
+			read[co] = true
+			st.XORs++
+		}
+		rowSyn[u] = acc
+	}
+	rowSyn[p-1] = make([]byte, bs)
+
+	// Diagonal syndromes Dg[d] = C[<d-i>][i] ^ C[<d-j>][j].
+	diagSyn := make([][]byte, p)
+	for d := 0; d < p; d++ {
+		acc := make([]byte, bs)
+		copy(acc, sAdj)
+		if d != p-1 {
+			xorblk.Xor(acc, s.Block(layout.Coord{Row: d, Col: p + 1}))
+			st.XORs++
+		}
+		for _, co := range c.diagonal(d) {
+			if co.Col == i || co.Col == j {
+				continue
+			}
+			xorblk.Xor(acc, s.Block(co))
+			read[co] = true
+			st.XORs++
+		}
+		diagSyn[d] = acc
+	}
+
+	// Zig-zag from the phantom cell (p-1, i).
+	prev := make([]byte, bs) // C[cur][i], initially the phantom zero
+	cur := p - 1
+	for k := 0; k < p-1; k++ {
+		d := mod(cur+i, p)
+		rj := mod(d-j, p)
+		// C[rj][j] = Dg[d] ^ C[cur][i]
+		cellJ := make([]byte, bs)
+		xorblk.XorInto(cellJ, diagSyn[d], prev)
+		st.XORs++
+		s.SetBlock(layout.Coord{Row: rj, Col: j}, cellJ)
+		st.Recovered++
+		// C[rj][i] = R[rj] ^ C[rj][j]
+		cellI := make([]byte, bs)
+		xorblk.XorInto(cellI, rowSyn[rj], cellJ)
+		st.XORs++
+		s.SetBlock(layout.Coord{Row: rj, Col: i}, cellI)
+		st.Recovered++
+		prev = cellI
+		cur = rj
+	}
+}

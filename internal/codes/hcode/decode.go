@@ -1,0 +1,48 @@
+package hcode
+
+import (
+	"fmt"
+
+	"code56/internal/layout"
+)
+
+// H-Code's double-failure reconstruction is the same two-recovery-chain
+// walk Code 5-6 later adopted (the two codes share their parity skeleton);
+// the framework's peeling decoder performs exactly that walk. These
+// methods are the code-specific entry points with validation and the
+// no-elimination guarantee.
+
+// RecoverSingle rebuilds one failed column in place.
+func (c *Code) RecoverSingle(s *layout.Stripe, failed int) (layout.DecodeStats, error) {
+	if failed < 0 || failed > c.p {
+		return layout.DecodeStats{}, fmt.Errorf("hcode: column %d out of range [0,%d]", failed, c.p)
+	}
+	return c.reconstruct(s, failed)
+}
+
+// ReconstructDouble rebuilds any two failed columns in place.
+func (c *Code) ReconstructDouble(s *layout.Stripe, colA, colB int) (layout.DecodeStats, error) {
+	if colA == colB {
+		return layout.DecodeStats{}, fmt.Errorf("hcode: identical failed columns %d", colA)
+	}
+	for _, col := range []int{colA, colB} {
+		if col < 0 || col > c.p {
+			return layout.DecodeStats{}, fmt.Errorf("hcode: column %d out of range [0,%d]", col, c.p)
+		}
+	}
+	return c.reconstruct(s, colA, colB)
+}
+
+func (c *Code) reconstruct(s *layout.Stripe, cols ...int) (layout.DecodeStats, error) {
+	es := make(layout.ErasureSet)
+	for _, col := range cols {
+		for r := 0; r < c.p-1; r++ {
+			es[layout.Coord{Row: r, Col: col}] = true
+		}
+	}
+	st, err := layout.PeelDecode(c, s, es)
+	if err != nil {
+		return st, fmt.Errorf("hcode: recovery chains stalled: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,50 @@
+package pcode
+
+import (
+	"fmt"
+
+	"code56/internal/layout"
+)
+
+// P-Code's reconstruction peels its pair-label chains directly (Jin et
+// al.'s algorithm walks the label graph; peeling the chains is the same
+// computation). These methods are the code-specific entry points with
+// validation and the no-elimination guarantee.
+
+// RecoverSingle rebuilds one failed column in place.
+func (c *Code) RecoverSingle(s *layout.Stripe, failed int) (layout.DecodeStats, error) {
+	g := c.Geometry()
+	if failed < 0 || failed >= g.Cols {
+		return layout.DecodeStats{}, fmt.Errorf("pcode: column %d out of range [0,%d)", failed, g.Cols)
+	}
+	return c.reconstruct(s, failed)
+}
+
+// ReconstructDouble rebuilds any two failed columns in place.
+func (c *Code) ReconstructDouble(s *layout.Stripe, colA, colB int) (layout.DecodeStats, error) {
+	g := c.Geometry()
+	if colA == colB {
+		return layout.DecodeStats{}, fmt.Errorf("pcode: identical failed columns %d", colA)
+	}
+	for _, col := range []int{colA, colB} {
+		if col < 0 || col >= g.Cols {
+			return layout.DecodeStats{}, fmt.Errorf("pcode: column %d out of range [0,%d)", col, g.Cols)
+		}
+	}
+	return c.reconstruct(s, colA, colB)
+}
+
+func (c *Code) reconstruct(s *layout.Stripe, cols ...int) (layout.DecodeStats, error) {
+	g := c.Geometry()
+	es := make(layout.ErasureSet)
+	for _, col := range cols {
+		for r := 0; r < g.Rows; r++ {
+			es[layout.Coord{Row: r, Col: col}] = true
+		}
+	}
+	st, err := layout.PeelDecode(c, s, es)
+	if err != nil {
+		return st, fmt.Errorf("pcode: label-graph walk stalled: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,177 @@
+// Package pcode implements P-Code (Jin, Feng, Jiang, Tian, ICS 2009), a
+// vertical RAID-6 MDS code built from a pair-labeling of {1..p-1}: every
+// data element carries a two-element label {a,b}; it is stored in the column
+// named (a+b) mod p and protected by the parity elements of columns a and b.
+// The paper uses P-Code as a direct RAID-5→RAID-6 conversion baseline.
+//
+// Two published variants exist and both are provided:
+//
+//   - VariantPMinus1 (p-1 disks): columns are 1..p-1; labels are the
+//     2-subsets {a,b} ⊆ {1..p-1} with (a+b) mod p != 0. Each column holds
+//     one parity (row 0) and (p-3)/2 data elements.
+//   - VariantP (p disks): adds column 0 holding the (p-1)/2 data elements
+//     labeled {a, p-a} (the pairs summing to 0 mod p); column 0 carries no
+//     parity. Every column then has (p-1)/2 cells.
+package pcode
+
+import (
+	"fmt"
+	"sort"
+
+	"code56/internal/layout"
+)
+
+// Variant selects the P-Code construction.
+type Variant int
+
+const (
+	// VariantPMinus1 is the p-1 disk construction.
+	VariantPMinus1 Variant = iota
+	// VariantP is the p disk construction with the extra parity-free
+	// data column.
+	VariantP
+)
+
+// Code is P-Code. It implements layout.Code.
+type Code struct {
+	p       int
+	variant Variant
+	chains  []layout.Chain
+	kinds   [][]layout.Kind
+	labels  map[layout.Coord][2]int
+}
+
+// New returns P-Code for prime p (p >= 5; p = 3 yields no data cells in
+// either variant's label set combined with a usable geometry).
+func New(p int, v Variant) (*Code, error) {
+	if !layout.IsPrime(p) || p < 5 {
+		return nil, fmt.Errorf("pcode: p = %d must be a prime >= 5", p)
+	}
+	c := &Code{p: p, variant: v}
+	c.build()
+	return c, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(p int, v Variant) *Code {
+	c, err := New(p, v)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// P returns the prime parameter.
+func (c *Code) P() int { return c.p }
+
+// Variant returns the construction variant.
+func (c *Code) Variant() Variant { return c.variant }
+
+// Name implements layout.Code.
+func (c *Code) Name() string {
+	if c.variant == VariantP {
+		return "pcode-p"
+	}
+	return "pcode"
+}
+
+// Geometry implements layout.Code: (p-1)/2 rows; p-1 or p columns.
+func (c *Code) Geometry() layout.Geometry {
+	cols := c.p - 1
+	if c.variant == VariantP {
+		cols = c.p
+	}
+	return layout.Geometry{Rows: (c.p - 1) / 2, Cols: cols, P: c.p}
+}
+
+// FaultTolerance implements layout.Code.
+func (c *Code) FaultTolerance() int { return 2 }
+
+// Kind implements layout.Code.
+func (c *Code) Kind(row, col int) layout.Kind { return c.kinds[row][col] }
+
+// Label returns the {a,b} pair label of the data element at co, and whether
+// co is a data element.
+func (c *Code) Label(co layout.Coord) ([2]int, bool) {
+	l, ok := c.labels[co]
+	return l, ok
+}
+
+// columnOf maps the construction's column name (1..p-1, plus 0 for
+// VariantP) to the physical column index.
+func (c *Code) columnOf(name int) int {
+	if c.variant == VariantP {
+		return name // names 0..p-1 map directly
+	}
+	return name - 1 // names 1..p-1 map to 0..p-2
+}
+
+func (c *Code) build() {
+	p := c.p
+	g := c.Geometry()
+	c.kinds = make([][]layout.Kind, g.Rows)
+	for r := range c.kinds {
+		c.kinds[r] = make([]layout.Kind, g.Cols)
+		for j := range c.kinds[r] {
+			c.kinds[r][j] = layout.Data
+		}
+	}
+	c.labels = make(map[layout.Coord][2]int)
+
+	// Row 0 of every named column 1..p-1 is that column's parity.
+	for name := 1; name <= p-1; name++ {
+		c.kinds[0][c.columnOf(name)] = layout.ParityD
+	}
+
+	// Place data elements: collect the labels of each column, sort them
+	// for a deterministic layout, and stack them under the parity.
+	perColumn := make(map[int][][2]int)
+	for a := 1; a <= p-1; a++ {
+		for b := a + 1; b <= p-1; b++ {
+			sum := (a + b) % p
+			if sum == 0 {
+				if c.variant == VariantP {
+					perColumn[0] = append(perColumn[0], [2]int{a, b})
+				}
+				continue
+			}
+			perColumn[sum] = append(perColumn[sum], [2]int{a, b})
+		}
+	}
+	covers := make(map[int][]layout.Coord) // by label element
+	names := make([]int, 0, len(perColumn))
+	for name := range perColumn {
+		names = append(names, name)
+	}
+	sort.Ints(names)
+	for _, name := range names {
+		pairs := perColumn[name]
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+		row := 1
+		if name == 0 {
+			row = 0 // column 0 has no parity cell
+		}
+		for _, pr := range pairs {
+			co := layout.Coord{Row: row, Col: c.columnOf(name)}
+			c.labels[co] = pr
+			covers[pr[0]] = append(covers[pr[0]], co)
+			covers[pr[1]] = append(covers[pr[1]], co)
+			row++
+		}
+	}
+
+	// One chain per named column: its parity covers every data element
+	// whose label contains the name.
+	for name := 1; name <= p-1; name++ {
+		c.chains = append(c.chains, layout.Chain{
+			Kind:   layout.ParityD,
+			Parity: layout.Coord{Row: 0, Col: c.columnOf(name)},
+			Covers: covers[name],
+		})
+	}
+}
+
+// Chains implements layout.Code.
+func (c *Code) Chains() []layout.Chain { return c.chains }
+
+var _ layout.Code = (*Code)(nil)

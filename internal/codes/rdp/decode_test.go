@@ -1,0 +1,101 @@
+package rdp
+
+import (
+	"math/rand"
+	"testing"
+
+	"code56/internal/layout"
+)
+
+// TestReconstructDoubleAllPairs runs the dedicated decoder over every
+// failed-column pair and prime, comparing against the original stripe.
+func TestReconstructDoubleAllPairs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, p := range []int{3, 5, 7, 11, 13} {
+		c := MustNew(p)
+		orig := layout.NewStripe(c.Geometry(), 32)
+		orig.FillRandom(c, r)
+		layout.Encode(c, orig)
+		for f1 := 0; f1 <= p; f1++ {
+			for f2 := f1 + 1; f2 <= p; f2++ {
+				s := orig.Clone()
+				s.ZeroColumn(f1)
+				s.ZeroColumn(f2)
+				st, err := c.ReconstructDouble(s, f2, f1) // order-insensitive
+				if err != nil {
+					t.Fatalf("p=%d (%d,%d): %v", p, f1, f2, err)
+				}
+				if !s.Equal(orig) {
+					t.Fatalf("p=%d (%d,%d): wrong reconstruction", p, f1, f2)
+				}
+				if st.Recovered != 2*(p-1) {
+					t.Errorf("p=%d (%d,%d): recovered %d, want %d", p, f1, f2, st.Recovered, 2*(p-1))
+				}
+			}
+		}
+	}
+}
+
+func TestRecoverSingleAllColumns(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, p := range []int{5, 7} {
+		c := MustNew(p)
+		orig := layout.NewStripe(c.Geometry(), 16)
+		orig.FillRandom(c, r)
+		layout.Encode(c, orig)
+		for f := 0; f <= p; f++ {
+			s := orig.Clone()
+			s.ZeroColumn(f)
+			if _, err := c.RecoverSingle(s, f); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Equal(orig) {
+				t.Fatalf("p=%d col %d: wrong single recovery", p, f)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	c := MustNew(5)
+	s := layout.NewStripe(c.Geometry(), 16)
+	if _, err := c.ReconstructDouble(s, 3, 3); err == nil {
+		t.Error("identical columns accepted")
+	}
+	if _, err := c.ReconstructDouble(s, -1, 2); err == nil {
+		t.Error("negative column accepted")
+	}
+	if _, err := c.ReconstructDouble(s, 0, 7); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if _, err := c.RecoverSingle(s, 7); err == nil {
+		t.Error("out-of-range single column accepted")
+	}
+}
+
+// TestDedicatedMatchesPeeling cross-checks against the generic decoder.
+func TestDedicatedMatchesPeeling(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	c := MustNew(7)
+	orig := layout.NewStripe(c.Geometry(), 16)
+	orig.FillRandom(c, r)
+	layout.Encode(c, orig)
+	for f1 := 0; f1 <= 7; f1++ {
+		for f2 := f1 + 1; f2 <= 7; f2++ {
+			a := orig.Clone()
+			a.ZeroColumn(f1)
+			a.ZeroColumn(f2)
+			if _, err := c.ReconstructDouble(a, f1, f2); err != nil {
+				t.Fatal(err)
+			}
+			b := orig.Clone()
+			es := layout.EraseColumns(b, f1, f2)
+			if _, err := layout.PeelDecode(c, b, es); err != nil {
+				t.Fatal(err)
+			}
+			if !a.Equal(b) {
+				t.Fatalf("(%d,%d): dedicated and peeling decoders disagree", f1, f2)
+			}
+		}
+	}
+}

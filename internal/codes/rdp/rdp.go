@@ -1,0 +1,97 @@
+// Package rdp implements the Row-Diagonal Parity code (Corbett et al.,
+// FAST 2004), the horizontal RAID-6 MDS code the paper uses for its
+// RAID-5→RAID-0→RAID-6 and RAID-5→RAID-4→RAID-6 conversion baselines.
+//
+// An RDP stripe has p-1 rows and p+1 columns (p prime): columns 0..p-2 hold
+// data, column p-1 the row parity, and column p the diagonal parity.
+// Diagonal d (0 <= d <= p-2) collects the cells (r, j) with
+// (r+j) mod p == d over columns 0..p-1 — the diagonals deliberately include
+// the row-parity column, which is what makes RDP's double-failure recovery a
+// pure peeling chain. Diagonal p-1 is the "missing diagonal" with no parity.
+package rdp
+
+import (
+	"fmt"
+
+	"code56/internal/layout"
+)
+
+// Code is the RDP code for p+1 disks. It implements layout.Code.
+type Code struct {
+	p      int
+	chains []layout.Chain
+}
+
+// New returns RDP for prime p (p+1 disks).
+func New(p int) (*Code, error) {
+	if !layout.IsPrime(p) || p < 3 {
+		return nil, fmt.Errorf("rdp: p = %d must be a prime >= 3", p)
+	}
+	c := &Code{p: p}
+	c.chains = c.buildChains()
+	return c, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(p int) *Code {
+	c, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// P returns the prime parameter; the code spans P()+1 disks.
+func (c *Code) P() int { return c.p }
+
+// Name implements layout.Code.
+func (c *Code) Name() string { return "rdp" }
+
+// Geometry implements layout.Code: (p-1) rows × (p+1) columns.
+func (c *Code) Geometry() layout.Geometry {
+	return layout.Geometry{Rows: c.p - 1, Cols: c.p + 1, P: c.p}
+}
+
+// FaultTolerance implements layout.Code.
+func (c *Code) FaultTolerance() int { return 2 }
+
+// Kind implements layout.Code.
+func (c *Code) Kind(row, col int) layout.Kind {
+	switch col {
+	case c.p - 1:
+		return layout.ParityH
+	case c.p:
+		return layout.ParityD
+	default:
+		return layout.Data
+	}
+}
+
+func (c *Code) buildChains() []layout.Chain {
+	p := c.p
+	chains := make([]layout.Chain, 0, 2*(p-1))
+	for i := 0; i < p-1; i++ {
+		ch := layout.Chain{Kind: layout.ParityH, Parity: layout.Coord{Row: i, Col: p - 1}}
+		for j := 0; j < p-1; j++ {
+			ch.Covers = append(ch.Covers, layout.Coord{Row: i, Col: j})
+		}
+		chains = append(chains, ch)
+	}
+	for d := 0; d < p-1; d++ {
+		ch := layout.Chain{Kind: layout.ParityD, Parity: layout.Coord{Row: d, Col: p}}
+		for j := 0; j <= p-1; j++ {
+			r := ((d-j)%p + p) % p
+			if r == p-1 {
+				continue // the phantom all-zero row of the p x (p+1) construction
+			}
+			ch.Covers = append(ch.Covers, layout.Coord{Row: r, Col: j})
+		}
+		chains = append(chains, ch)
+	}
+	return chains
+}
+
+// Chains implements layout.Code.
+func (c *Code) Chains() []layout.Chain { return c.chains }
+
+var _ layout.Code = (*Code)(nil)

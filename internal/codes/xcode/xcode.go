@@ -1,0 +1,94 @@
+// Package xcode implements X-Code (Xu & Bruck, IEEE Trans. Information
+// Theory 1999), the vertical RAID-6 MDS code the paper uses as a direct
+// RAID-5→RAID-6 conversion baseline (its two parity *rows* are why that
+// conversion must reserve 2/p of each disk — the 40% extra space of Fig.
+// 1(c) at p=5).
+//
+// An X-Code stripe is a p×p matrix (p prime): rows 0..p-3 hold data, row
+// p-2 the diagonal parities and row p-1 the anti-diagonal parities:
+//
+//	C[p-2][i] = XOR_{j=0..p-3} C[j][(i+j+2) mod p]
+//	C[p-1][i] = XOR_{j=0..p-3} C[j][(i-j-2) mod p]
+package xcode
+
+import (
+	"fmt"
+
+	"code56/internal/layout"
+)
+
+// Code is the X-Code for p disks. It implements layout.Code.
+type Code struct {
+	p      int
+	chains []layout.Chain
+}
+
+// New returns X-Code for prime p (p disks).
+func New(p int) (*Code, error) {
+	if !layout.IsPrime(p) || p < 3 {
+		return nil, fmt.Errorf("xcode: p = %d must be a prime >= 3", p)
+	}
+	c := &Code{p: p}
+	c.chains = c.buildChains()
+	return c, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(p int) *Code {
+	c, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// P returns the prime parameter (= number of disks).
+func (c *Code) P() int { return c.p }
+
+// Name implements layout.Code.
+func (c *Code) Name() string { return "xcode" }
+
+// Geometry implements layout.Code: p rows × p columns.
+func (c *Code) Geometry() layout.Geometry {
+	return layout.Geometry{Rows: c.p, Cols: c.p, P: c.p}
+}
+
+// FaultTolerance implements layout.Code.
+func (c *Code) FaultTolerance() int { return 2 }
+
+// Kind implements layout.Code.
+func (c *Code) Kind(row, col int) layout.Kind {
+	switch row {
+	case c.p - 2:
+		return layout.ParityD
+	case c.p - 1:
+		return layout.ParityA
+	default:
+		return layout.Data
+	}
+}
+
+func (c *Code) buildChains() []layout.Chain {
+	p := c.p
+	chains := make([]layout.Chain, 0, 2*p)
+	for i := 0; i < p; i++ {
+		ch := layout.Chain{Kind: layout.ParityD, Parity: layout.Coord{Row: p - 2, Col: i}}
+		for j := 0; j <= p-3; j++ {
+			ch.Covers = append(ch.Covers, layout.Coord{Row: j, Col: (i + j + 2) % p})
+		}
+		chains = append(chains, ch)
+	}
+	for i := 0; i < p; i++ {
+		ch := layout.Chain{Kind: layout.ParityA, Parity: layout.Coord{Row: p - 1, Col: i}}
+		for j := 0; j <= p-3; j++ {
+			ch.Covers = append(ch.Covers, layout.Coord{Row: j, Col: ((i-j-2)%p + p) % p})
+		}
+		chains = append(chains, ch)
+	}
+	return chains
+}
+
+// Chains implements layout.Code.
+func (c *Code) Chains() []layout.Chain { return c.chains }
+
+var _ layout.Code = (*Code)(nil)

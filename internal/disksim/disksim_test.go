@@ -1,0 +1,161 @@
+package disksim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestServiceTime(t *testing.T) {
+	m := Model{SeekTime: 8, RotationTime: 8, TransferMBps: 100}
+	// 4 KiB at 100 MB/s = 4096/1e8 s = 0.04096 ms.
+	if got := m.ServiceTime(4096, true); !approx(got, 0.04096) {
+		t.Errorf("sequential 4K = %v", got)
+	}
+	if got := m.ServiceTime(4096, false); !approx(got, 8+4+0.04096) {
+		t.Errorf("random 4K = %v", got)
+	}
+	// Doubling the block size doubles only the transfer term.
+	d := m.ServiceTime(8192, false) - m.ServiceTime(4096, false)
+	if !approx(d, 0.04096) {
+		t.Errorf("8K-4K delta = %v", d)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(0, 4096, DefaultModel()); err == nil {
+		t.Error("0 disks accepted")
+	}
+	if _, err := New(4, 0, DefaultModel()); err == nil {
+		t.Error("0 block size accepted")
+	}
+}
+
+func TestRunRejectsBadRequests(t *testing.T) {
+	s, _ := New(2, 4096, DefaultModel())
+	if _, err := s.Run([]Request{{Disk: 5}}); err == nil {
+		t.Error("out-of-range disk accepted")
+	}
+	if _, err := s.Run([]Request{{Disk: 0, LBA: -1}}); err == nil {
+		t.Error("negative LBA accepted")
+	}
+}
+
+func TestSequentialDetection(t *testing.T) {
+	s, _ := New(1, 4096, Model{SeekTime: 10, RotationTime: 10, TransferMBps: 100, SeqWindow: 4})
+	st, err := s.Run([]Request{
+		{Disk: 0, LBA: 0}, {Disk: 0, LBA: 1}, {Disk: 0, LBA: 2}, // 2 sequential hits
+		{Disk: 0, LBA: 5}, // gap 3, within window: read-through, counted as hit
+		{Disk: 0, LBA: 100}, {Disk: 0, LBA: 101},
+		{Disk: 0, LBA: 50}, // backward: full seek
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SequentialHits != 4 {
+		t.Errorf("sequential hits = %d, want 4", st.SequentialHits)
+	}
+	transfer := 4096.0 / 1e8 * 1e3
+	// first request seeks, 2 sequential, gap-3 read-through (3 transfers),
+	// seek, sequential, backward seek.
+	want := 3*(10+5+transfer) + 2*transfer + 3*transfer + transfer
+	if !approx(st.Makespan, want) {
+		t.Errorf("makespan %v, want %v", st.Makespan, want)
+	}
+}
+
+func TestParallelDisks(t *testing.T) {
+	m := Model{SeekTime: 10, RotationTime: 0, TransferMBps: 1000}
+	s, _ := New(4, 4096, m)
+	// Disk 0 gets 4 random requests, others 1: makespan is disk 0's queue.
+	var tr []Request
+	for i := 0; i < 4; i++ {
+		tr = append(tr, Request{Disk: 0, LBA: int64(100 * i)})
+	}
+	for d := 1; d < 4; d++ {
+		tr = append(tr, Request{Disk: d, LBA: 0})
+	}
+	st, err := s.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := m.ServiceTime(4096, false)
+	if !approx(st.Makespan, 4*per) {
+		t.Errorf("makespan %v, want %v (bottleneck disk)", st.Makespan, 4*per)
+	}
+	if !approx(st.PerDiskBusy[1], per) || st.PerDiskOps[0] != 4 {
+		t.Errorf("per-disk stats wrong: %+v", st)
+	}
+	if u := st.Utilization(0); !approx(u, 1.0) {
+		t.Errorf("bottleneck utilization %v, want 1", u)
+	}
+	if u := st.Utilization(1); !approx(u, 0.25) {
+		t.Errorf("idle-ish disk utilization %v, want 0.25", u)
+	}
+}
+
+func TestArrivalsCreateIdleTime(t *testing.T) {
+	m := Model{SeekTime: 1, RotationTime: 0, TransferMBps: 1e6}
+	s, _ := New(1, 1000, m)
+	st, err := s.Run([]Request{
+		{Disk: 0, LBA: 0, Arrival: 0},
+		{Disk: 0, LBA: 50, Arrival: 100}, // disk idles until t=100
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Makespan <= 100 {
+		t.Errorf("makespan %v should exceed the late arrival", st.Makespan)
+	}
+	if st.Utilization(0) >= 0.5 {
+		t.Errorf("utilization %v should reflect idle gap", st.Utilization(0))
+	}
+}
+
+func TestRunPhasesBarrier(t *testing.T) {
+	m := Model{SeekTime: 10, RotationTime: 0, TransferMBps: 1e6}
+	s, _ := New(2, 1000, m)
+	// Phase 1: disk 0 busy; phase 2: disk 1 busy. With a barrier the
+	// makespans add even though different disks are used.
+	st, err := s.RunPhases([][]Request{
+		{{Disk: 0, LBA: 0}},
+		{{Disk: 1, LBA: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := m.ServiceTime(1000, false)
+	if !approx(st.Makespan, 2*per) {
+		t.Errorf("phased makespan %v, want %v", st.Makespan, 2*per)
+	}
+	if st.Requests != 2 {
+		t.Errorf("requests %d, want 2", st.Requests)
+	}
+}
+
+// TestMakespanLowerBound: the makespan is never less than any disk's busy
+// time, for arbitrary traces.
+func TestMakespanLowerBound(t *testing.T) {
+	s, _ := New(3, 4096, DefaultModel())
+	f := func(raw []uint16) bool {
+		var tr []Request
+		for i, v := range raw {
+			tr = append(tr, Request{Disk: int(v) % 3, LBA: int64(v % 977), Arrival: float64(i % 7)})
+		}
+		st, err := s.Run(tr)
+		if err != nil {
+			return false
+		}
+		for _, busy := range st.PerDiskBusy {
+			if busy > st.Makespan+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

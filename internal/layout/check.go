@@ -1,0 +1,145 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ValidateStructure checks the structural invariants every code in this
+// repository must satisfy and returns a descriptive error on the first
+// violation:
+//
+//   - every chain's parity and covered coordinates lie inside the stripe;
+//   - chain cover sets contain no duplicates and never the parity itself;
+//   - the parity cell of each chain is classified as a parity kind;
+//   - every cell classified as parity is the parity of exactly one chain;
+//   - every data element is covered by at least one chain (otherwise a
+//     single-disk failure would already lose data).
+func ValidateStructure(c Code) error {
+	g := c.Geometry()
+	parityOwner := make(map[Coord]int)
+	for i, ch := range c.Chains() {
+		if !g.Contains(ch.Parity) {
+			return fmt.Errorf("%s: chain %d parity %v outside stripe", c.Name(), i, ch.Parity)
+		}
+		if !c.Kind(ch.Parity.Row, ch.Parity.Col).IsParity() {
+			return fmt.Errorf("%s: chain %d parity %v classified as %v", c.Name(), i, ch.Parity, c.Kind(ch.Parity.Row, ch.Parity.Col))
+		}
+		if prev, dup := parityOwner[ch.Parity]; dup {
+			return fmt.Errorf("%s: cell %v is parity of chains %d and %d", c.Name(), ch.Parity, prev, i)
+		}
+		parityOwner[ch.Parity] = i
+		seen := make(map[Coord]bool, len(ch.Covers))
+		for _, m := range ch.Covers {
+			if !g.Contains(m) {
+				return fmt.Errorf("%s: chain %d covers %v outside stripe", c.Name(), i, m)
+			}
+			if m == ch.Parity {
+				return fmt.Errorf("%s: chain %d covers its own parity %v", c.Name(), i, m)
+			}
+			if seen[m] {
+				return fmt.Errorf("%s: chain %d covers %v twice", c.Name(), i, m)
+			}
+			seen[m] = true
+		}
+	}
+	for r := 0; r < g.Rows; r++ {
+		for j := 0; j < g.Cols; j++ {
+			co := Coord{r, j}
+			k := c.Kind(r, j)
+			if k.IsParity() {
+				if _, ok := parityOwner[co]; !ok {
+					return fmt.Errorf("%s: cell %v classified %v but no chain owns it", c.Name(), co, k)
+				}
+			}
+			if k == Data && len(ChainsCovering(c, co)) == 0 {
+				return fmt.Errorf("%s: data cell %v not covered by any chain", c.Name(), co)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMDS exhaustively verifies that the code tolerates the concurrent
+// failure of any FaultTolerance() columns: for every column combination it
+// encodes a random stripe, erases the columns, reconstructs, and compares
+// against the original. The block size is kept small since correctness does
+// not depend on it. It returns the first failing combination.
+func CheckMDS(c Code, seed int64) error {
+	g := c.Geometry()
+	r := rand.New(rand.NewSource(seed))
+	orig := NewStripe(g, 16)
+	orig.FillRandom(c, r)
+	Encode(c, orig)
+	if !Verify(c, orig) {
+		return fmt.Errorf("%s: freshly encoded stripe fails verification", c.Name())
+	}
+	// Check all failure cardinalities up to the tolerance (single failures
+	// must also recover).
+	for t := 1; t <= c.FaultTolerance(); t++ {
+		var rec func(start int, chosen []int) error
+		rec = func(start int, chosen []int) error {
+			if len(chosen) == t {
+				return checkErasure(c, orig, chosen)
+			}
+			for col := start; col < g.Cols; col++ {
+				if err := rec(col+1, append(chosen, col)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := rec(0, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeasureTolerance determines the code's true column-failure tolerance by
+// construction: the largest t such that every t-column erasure of an
+// encoded random stripe reconstructs, verified exhaustively up to maxT.
+// Tests use it to confirm that FaultTolerance() is neither overstated nor
+// understated (a RAID-6 code must fail some 3-column erasure — otherwise it
+// would be wasting redundancy).
+func MeasureTolerance(c Code, maxT int, seed int64) (int, error) {
+	g := c.Geometry()
+	r := rand.New(rand.NewSource(seed))
+	orig := NewStripe(g, 8)
+	orig.FillRandom(c, r)
+	Encode(c, orig)
+	tolerance := 0
+	for t := 1; t <= maxT && t <= g.Cols; t++ {
+		ok := true
+		var rec func(start int, chosen []int) bool
+		rec = func(start int, chosen []int) bool {
+			if len(chosen) == t {
+				return checkErasure(c, orig, chosen) == nil
+			}
+			for col := start; col < g.Cols; col++ {
+				if !rec(col+1, append(chosen, col)) {
+					return false
+				}
+			}
+			return true
+		}
+		ok = rec(0, nil)
+		if !ok {
+			break
+		}
+		tolerance = t
+	}
+	return tolerance, nil
+}
+
+func checkErasure(c Code, orig *Stripe, cols []int) error {
+	s := orig.Clone()
+	es := EraseColumns(s, cols...)
+	if _, err := Reconstruct(c, s, es); err != nil {
+		return fmt.Errorf("%s: columns %v: %w", c.Name(), cols, err)
+	}
+	if !s.Equal(orig) {
+		return fmt.Errorf("%s: columns %v: reconstruction produced wrong contents", c.Name(), cols)
+	}
+	return nil
+}

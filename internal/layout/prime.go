@@ -1,0 +1,36 @@
+package layout
+
+// IsPrime reports whether n is a prime number. Array codes in this
+// repository are constructed from a prime parameter p; constructors use this
+// to reject invalid geometries.
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime strictly greater than n. The virtual
+// disk mechanism (paper §IV-B2) uses it to pick the Code 5-6 geometry for a
+// RAID-5 with an arbitrary number of disks.
+func NextPrime(n int) int {
+	for p := n + 1; ; p++ {
+		if IsPrime(p) {
+			return p
+		}
+	}
+}
+
+// PrimeAtLeast returns n if n is prime, otherwise the smallest prime
+// greater than n.
+func PrimeAtLeast(n int) int {
+	if IsPrime(n) {
+		return n
+	}
+	return NextPrime(n)
+}

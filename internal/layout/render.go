@@ -1,0 +1,85 @@
+package layout
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderLayout writes an ASCII picture of the code's stripe — the textual
+// counterpart of the paper's layout figures (Fig. 2 RDP, Fig. 3 X-Code,
+// Fig. 4 Code 5-6, Fig. 7 right-oriented Code 5-6): one box per cell,
+// data cells blank, parity cells tagged with their family letter.
+//
+//	H = horizontal parity, D = diagonal parity, A = anti-diagonal parity
+func RenderLayout(w io.Writer, c Code) error {
+	g := c.Geometry()
+	if _, err := fmt.Fprintf(w, "%s: %d rows x %d columns (p = %d)\n", c.Name(), g.Rows, g.Cols, g.P); err != nil {
+		return err
+	}
+	header := "     "
+	for j := 0; j < g.Cols; j++ {
+		header += fmt.Sprintf(" disk%-2d", j)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for r := 0; r < g.Rows; r++ {
+		row := fmt.Sprintf("row %d", r)
+		for j := 0; j < g.Cols; j++ {
+			var tag string
+			switch c.Kind(r, j) {
+			case ParityH:
+				tag = "H"
+			case ParityD:
+				tag = "D"
+			case ParityA:
+				tag = "A"
+			case Unused:
+				tag = "-"
+			default:
+				tag = "."
+			}
+			row += fmt.Sprintf("   %s   ", tag)
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderChain writes one parity chain as a coordinate picture: the parity
+// cell marked P, covered cells marked by their 1-based order — the way the
+// paper's encoding figures shade one chain's members.
+func RenderChain(w io.Writer, c Code, chainIdx int) error {
+	chains := c.Chains()
+	if chainIdx < 0 || chainIdx >= len(chains) {
+		return fmt.Errorf("layout: chain %d outside 0..%d", chainIdx, len(chains)-1)
+	}
+	ch := chains[chainIdx]
+	g := c.Geometry()
+	mark := make(map[Coord]string)
+	mark[ch.Parity] = " P "
+	for i, m := range ch.Covers {
+		mark[m] = fmt.Sprintf("%2d ", i+1)
+	}
+	if _, err := fmt.Fprintf(w, "%s chain %d (%s parity at %v, %d covers)\n",
+		c.Name(), chainIdx, strings.TrimPrefix(ch.Kind.String(), "parity"), ch.Parity, len(ch.Covers)); err != nil {
+		return err
+	}
+	for r := 0; r < g.Rows; r++ {
+		var b strings.Builder
+		for j := 0; j < g.Cols; j++ {
+			if m, ok := mark[Coord{r, j}]; ok {
+				b.WriteString("[" + m + "]")
+			} else {
+				b.WriteString("[ . ]")
+			}
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

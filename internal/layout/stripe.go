@@ -1,0 +1,190 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+
+	"code56/internal/xorblk"
+)
+
+// Stripe holds the blocks of one stripe of an array code. Blocks are stored
+// row-major; every block has the same size.
+type Stripe struct {
+	Geom      Geometry
+	BlockSize int
+	blocks    [][]byte
+}
+
+// NewStripe allocates a zeroed stripe for the given geometry. All blocks are
+// carved from one backing allocation.
+func NewStripe(g Geometry, blockSize int) *Stripe {
+	if blockSize <= 0 {
+		panic(fmt.Sprintf("layout: invalid block size %d", blockSize))
+	}
+	backing := make([]byte, g.Elements()*blockSize)
+	s := &Stripe{Geom: g, BlockSize: blockSize, blocks: make([][]byte, g.Elements())}
+	for i := range s.blocks {
+		s.blocks[i], backing = backing[:blockSize:blockSize], backing[blockSize:]
+	}
+	return s
+}
+
+// Block returns the block at coordinate c. The returned slice aliases the
+// stripe's storage.
+func (s *Stripe) Block(c Coord) []byte {
+	if !s.Geom.Contains(c) {
+		panic(fmt.Sprintf("layout: coordinate %v outside %dx%d stripe", c, s.Geom.Rows, s.Geom.Cols))
+	}
+	return s.blocks[s.Geom.Index(c)]
+}
+
+// SetBlock copies b into the block at c. b must be exactly BlockSize long.
+func (s *Stripe) SetBlock(c Coord, b []byte) {
+	if len(b) != s.BlockSize {
+		panic(fmt.Sprintf("layout: block size %d, want %d", len(b), s.BlockSize))
+	}
+	copy(s.Block(c), b)
+}
+
+// Clone returns a deep copy of the stripe.
+func (s *Stripe) Clone() *Stripe {
+	out := NewStripe(s.Geom, s.BlockSize)
+	for i, b := range s.blocks {
+		copy(out.blocks[i], b)
+	}
+	return out
+}
+
+// Zero clears the block at c.
+func (s *Stripe) Zero(c Coord) {
+	b := s.Block(c)
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// ZeroColumn clears every block in column col, modeling a failed disk whose
+// contents are unknown (reconstruction must never read them).
+func (s *Stripe) ZeroColumn(col int) {
+	for r := 0; r < s.Geom.Rows; r++ {
+		s.Zero(Coord{r, col})
+	}
+}
+
+// FillRandom fills every data element (per code's classification) with
+// pseudo-random bytes from r, leaving parity cells zero. Use Encode
+// afterwards to make the stripe consistent.
+func (s *Stripe) FillRandom(code Code, r *rand.Rand) {
+	for _, c := range DataElements(code) {
+		r.Read(s.Block(c))
+	}
+}
+
+// Equal reports whether two stripes have the same geometry, block size and
+// contents.
+func (s *Stripe) Equal(o *Stripe) bool {
+	if s.Geom != o.Geom || s.BlockSize != o.BlockSize {
+		return false
+	}
+	for i := range s.blocks {
+		if !xorblk.Equal(s.blocks[i], o.blocks[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode computes every parity element of the stripe from the data elements
+// according to the code's chains. It returns the number of block XOR
+// operations performed (the cost model's unit of computation).
+//
+// Chains may cover parity elements of other chains (RDP's diagonals cover
+// the row-parity column), so parities are computed in dependency order:
+// a chain is ready once none of its covered elements is itself an
+// un-computed parity.
+func Encode(code Code, s *Stripe) int {
+	chains := code.Chains()
+	pending := make(map[Coord]bool, len(chains))
+	for _, ch := range chains {
+		pending[ch.Parity] = true
+	}
+	done := make([]bool, len(chains))
+	xors := 0
+	for remaining := len(chains); remaining > 0; {
+		progress := false
+		for i, ch := range chains {
+			if done[i] {
+				continue
+			}
+			ready := true
+			for _, m := range ch.Covers {
+				if pending[m] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			p := s.Block(ch.Parity)
+			for i := range p {
+				p[i] = 0
+			}
+			for _, m := range ch.Covers {
+				xorblk.Xor(p, s.Block(m))
+			}
+			if n := len(ch.Covers); n > 0 {
+				xors += n - 1
+			}
+			delete(pending, ch.Parity)
+			done[i] = true
+			remaining--
+			progress = true
+		}
+		if !progress {
+			panic(fmt.Sprintf("layout: %s has cyclic parity dependencies", code.Name()))
+		}
+	}
+	return xors
+}
+
+// Verify reports whether every parity chain of the stripe XORs to zero.
+func Verify(code Code, s *Stripe) bool {
+	acc := make([]byte, s.BlockSize)
+	for _, ch := range code.Chains() {
+		copy(acc, s.Block(ch.Parity))
+		for _, m := range ch.Covers {
+			xorblk.Xor(acc, s.Block(m))
+		}
+		if !xorblk.IsZero(acc) {
+			return false
+		}
+	}
+	return true
+}
+
+// ErasureSet tracks which elements of a stripe are lost.
+type ErasureSet map[Coord]bool
+
+// EraseColumns zeroes the given columns of the stripe and returns the
+// corresponding erasure set.
+func EraseColumns(s *Stripe, cols ...int) ErasureSet {
+	es := make(ErasureSet)
+	for _, col := range cols {
+		s.ZeroColumn(col)
+		for r := 0; r < s.Geom.Rows; r++ {
+			es[Coord{r, col}] = true
+		}
+	}
+	return es
+}
+
+// EraseCells zeroes the given cells and returns them as an erasure set.
+func EraseCells(s *Stripe, cells ...Coord) ErasureSet {
+	es := make(ErasureSet)
+	for _, c := range cells {
+		s.Zero(c)
+		es[c] = true
+	}
+	return es
+}

@@ -1,0 +1,97 @@
+package migrate
+
+import (
+	"code56/internal/codes/evenodd"
+	"code56/internal/codes/hcode"
+	"code56/internal/codes/hdp"
+	"code56/internal/codes/pcode"
+	"code56/internal/codes/rdp"
+	"code56/internal/codes/xcode"
+	"code56/internal/layout"
+	"code56/internal/raid5"
+)
+
+// horizontalApproaches mirrors the paper's §V-A methodology: EVENODD, RDP
+// and H-Code convert through an intermediate RAID-0 or RAID-4; the vertical
+// codes and Code 5-6 convert directly.
+var horizontalApproaches = []Approach{ViaRAID0, ViaRAID4}
+
+// conv builds a conversion with the paper's default left-asymmetric source.
+func conv(m int, code layout.Code, a Approach) Conversion {
+	return Conversion{M: m, SourceLayout: raid5.LeftAsymmetric, Code: code, Approach: a}
+}
+
+// StandardConversions returns the paper's §V-A comparison set for a target
+// RAID-6 of n disks: every code whose geometry yields n disks, paired with
+// the approaches the paper evaluates it under. Supported n: 5, 6, 7 (the
+// values of the paper's Figures 9–17 and Table IV).
+func StandardConversions(n int) []Conversion {
+	var out []Conversion
+	add := func(c Conversion) { out = append(out, c) }
+
+	// Horizontal codes (via RAID-0 / RAID-4): disks added, M = data cols.
+	if p := n - 2; layout.IsPrime(p) && p >= 3 { // EVENODD: n = p+2, M = p
+		for _, a := range horizontalApproaches {
+			add(conv(p, evenodd.MustNew(p), a))
+		}
+	}
+	if p := n - 1; layout.IsPrime(p) && p >= 3 { // RDP: n = p+1, M = p-1
+		for _, a := range horizontalApproaches {
+			add(conv(p-1, rdp.MustNew(p), a))
+		}
+	}
+	if p := n - 1; layout.IsPrime(p) && p >= 3 { // H-Code: n = p+1, M = p-1
+		for _, a := range horizontalApproaches {
+			add(conv(p-1, hcode.MustNew(p), a))
+		}
+	}
+
+	// Vertical codes (direct, in place).
+	if p := n; layout.IsPrime(p) && p >= 5 { // X-Code: n = p, M = p
+		add(conv(p, xcode.MustNew(p), Direct))
+	}
+	if p := n + 1; layout.IsPrime(p) && p >= 5 { // P-Code: n = p-1, M = p-1
+		add(conv(p-1, pcode.MustNew(p, pcode.VariantPMinus1), Direct))
+	}
+	if p := n; layout.IsPrime(p) && p >= 5 { // P-Code p-disk variant: n = p, M = p
+		add(conv(p, pcode.MustNew(p, pcode.VariantP), Direct))
+	}
+	if p := n + 1; layout.IsPrime(p) && p >= 5 { // HDP: n = p-1, M = p-1
+		add(conv(p-1, hdp.MustNew(p), Direct))
+	}
+
+	// Code 5-6: M = n-1, one disk added; where n is not prime the
+	// virtual-disk extension pads the geometry (§IV-B2).
+	if c56, _, err := VirtualConversion(n-1, raid5.LeftAsymmetric); err == nil {
+		add(c56)
+	}
+	return out
+}
+
+// BestPlans groups StandardConversions(n) by code and keeps, for each code,
+// the plan whose conversion time (NLB or LB per the flag) is smallest —
+// the paper's "best conversion approach" selection for Table IV.
+func BestPlans(n int, loadBalanced bool) (map[string]*Plan, error) {
+	best := make(map[string]*Plan)
+	for _, c := range StandardConversions(n) {
+		p, err := NewPlan(c)
+		if err != nil {
+			return nil, err
+		}
+		name := c.Code.Name()
+		cur, ok := best[name]
+		if !ok {
+			best[name] = p
+			continue
+		}
+		mNew, mCur := p.Metrics(), cur.Metrics()
+		tNew, tCur := mNew.TimeNLB, mCur.TimeNLB
+		if loadBalanced {
+			tNew, tCur = mNew.TimeLB, mCur.TimeLB
+		}
+		if tNew < tCur {
+			best[name] = p
+		}
+	}
+	return best, nil
+}

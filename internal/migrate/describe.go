@@ -1,0 +1,62 @@
+package migrate
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Describe writes the plan's operation stream and aggregates in a
+// human-readable form — the ops view of a conversion, for debugging
+// planners and for operators wanting to see exactly what a migration will
+// do before running it. maxOps bounds the number of operations printed
+// (<= 0 prints everything).
+func (p *Plan) Describe(w io.Writer, maxOps int) error {
+	fmt.Fprintf(w, "plan: %s\n", p.Conv.Label())
+	fmt.Fprintf(w, "  source: %d disks (%v)", p.Conv.M, p.Conv.SourceLayout)
+	if p.Virtual > 0 {
+		fmt.Fprintf(w, " + %d virtual", p.Virtual)
+	}
+	fmt.Fprintf(w, "; target: %s over %d disks\n", p.Conv.Code.Name(), p.Conv.N())
+	fmt.Fprintf(w, "  window: %d stripes (%d source rows each), %d data blocks\n",
+		p.Period, p.OldRowsPerStripe, p.DataBlocks)
+	fmt.Fprintf(w, "  parities: %d reused, %d invalidated, %d migrated, %d generated; %d XORs\n",
+		p.Reused, p.Invalidated, p.Migrated, p.Generated, p.XORs)
+	for i, ph := range p.PhaseIO {
+		r, wr := 0, 0
+		for j := range ph.Reads {
+			r += ph.Reads[j]
+			wr += ph.Writes[j]
+		}
+		fmt.Fprintf(w, "  phase %d (%s): %d reads, %d writes\n", i, ph.Name, r, wr)
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  #\tphase\tstripe\top\tcell\tdetail")
+	n := len(p.Ops)
+	truncated := false
+	if maxOps > 0 && n > maxOps {
+		n = maxOps
+		truncated = true
+	}
+	for i := 0; i < n; i++ {
+		op := p.Ops[i]
+		detail := ""
+		switch op.Kind {
+		case OpMigrate:
+			detail = fmt.Sprintf("from %v", op.From)
+		case OpGenerate:
+			detail = fmt.Sprintf("%d contributors, %d fresh reads, %d XORs",
+				len(op.Contribs), len(op.Reads), op.XORs)
+		}
+		fmt.Fprintf(tw, "  %d\t%s\t%d\t%s\t%v\t%s\n",
+			i, p.PhaseNames[op.Phase], op.Stripe, op.Kind, op.Cell, detail)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if truncated {
+		fmt.Fprintf(w, "  ... %d more operations\n", len(p.Ops)-n)
+	}
+	return nil
+}

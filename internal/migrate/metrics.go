@@ -1,0 +1,88 @@
+package migrate
+
+// Metrics are the paper's §V-A evaluation quantities, normalized per source
+// data block (the paper's B) so they can be read directly against Figures
+// 9–17. Time metrics are in units of B·Te, with Te the per-request access
+// time.
+type Metrics struct {
+	// InvalidParityRatio is Fig. 9: invalidated old parities / B.
+	InvalidParityRatio float64
+	// MigrationRatio is Fig. 10: migrated parity blocks / B (a parity
+	// migrated twice counts twice, per the paper's "sum of migrated
+	// parity blocks").
+	MigrationRatio float64
+	// NewParityRatio is Fig. 11: generated parity blocks / B.
+	NewParityRatio float64
+	// ExtraSpaceRatio is Fig. 12: reserved cells / source-disk capacity.
+	ExtraSpaceRatio float64
+	// XORRatio is Fig. 13: XOR operations / B.
+	XORRatio float64
+	// WriteRatio is Fig. 14: write I/Os / B.
+	WriteRatio float64
+	// ReadRatio: read I/Os / B (not plotted separately; part of Fig. 15).
+	ReadRatio float64
+	// TotalIORatio is Fig. 15: (reads+writes) / B.
+	TotalIORatio float64
+	// TimeNLB is Fig. 16: conversion time without load-balancing support,
+	// in B·Te — the sum over phases of the busiest disk's I/O count.
+	TimeNLB float64
+	// TimeLB is Fig. 17: conversion time with load-balancing support, in
+	// B·Te — dedicated-parity roles rotate across stripe groups, so every
+	// real disk carries the average load.
+	TimeLB float64
+}
+
+// Metrics computes the paper's quantities from the plan.
+func (p *Plan) Metrics() Metrics {
+	b := float64(p.DataBlocks)
+	var m Metrics
+	m.InvalidParityRatio = float64(p.Invalidated) / b
+	m.MigrationRatio = float64(p.Migrated) / b
+	m.NewParityRatio = float64(p.Generated) / b
+	m.ExtraSpaceRatio = float64(p.ReservedCells) / float64(p.SourceCells)
+	m.XORRatio = float64(p.XORs) / b
+
+	realDisks := p.Conv.Code.Geometry().Cols - p.Virtual
+	var reads, writes int
+	for _, ph := range p.PhaseIO {
+		busiest := 0
+		phaseTotal := 0
+		for j := range ph.Reads {
+			load := ph.Reads[j] + ph.Writes[j]
+			phaseTotal += load
+			if load > busiest {
+				busiest = load
+			}
+			reads += ph.Reads[j]
+			writes += ph.Writes[j]
+		}
+		m.TimeNLB += float64(busiest) / b
+		m.TimeLB += float64(phaseTotal) / float64(realDisks) / b
+	}
+	m.ReadRatio = float64(reads) / b
+	m.WriteRatio = float64(writes) / b
+	m.TotalIORatio = float64(reads+writes) / b
+	return m
+}
+
+// TotalReads returns the plan's total read I/Os.
+func (p *Plan) TotalReads() int {
+	n := 0
+	for _, ph := range p.PhaseIO {
+		for _, r := range ph.Reads {
+			n += r
+		}
+	}
+	return n
+}
+
+// TotalWrites returns the plan's total write I/Os.
+func (p *Plan) TotalWrites() int {
+	n := 0
+	for _, ph := range p.PhaseIO {
+		for _, w := range ph.Writes {
+			n += w
+		}
+	}
+	return n
+}

@@ -1,0 +1,479 @@
+package migrate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"code56/internal/core"
+	"code56/internal/layout"
+	"code56/internal/raid5"
+	"code56/internal/raid6"
+	"code56/internal/xorblk"
+)
+
+// OnlineMigrator implements the paper's Algorithm 2: bidirectional online
+// conversion between a RAID-5 and a Code 5-6 RAID-6. While the conversion
+// goroutine fills the added diagonal-parity disk stripe by stripe, the
+// application keeps reading and writing through the migrator:
+//
+//   - reads never conflict (the conversion only writes to the new disk) and
+//     proceed concurrently;
+//   - writes interrupt the conversion (they take priority, per the paper),
+//     perform the ordinary RAID-5 read-modify-write, and additionally update
+//     the diagonal parity when their stripe has already been converted. A
+//     write landing in the stripe currently being converted marks it dirty,
+//     and the conversion thread redoes that stripe before advancing.
+//
+// The RAID-5's block layout is untouched — that is Code 5-6's design — so
+// application block addresses mean the same thing before, during and after
+// the migration.
+//
+// Writes take strict priority, as the paper prescribes; a saturating write
+// stream therefore stalls the conversion entirely (use Stats to observe
+// the interaction, and schedule migrations in low-traffic windows or
+// throttle the application — the migrator itself never throttles writes).
+type OnlineMigrator struct {
+	r5      *raid5.Array
+	code    *core.Code56
+	rows    int64 // RAID-5 rows covered by the conversion
+	stripes int64
+
+	// writeMu serializes application writes: a RAID-5 read-modify-write
+	// spans several blocks and must not interleave with another write.
+	writeMu sync.Mutex
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	pendingWrites int
+	userPaused    bool
+	parallelism   int
+	workers       int            // conversion goroutines still running
+	parked        int            // workers waiting on writes/pause
+	nextClaim     int64          // next stripe a worker will claim
+	cursor        int64          // contiguous watermark of converted stripes
+	inProgress    map[int64]bool // stripes being converted right now
+	dirtySet      map[int64]bool // in-progress stripes written concurrently
+	doneSet       map[int64]bool // converted stripes above the watermark
+	started       bool
+	finished      bool
+	err           error
+	done          chan struct{}
+
+	// throttle, if positive, is slept between stripes to bound the
+	// conversion's interference with foreground I/O.
+	throttle time.Duration
+	// onProgress, if set, is called (without locks held) after each
+	// stripe completes.
+	onProgress func(converted, total int64)
+
+	stats MigrationStats
+}
+
+// MigrationStats counts the online conversion's interactions with the
+// foreground workload.
+type MigrationStats struct {
+	// StripesConverted counts completed stripe conversions, including
+	// repeats of dirtied stripes.
+	StripesConverted int64
+	// StripesRedone counts stripes that had to be reconverted because an
+	// application write raced with their conversion.
+	StripesRedone int64
+	// WriteInterrupts counts application writes served while the
+	// conversion was active (each interrupted it briefly).
+	WriteInterrupts int64
+	// DiagonalUpdates counts writes that also updated an
+	// already-converted stripe's diagonal parity.
+	DiagonalUpdates int64
+}
+
+// NewOnlineMigrator prepares a migration of the given RAID-5 array to a
+// Code 5-6 RAID-6. rows is the number of RAID-5 stripe rows holding data;
+// it must be a positive multiple of p-1 (one Code 5-6 stripe absorbs p-1
+// rows). The array must have p-1 disks, p prime. Left-oriented layouts use
+// the paper's default Code 5-6; right-oriented layouts use the mirrored
+// orientation of the paper's Fig. 7 — either way the existing parities are
+// already in place.
+func NewOnlineMigrator(a *raid5.Array, rows int64) (*OnlineMigrator, error) {
+	p := a.M() + 1
+	if !layout.IsPrime(p) {
+		return nil, fmt.Errorf("migrate: %d disks + 1 = %d is not prime; use NewVirtualPlan for arbitrary sizes", a.M(), p)
+	}
+	orient := core.Left
+	if a.Layout() == raid5.RightAsymmetric || a.Layout() == raid5.RightSymmetric {
+		orient = core.Right
+	}
+	if rows <= 0 || rows%int64(p-1) != 0 {
+		return nil, fmt.Errorf("migrate: rows = %d must be a positive multiple of %d", rows, p-1)
+	}
+	code, err := core.NewOriented(p, orient)
+	if err != nil {
+		return nil, err
+	}
+	m := &OnlineMigrator{
+		r5:          a,
+		code:        code,
+		rows:        rows,
+		stripes:     rows / int64(p-1),
+		parallelism: 1,
+		inProgress:  make(map[int64]bool),
+		dirtySet:    make(map[int64]bool),
+		doneSet:     make(map[int64]bool),
+		done:        make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m, nil
+}
+
+// Code returns the Code 5-6 instance used by the migration.
+func (m *OnlineMigrator) Code() *core.Code56 { return m.code }
+
+// SetThrottle makes each conversion worker sleep d between stripes,
+// bounding its interference with foreground I/O. Zero disables throttling.
+func (m *OnlineMigrator) SetThrottle(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.throttle = d
+}
+
+// SetParallelism sets how many stripes are converted concurrently (each by
+// its own goroutine; default 1, matching the paper's single conversion
+// thread). Stripe conversions are independent — they read disjoint rows
+// and write disjoint diagonal-parity blocks — so parallelism trades
+// foreground interference for conversion speed. Call before Start.
+func (m *OnlineMigrator) SetParallelism(k int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return errors.New("migrate: already started")
+	}
+	if k < 1 {
+		return fmt.Errorf("migrate: parallelism %d must be >= 1", k)
+	}
+	m.parallelism = k
+	return nil
+}
+
+// SetProgressFunc installs a callback invoked (without locks held) after
+// every converted stripe. Install before Start.
+func (m *OnlineMigrator) SetProgressFunc(fn func(converted, total int64)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onProgress = fn
+}
+
+// ResumeFrom sets the conversion cursor before Start, for resuming an
+// interrupted migration (e.g. after restoring a disk snapshot): stripes
+// below the cursor are assumed already converted.
+func (m *OnlineMigrator) ResumeFrom(stripe int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return errors.New("migrate: already started")
+	}
+	if stripe < 0 || stripe > m.stripes {
+		return fmt.Errorf("migrate: resume stripe %d outside [0,%d]", stripe, m.stripes)
+	}
+	m.cursor = stripe
+	m.nextClaim = stripe
+	return nil
+}
+
+// Pause blocks the conversion at the next stripe boundaries and returns
+// once every conversion worker is parked (or the conversion finished).
+// Application I/O continues; Resume restarts the conversion.
+func (m *OnlineMigrator) Pause() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.userPaused = true
+	m.cond.Broadcast()
+	for m.started && !m.finished && m.parked < m.workers {
+		m.cond.Wait()
+	}
+}
+
+// Resume releases a Pause.
+func (m *OnlineMigrator) Resume() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.userPaused = false
+	m.cond.Broadcast()
+}
+
+// Start adds the diagonal-parity disk (Algorithm 2, Step 2) — unless a
+// resumed migration already has it — and launches the conversion goroutine
+// (Step 3).
+func (m *OnlineMigrator) Start() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return errors.New("migrate: already started")
+	}
+	m.started = true
+	if m.r5.Disks().Len() < m.code.P() {
+		m.r5.Disks().Add()
+	}
+	m.workers = m.parallelism
+	go m.convert()
+	return nil
+}
+
+// Wait blocks until the conversion thread finishes and returns its error.
+func (m *OnlineMigrator) Wait() error {
+	<-m.done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// Progress returns how many of the total stripes are fully converted.
+func (m *OnlineMigrator) Progress() (converted, total int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cursor, m.stripes
+}
+
+// Stats returns a snapshot of the migration's interaction counters.
+func (m *OnlineMigrator) Stats() MigrationStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Result wraps the converted disks as a RAID-6 array. Call after Wait.
+func (m *OnlineMigrator) Result() (*raid6.Array, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.finished {
+		return nil, errors.New("migrate: conversion not finished")
+	}
+	if m.err != nil {
+		return nil, m.err
+	}
+	return raid6.Wrap(m.code, m.r5.Disks())
+}
+
+// convert runs the conversion workers of Algorithm 2 (one per unit of
+// parallelism) and marks the migration finished when they drain.
+func (m *OnlineMigrator) convert() {
+	defer close(m.done)
+	var wg sync.WaitGroup
+	for w := 0; w < m.parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.worker()
+		}()
+	}
+	wg.Wait()
+	m.mu.Lock()
+	m.finished = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// waitRunnable parks the calling worker while application writes are in
+// flight or the migration is paused. Caller must hold m.mu; the lock is
+// held on return. Returns false if the worker should exit (error elsewhere).
+func (m *OnlineMigrator) waitRunnable() bool {
+	for (m.pendingWrites > 0 || m.userPaused) && m.err == nil {
+		m.parked++
+		m.cond.Broadcast() // unblock Pause()
+		m.cond.Wait()
+		m.parked--
+	}
+	return m.err == nil
+}
+
+// worker claims stripes and converts them until the work (or the migration)
+// is over.
+func (m *OnlineMigrator) worker() {
+	defer func() {
+		m.mu.Lock()
+		m.workers--
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}()
+	for {
+		m.mu.Lock()
+		if !m.waitRunnable() || m.nextClaim >= m.stripes {
+			m.mu.Unlock()
+			return
+		}
+		st := m.nextClaim
+		m.nextClaim++
+		m.inProgress[st] = true
+		delete(m.dirtySet, st)
+		m.mu.Unlock()
+
+		for {
+			if err := m.convertStripe(st); err != nil {
+				m.mu.Lock()
+				if m.err == nil {
+					m.err = err
+				}
+				delete(m.inProgress, st)
+				m.cond.Broadcast()
+				m.mu.Unlock()
+				return
+			}
+			m.mu.Lock()
+			m.stats.StripesConverted++
+			if m.dirtySet[st] {
+				// A concurrent write raced with our reads; redo the
+				// stripe (after letting pending writes drain).
+				delete(m.dirtySet, st)
+				m.stats.StripesRedone++
+				if !m.waitRunnable() {
+					delete(m.inProgress, st)
+					m.mu.Unlock()
+					return
+				}
+				m.mu.Unlock()
+				continue
+			}
+			break
+		}
+		// Stripe committed: advance the contiguous watermark.
+		delete(m.inProgress, st)
+		m.doneSet[st] = true
+		for m.doneSet[m.cursor] {
+			delete(m.doneSet, m.cursor)
+			m.cursor++
+		}
+		progress, total := m.cursor, m.stripes
+		fn := m.onProgress
+		throttle := m.throttle
+		m.cond.Broadcast()
+		m.mu.Unlock()
+
+		if fn != nil {
+			fn(progress, total)
+		}
+		if throttle > 0 {
+			time.Sleep(throttle)
+		}
+	}
+}
+
+// convertStripe computes and writes the p-1 diagonal parity blocks of one
+// stripe (the conversion thread's body in Algorithm 2: read the data
+// blocks, calculate the diagonal parity per Equation 2, write it).
+func (m *OnlineMigrator) convertStripe(st int64) error {
+	p := m.code.P()
+	g := m.code.Geometry()
+	base := st * int64(g.Rows)
+	buf := make([]byte, m.r5.BlockSize())
+	parity := make([]byte, m.r5.BlockSize())
+	newDisk := m.r5.Disks().Disk(p - 1)
+	for i := 0; i < p-1; i++ {
+		// Writes may be waiting between chains; let them through.
+		m.mu.Lock()
+		for m.pendingWrites > 0 {
+			m.cond.Wait()
+		}
+		m.mu.Unlock()
+
+		ch := m.code.Chains()[p-1+i] // diagonal chain i
+		for i := range parity {
+			parity[i] = 0
+		}
+		for _, c := range ch.Covers {
+			if err := m.r5.Disks().Disk(c.Col).Read(base+int64(c.Row), buf); err != nil {
+				return err
+			}
+			xorblk.Xor(parity, buf)
+		}
+		if err := newDisk.Write(base+int64(ch.Parity.Row), parity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read serves an application read (Algorithm 2's online thread): it never
+// conflicts with the conversion.
+func (m *OnlineMigrator) Read(logical int64, buf []byte) error {
+	return m.r5.ReadBlock(logical, buf)
+}
+
+// Write serves an application write: it interrupts the conversion thread,
+// performs the RAID-5 read-modify-write, updates the diagonal parity if the
+// block's stripe is already converted, and resumes the conversion.
+func (m *OnlineMigrator) Write(logical int64, data []byte) error {
+	if len(data) != m.r5.BlockSize() {
+		return fmt.Errorf("migrate: write of %d bytes, want %d", len(data), m.r5.BlockSize())
+	}
+	row, disk := m.r5.Locate(logical)
+	if row >= m.rows {
+		return fmt.Errorf("migrate: row %d beyond migrated region (%d rows)", row, m.rows)
+	}
+
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+
+	m.mu.Lock()
+	m.pendingWrites++ // interrupt the conversion workers
+	st := row / int64(m.code.P()-1)
+	needDiag := m.started && (st < m.cursor || m.doneSet[st])
+	if m.inProgress[st] {
+		m.dirtySet[st] = true
+	}
+	if m.started && !m.finished {
+		m.stats.WriteInterrupts++
+	}
+	if needDiag {
+		m.stats.DiagonalUpdates++
+	}
+	m.mu.Unlock()
+
+	err := m.writeLocked(logical, row, disk, data, needDiag)
+
+	m.mu.Lock()
+	m.pendingWrites--
+	m.cond.Broadcast() // resume the conversion thread
+	m.mu.Unlock()
+	return err
+}
+
+func (m *OnlineMigrator) writeLocked(logical, row int64, disk int, data []byte, needDiag bool) error {
+	blockSize := m.r5.BlockSize()
+	old := make([]byte, blockSize)
+	if err := m.r5.Disks().Disk(disk).Read(row, old); err != nil {
+		return err
+	}
+	if err := m.r5.WriteBlock(logical, data); err != nil {
+		return err
+	}
+	if !needDiag {
+		return nil
+	}
+	// Apply the XOR delta to the diagonal parity of the block's chain.
+	delta := make([]byte, blockSize)
+	xorblk.XorInto(delta, old, data)
+	rows := int64(m.code.P() - 1)
+	inRow := int(row % rows)
+	chainIdx := m.code.DiagonalChainOf(inRow, disk)
+	addr := (row/rows)*rows + int64(chainIdx)
+	newDisk := m.r5.Disks().Disk(m.code.P() - 1)
+	parity := make([]byte, blockSize)
+	if err := newDisk.Read(addr, parity); err != nil {
+		return err
+	}
+	xorblk.Xor(parity, delta)
+	return newDisk.Write(addr, parity)
+}
+
+// Downgrade converts a Code 5-6 RAID-6 back to a RAID-5 (the paper's
+// RAID-6→RAID-5 direction): it detaches the diagonal-parity disk and
+// returns it. The remaining disks form the original RAID-5 unchanged.
+func Downgrade(a *raid6.Array) error {
+	if _, ok := a.Code().(*core.Code56); !ok {
+		return fmt.Errorf("migrate: downgrade requires Code 5-6, got %s", a.Code().Name())
+	}
+	if a.Disks().RemoveLast() == nil {
+		return errors.New("migrate: empty array")
+	}
+	return nil
+}

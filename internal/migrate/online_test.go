@@ -1,0 +1,616 @@
+package migrate
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"code56/internal/core"
+	"code56/internal/layout"
+	"code56/internal/raid5"
+	"code56/internal/raid6"
+	"code56/internal/vdisk"
+)
+
+// newLoadedRAID5 builds a RAID-5 of m disks with `rows` rows of random data
+// and returns the array plus the expected block contents.
+func newLoadedRAID5(t *testing.T, m int, rows int64, seed int64) (*raid5.Array, map[int64][]byte) {
+	t.Helper()
+	a, err := raid5.New(m, 32, raid5.LeftAsymmetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	want := make(map[int64][]byte)
+	for L := int64(0); L < rows*int64(m-1); L++ {
+		b := make([]byte, 32)
+		r.Read(b)
+		want[L] = b
+		if err := a.WriteBlock(L, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a, want
+}
+
+func verifyConverted(t *testing.T, mig *OnlineMigrator, want map[int64][]byte, stripes int64, ctx string) *raid6.Array {
+	t.Helper()
+	r6, err := mig.Result()
+	if err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+	for st := int64(0); st < stripes; st++ {
+		ok, err := r6.VerifyStripe(st)
+		if err != nil {
+			t.Fatalf("%s: %v", ctx, err)
+		}
+		if !ok {
+			t.Fatalf("%s: stripe %d inconsistent after online conversion", ctx, st)
+		}
+	}
+	buf := make([]byte, 32)
+	for L, w := range want {
+		if err := mig.Read(L, buf); err != nil {
+			t.Fatalf("%s: read %d: %v", ctx, L, err)
+		}
+		if !bytes.Equal(buf, w) {
+			t.Fatalf("%s: block %d corrupted", ctx, L)
+		}
+	}
+	return r6
+}
+
+func TestOnlineMigrationQuiet(t *testing.T) {
+	const rows = 16 // 4 stripes at p=5
+	a, want := newLoadedRAID5(t, 4, rows, 1)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if c, total := mig.Progress(); c != total || total != 4 {
+		t.Fatalf("progress %d/%d, want 4/4", c, total)
+	}
+	verifyConverted(t, mig, want, 4, "quiet")
+}
+
+// TestOnlineMigrationUnderLoad drives concurrent reads and writes while the
+// conversion runs (run with -race). Afterwards every stripe must verify and
+// every block must hold its final written value.
+func TestOnlineMigrationUnderLoad(t *testing.T) {
+	const (
+		m       = 6 // p = 7
+		rows    = 6 * 8
+		blocks  = rows * (m - 1)
+		writers = 4
+	)
+	a, want := newLoadedRAID5(t, m, rows, 2)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex // guards want
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 32)
+			for i := 0; i < 150; i++ {
+				L := int64(r.Intn(blocks))
+				if r.Intn(2) == 0 {
+					if err := mig.Read(L, buf); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				b := make([]byte, 32)
+				r.Read(b)
+				mu.Lock()
+				if err := mig.Write(L, b); err != nil {
+					mu.Unlock()
+					t.Error(err)
+					return
+				}
+				want[L] = b
+				mu.Unlock()
+			}
+		}(int64(100 + w))
+	}
+	wg.Wait()
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := mig.Stats()
+	if st.StripesConverted < 8 {
+		t.Errorf("stats: %d stripes converted, want >= 8", st.StripesConverted)
+	}
+	if st.StripesConverted != 8+st.StripesRedone {
+		t.Errorf("stats inconsistent: converted %d != stripes 8 + redone %d", st.StripesConverted, st.StripesRedone)
+	}
+	if st.WriteInterrupts == 0 {
+		t.Error("stats: no write interrupts recorded under concurrent load")
+	}
+	// Writes after the conversion finished must also maintain RAID-6
+	// consistency.
+	post := make([]byte, 32)
+	for i := range post {
+		post[i] = 0xAB
+	}
+	if err := mig.Write(3, post); err != nil {
+		t.Fatal(err)
+	}
+	want[3] = post
+	verifyConverted(t, mig, want, rows/(m), "under load")
+}
+
+func TestOnlineMigrationRejectsBadSetups(t *testing.T) {
+	a, _ := raid5.New(5, 32, raid5.LeftAsymmetric) // 5+1 = 6 not prime
+	if _, err := NewOnlineMigrator(a, 5); err == nil {
+		t.Error("non-prime disk count accepted")
+	}
+	c, _ := raid5.New(4, 32, raid5.LeftAsymmetric)
+	if _, err := NewOnlineMigrator(c, 5); err == nil {
+		t.Error("non-multiple row count accepted")
+	}
+	if _, err := NewOnlineMigrator(c, 0); err == nil {
+		t.Error("zero rows accepted")
+	}
+	mig, err := NewOnlineMigrator(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mig.Result(); err == nil {
+		t.Error("Result before conversion accepted")
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Start(); err == nil {
+		t.Error("double Start accepted")
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	if err := mig.Write(999999, buf); err == nil {
+		t.Error("write beyond migrated region accepted")
+	}
+}
+
+// TestBidirectional converts RAID-5 → RAID-6 → RAID-5 and checks the data
+// still reads back through the RAID-5 view (the paper's §IV-A: downgrading
+// is deleting the last column).
+func TestBidirectional(t *testing.T) {
+	const rows = 8
+	a, want := newLoadedRAID5(t, 4, rows, 3)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	r6 := verifyConverted(t, mig, want, 2, "pre-downgrade")
+	if err := Downgrade(r6); err != nil {
+		t.Fatal(err)
+	}
+	if a.Disks().Len() != 4 {
+		t.Fatalf("disk count %d after downgrade, want 4", a.Disks().Len())
+	}
+	buf := make([]byte, 32)
+	for L, w := range want {
+		if err := a.ReadBlock(L, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, w) {
+			t.Fatalf("block %d corrupted by downgrade", L)
+		}
+	}
+	for row := int64(0); row < rows; row++ {
+		ok, err := a.VerifyRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("row %d inconsistent after downgrade", row)
+		}
+	}
+}
+
+// TestDoubleFailureAfterMigration is the paper's motivation end to end: a
+// RAID-5 cannot survive two disk failures, but after online migration to
+// Code 5-6 the same data does.
+func TestDoubleFailureAfterMigration(t *testing.T) {
+	const rows = 16
+	a, want := newLoadedRAID5(t, 4, rows, 4)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	r6, err := mig.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6.Disks().Disk(1).Fail()
+	r6.Disks().Disk(3).Fail()
+	buf := make([]byte, 32)
+	// Degraded reads must still serve every RAID-5-addressed block. The
+	// RAID-5 path cannot (two failures); the RAID-6 view can, using the
+	// shared disk layout: RAID-5 (row, disk) is cell (row mod p-1, disk)
+	// of stripe row/(p-1).
+	p := mig.Code().P()
+	for L, w := range want {
+		row, disk := a.Locate(L)
+		cell := layout.Coord{Row: int(row % int64(p-1)), Col: disk}
+		if err := r6.ReadCell(row/int64(p-1), cell, buf); err != nil {
+			t.Fatalf("degraded read %d: %v", L, err)
+		}
+		if !bytes.Equal(buf, w) {
+			t.Fatalf("degraded read %d wrong contents", L)
+		}
+	}
+	// Rebuild both disks and verify full recovery.
+	r6.Disks().Disk(1).Replace()
+	r6.Disks().Disk(3).Replace()
+	if err := r6.Rebuild(rows/4, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	for L, w := range want {
+		if err := mig.Read(L, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, w) {
+			t.Fatalf("block %d wrong after double-failure rebuild", L)
+		}
+	}
+}
+
+// TestOnlineMigrationDiskFailureSurfaces: a disk failing mid-conversion
+// must surface as a clean error from Wait (no hang, no panic). A real
+// deployment would pause and rebuild; the migrator's job is to stop
+// coherently.
+func TestOnlineMigrationDiskFailureSurfaces(t *testing.T) {
+	a, _ := newLoadedRAID5(t, 4, 4*64, 9)
+	mig, err := NewOnlineMigrator(a, 4*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Disks().Disk(2).Fail() // fails before conversion starts
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); err == nil {
+		t.Fatal("conversion with a failed disk should report an error")
+	}
+	if _, err := mig.Result(); err == nil {
+		t.Fatal("Result after failed conversion should error")
+	}
+}
+
+// TestPauseResumeAndProgress: Pause parks the conversion at a stripe
+// boundary while application I/O continues; Resume completes it; the
+// progress callback fires once per stripe.
+func TestPauseResumeAndProgress(t *testing.T) {
+	const rows = 4 * 8
+	a, want := newLoadedRAID5(t, 4, rows, 21)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	calls := 0
+	mig.SetProgressFunc(func(done, total int64) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		if total != 8 || done < 1 || done > 8 {
+			t.Errorf("progress %d/%d out of range", done, total)
+		}
+	})
+	mig.SetThrottle(time.Millisecond)
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mig.Pause()
+	frozen, _ := mig.Progress()
+	// Application I/O proceeds while paused.
+	b := make([]byte, 32)
+	for i := range b {
+		b[i] = 0x5A
+	}
+	if err := mig.Write(1, b); err != nil {
+		t.Fatal(err)
+	}
+	want[1] = b
+	if got, _ := mig.Progress(); got != frozen {
+		t.Errorf("progress moved from %d to %d while paused", frozen, got)
+	}
+	mig.Resume()
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	gotCalls := calls
+	mu.Unlock()
+	if int64(gotCalls) != 8-frozen {
+		t.Errorf("progress callback fired %d times, want %d", gotCalls, 8-frozen)
+	}
+	verifyConverted(t, mig, want, 8, "pause/resume")
+}
+
+// TestPauseBeforeFinishIsSafe: pausing right around completion must not
+// hang.
+func TestPauseAroundCompletion(t *testing.T) {
+	const rows = 4
+	a, _ := newLoadedRAID5(t, 4, rows, 22)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	mig.Pause() // after completion: returns immediately
+	mig.Resume()
+}
+
+// TestCrashResumeFromSnapshot: migrate halfway, snapshot the disks
+// ("crash"), restore into a fresh array, resume from the saved cursor, and
+// verify the final RAID-6 — the durability story for long migrations.
+func TestCrashResumeFromSnapshot(t *testing.T) {
+	const rows = 4 * 10
+	a, want := newLoadedRAID5(t, 4, rows, 23)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pause the moment the 4th stripe completes.
+	paused := make(chan struct{})
+	var once sync.Once
+	mig.SetProgressFunc(func(done, total int64) {
+		if done == 4 {
+			once.Do(func() { close(paused) })
+		}
+	})
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-paused
+	mig.Pause()
+	cursor, _ := mig.Progress()
+	if cursor < 4 {
+		t.Fatalf("cursor %d after 4 stripes", cursor)
+	}
+
+	// "Crash": snapshot the disks mid-migration.
+	var snap bytes.Buffer
+	if err := a.Disks().Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mig.Resume()
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore and resume on a fresh process's state.
+	disks, err := vdisk.Load(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := raid5.Wrap(disks, 4, raid5.LeftAsymmetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig2, err := NewOnlineMigrator(restored, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig2.ResumeFrom(cursor); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if disks.Len() != 5 {
+		t.Fatalf("resumed migration has %d disks, want 5 (no duplicate add)", disks.Len())
+	}
+	verifyConverted(t, mig2, want, 10, "crash-resume")
+
+	// ResumeFrom validation.
+	mig3, _ := NewOnlineMigrator(restored, rows)
+	if err := mig3.ResumeFrom(-1); err == nil {
+		t.Error("negative resume cursor accepted")
+	}
+	if err := mig3.ResumeFrom(999); err == nil {
+		t.Error("out-of-range resume cursor accepted")
+	}
+}
+
+// TestParallelMigrationUnderLoad runs the conversion with 4 concurrent
+// stripe workers while application reads and writes hammer the array
+// (run with -race). Everything must verify afterwards.
+func TestParallelMigrationUnderLoad(t *testing.T) {
+	const (
+		m      = 6
+		rows   = 6 * 16
+		blocks = rows * (m - 1)
+	)
+	a, want := newLoadedRAID5(t, m, rows, 31)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.SetParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.SetParallelism(0); err == nil {
+		t.Fatal("parallelism 0 accepted")
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.SetParallelism(2); err == nil {
+		t.Fatal("SetParallelism after Start accepted")
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 32)
+			for i := 0; i < 200; i++ {
+				L := int64(r.Intn(blocks))
+				if r.Intn(3) == 0 {
+					if err := mig.Read(L, buf); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				b := make([]byte, 32)
+				r.Read(b)
+				mu.Lock()
+				if err := mig.Write(L, b); err != nil {
+					mu.Unlock()
+					t.Error(err)
+					return
+				}
+				want[L] = b
+				mu.Unlock()
+			}
+		}(int64(300 + w))
+	}
+	wg.Wait()
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if c, total := mig.Progress(); c != total {
+		t.Fatalf("progress %d/%d after Wait", c, total)
+	}
+	st := mig.Stats()
+	if st.StripesConverted < 16 {
+		t.Errorf("converted %d stripes, want >= 16", st.StripesConverted)
+	}
+	verifyConverted(t, mig, want, 16, "parallel under load")
+}
+
+// TestParallelQuietMatchesSerial: with no application traffic, parallel and
+// serial conversions produce byte-identical arrays.
+func TestParallelQuietMatchesSerial(t *testing.T) {
+	const rows = 4 * 6
+	a1, _ := newLoadedRAID5(t, 4, rows, 37)
+	a2, _ := newLoadedRAID5(t, 4, rows, 37) // same seed, same contents
+	m1, err := NewOnlineMigrator(a1, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewOnlineMigrator(a2, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.SetParallelism(3); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*OnlineMigrator{m1, m2} {
+		if err := m.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf1 := make([]byte, 32)
+	buf2 := make([]byte, 32)
+	for d := 0; d < 5; d++ {
+		for b := int64(0); b < rows; b++ {
+			if err := a1.Disks().Disk(d).Read(b, buf1); err != nil {
+				t.Fatal(err)
+			}
+			if err := a2.Disks().Disk(d).Read(b, buf2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf1, buf2) {
+				t.Fatalf("disk %d block %d differs between serial and parallel conversion", d, b)
+			}
+		}
+	}
+}
+
+// TestOnlineMigrationRightLayouts: the paper's Fig. 7 — right-oriented
+// RAID-5 arrays migrate with the mirrored Code 5-6 orientation, parities in
+// place.
+func TestOnlineMigrationRightLayouts(t *testing.T) {
+	for _, l := range []raid5.Layout{raid5.RightAsymmetric, raid5.RightSymmetric} {
+		const rows = 16
+		a, err := raid5.New(4, 32, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(41))
+		want := make(map[int64][]byte)
+		for L := int64(0); L < rows*3; L++ {
+			b := make([]byte, 32)
+			r.Read(b)
+			want[L] = b
+			if err := a.WriteBlock(L, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mig, err := NewOnlineMigrator(a, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mig.Code().Orientation() != core.Right {
+			t.Fatalf("%v: orientation %v, want Right", l, mig.Code().Orientation())
+		}
+		if err := mig.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// A few writes mid-flight exercise the right-oriented diagonal
+		// update path.
+		for L := int64(0); L < 12; L += 4 {
+			b := make([]byte, 32)
+			r.Read(b)
+			if err := mig.Write(L, b); err != nil {
+				t.Fatal(err)
+			}
+			want[L] = b
+		}
+		if err := mig.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		verifyConverted(t, mig, want, 4, l.String())
+	}
+}

@@ -1,0 +1,479 @@
+package migrate
+
+import (
+	"fmt"
+	"sort"
+
+	"code56/internal/layout"
+)
+
+// OpKind enumerates the conversion operations the paper's §V-A cost model
+// distinguishes.
+type OpKind int
+
+const (
+	// OpReuse marks an old parity that serves as a target parity
+	// untouched — zero I/O, the Code 5-6 design point.
+	OpReuse OpKind = iota
+	// OpInvalidate sets an old parity block to NULL (one write).
+	OpInvalidate
+	// OpMigrate moves an old parity block (one read + one write).
+	OpMigrate
+	// OpGenerate computes a new parity block from its chain (reads for
+	// uncached contributors, XORs, one write).
+	OpGenerate
+)
+
+// String returns a short tag.
+func (k OpKind) String() string {
+	switch k {
+	case OpReuse:
+		return "reuse"
+	case OpInvalidate:
+		return "invalidate"
+	case OpMigrate:
+		return "migrate"
+	case OpGenerate:
+		return "generate"
+	default:
+		return "?"
+	}
+}
+
+// Op is one conversion operation on one target stripe.
+type Op struct {
+	Kind OpKind
+	// Phase indexes Plan.PhaseNames.
+	Phase int
+	// Stripe is the target stripe index within the planning period.
+	Stripe int
+	// Cell is the cell acted upon (destination for OpMigrate).
+	Cell layout.Coord
+	// From is the source cell for OpMigrate.
+	From layout.Coord
+	// Contribs lists the non-zero contributor cells of an OpGenerate (the
+	// chain covers that actually hold content).
+	Contribs []layout.Coord
+	// Reads lists the contributor cells that cost a disk read (those not
+	// already cached by earlier operations in the same phase and stripe).
+	Reads []layout.Coord
+	// XORs is the number of block XOR operations of an OpGenerate.
+	XORs int
+}
+
+// PhaseIO aggregates the per-column I/O of one conversion phase.
+type PhaseIO struct {
+	Name string
+	// Reads[j] and Writes[j] count the I/Os issued to target column j
+	// during the phase, across the whole planning period.
+	Reads, Writes []int
+}
+
+// Plan is the complete conversion schedule over one parity-rotation period,
+// plus the aggregates the paper's metrics derive from.
+type Plan struct {
+	Conv    Conversion
+	Virtual int
+	// Period is the number of target stripes planned (one full source
+	// parity-rotation period, so all averages are exact).
+	Period int
+	// OldRowsPerStripe is how many source rows each target stripe absorbs.
+	OldRowsPerStripe int
+	// DataBlocks is the number of source data blocks in the period (the
+	// paper's B for normalization).
+	DataBlocks int
+	PhaseNames []string
+	Ops        []Op
+
+	Reused, Invalidated, Migrated, Generated int
+	// ReservedCells / SourceCells give the extra-space ratio (Fig. 12):
+	// cells the source disks must keep free over the source disks' total
+	// capacity in the period.
+	ReservedCells, SourceCells int
+	XORs                       int
+	PhaseIO                    []PhaseIO
+}
+
+// planner carries the mutable state of plan construction.
+type planner struct {
+	plan    *Plan
+	geom    layout.Geometry
+	virtual int
+
+	// content tracks, per stripe, which cells currently hold non-zero
+	// content (old data, surviving parities, generated parities).
+	content map[int]map[layout.Coord]bool
+	// cache tracks, per stripe, cells resident in conversion memory for
+	// the current phase (reads are free for cached cells).
+	cache      map[int]map[layout.Coord]bool
+	curPhase   int
+	phaseReads []int
+	phaseWr    []int
+}
+
+// NewPlan builds the conversion plan. The conversion must Validate().
+func NewPlan(c Conversion) (*Plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	virtual := c.Virtual
+	g := c.Code.Geometry()
+	p := &planner{
+		plan:    &Plan{Conv: c, Virtual: virtual},
+		geom:    g,
+		virtual: virtual,
+		content: make(map[int]map[layout.Coord]bool),
+		cache:   make(map[int]map[layout.Coord]bool),
+	}
+	ov0 := buildOverlay(c, 0)
+	k := len(ov0.DataRows)
+	if k == 0 {
+		return nil, fmt.Errorf("migrate: no data rows for %s", c.Label())
+	}
+	p.plan.OldRowsPerStripe = k
+	p.plan.Period = lcm(c.M, k) / k
+
+	overlays := make([]Overlay, p.plan.Period)
+	for i := range overlays {
+		overlays[i] = buildOverlay(c, i)
+		p.plan.DataBlocks += overlays[i].Count(OldData)
+		p.plan.ReservedCells += overlays[i].Count(Reserved)
+		p.plan.SourceCells += c.M * g.Rows
+		ct := make(map[layout.Coord]bool)
+		for r, row := range overlays[i].Class {
+			for j, cl := range row {
+				if cl == OldData || cl == OldParity {
+					ct[layout.Coord{Row: r, Col: j}] = true
+				}
+			}
+		}
+		p.content[i] = ct
+	}
+
+	switch c.Approach {
+	case Direct:
+		p.beginPhase("convert")
+		for st, ov := range overlays {
+			reused, pendingNulls := p.directOldParities(st, ov)
+			p.generateAll(st, ov, reused)
+			// Invalidation writes are deferred to the end of the stripe's
+			// conversion: the paper's Table VI prescribes that "old parity
+			// blocks in RAID-5 should be retained until conversion is
+			// done", so a disk failing mid-conversion can still recover
+			// through the old row parities. The generated parities already
+			// treat these cells as NULL (metadata invalidation), so the
+			// final NULL write only reconciles the physical state.
+			for _, c := range pendingNulls {
+				p.plan.Ops = append(p.plan.Ops, Op{Kind: OpInvalidate, Phase: p.curPhase, Stripe: st, Cell: c})
+				p.write(st, c)
+			}
+		}
+		p.endPhase()
+	case ViaRAID0:
+		p.beginPhase("degrade")
+		for st, ov := range overlays {
+			for i, r := range ov.DataRows {
+				p.invalidate(st, layout.Coord{Row: r, Col: ov.OldParityCol[i]})
+			}
+		}
+		p.endPhase()
+		p.beginPhase("upgrade")
+		for st, ov := range overlays {
+			p.generateAll(st, ov, nil)
+		}
+		p.endPhase()
+	case ViaRAID4:
+		dedicated := virtual + c.M
+		p.beginPhase("degrade")
+		for st, ov := range overlays {
+			for i, r := range ov.DataRows {
+				from := layout.Coord{Row: r, Col: ov.OldParityCol[i]}
+				to := layout.Coord{Row: r, Col: dedicated}
+				p.migrate(st, from, to)
+			}
+		}
+		p.endPhase()
+		p.beginPhase("upgrade")
+		for st, ov := range overlays {
+			reused := p.raid4Horizontals(st, ov, dedicated)
+			p.generateAll(st, ov, reused)
+		}
+		p.endPhase()
+	default:
+		return nil, fmt.Errorf("migrate: unknown approach %d", c.Approach)
+	}
+	return p.plan, nil
+}
+
+func (p *planner) beginPhase(name string) {
+	p.plan.PhaseNames = append(p.plan.PhaseNames, name)
+	p.curPhase = len(p.plan.PhaseNames) - 1
+	p.phaseReads = make([]int, p.geom.Cols)
+	p.phaseWr = make([]int, p.geom.Cols)
+	p.cache = make(map[int]map[layout.Coord]bool)
+}
+
+func (p *planner) endPhase() {
+	p.plan.PhaseIO = append(p.plan.PhaseIO, PhaseIO{
+		Name:  p.plan.PhaseNames[p.curPhase],
+		Reads: p.phaseReads, Writes: p.phaseWr,
+	})
+}
+
+func (p *planner) cached(st int, c layout.Coord) bool { return p.cache[st][c] }
+
+func (p *planner) touch(st int, c layout.Coord) {
+	m := p.cache[st]
+	if m == nil {
+		m = make(map[layout.Coord]bool)
+		p.cache[st] = m
+	}
+	m[c] = true
+}
+
+// read charges a disk read for c unless cached; either way c is cached
+// afterwards.
+func (p *planner) read(st int, c layout.Coord) bool {
+	if p.cached(st, c) {
+		return false
+	}
+	p.phaseReads[c.Col]++
+	p.touch(st, c)
+	return true
+}
+
+func (p *planner) write(st int, c layout.Coord) {
+	p.phaseWr[c.Col]++
+	p.touch(st, c)
+}
+
+func (p *planner) invalidate(st int, c layout.Coord) {
+	p.plan.Ops = append(p.plan.Ops, Op{Kind: OpInvalidate, Phase: p.curPhase, Stripe: st, Cell: c})
+	p.plan.Invalidated++
+	p.write(st, c)
+	delete(p.content[st], c)
+}
+
+func (p *planner) migrate(st int, from, to layout.Coord) {
+	op := Op{Kind: OpMigrate, Phase: p.curPhase, Stripe: st, Cell: to, From: from}
+	if p.read(st, from) {
+		op.Reads = []layout.Coord{from}
+	}
+	p.write(st, to)
+	p.plan.Ops = append(p.plan.Ops, op)
+	p.plan.Migrated++
+	delete(p.content[st], from)
+	p.content[st][to] = true
+}
+
+func (p *planner) reuse(st int, c layout.Coord) {
+	p.plan.Ops = append(p.plan.Ops, Op{Kind: OpReuse, Phase: p.curPhase, Stripe: st, Cell: c})
+	p.plan.Reused++
+}
+
+// directOldParities classifies each old parity under the Direct approach:
+// reuse when it already is the target horizontal parity of its row and its
+// chain matches; otherwise invalidate. Invalidation is logical here (the
+// cell is treated as NULL by all generated parities); the physical NULL
+// write — needed only for cells that no generated parity overwrites — is
+// returned for the caller to schedule after generation. It returns the set
+// of parity cells satisfied by reuse and the cells awaiting NULL writes.
+func (p *planner) directOldParities(st int, ov Overlay) (reused map[layout.Coord]bool, pendingNulls []layout.Coord) {
+	reused = make(map[layout.Coord]bool)
+	for i, r := range ov.DataRows {
+		c := layout.Coord{Row: r, Col: ov.OldParityCol[i]}
+		kind := ov.Conv.Code.Kind(c.Row, c.Col)
+		if kind == layout.ParityH && p.chainMatchesRow(st, ov, c) {
+			p.reuse(st, c)
+			reused[c] = true
+			continue
+		}
+		p.plan.Invalidated++
+		delete(p.content[st], c)
+		if kind.IsParity() {
+			// The generated parity overwrites the stale block; no
+			// separate NULL write is needed.
+			continue
+		}
+		pendingNulls = append(pendingNulls, c)
+	}
+	return reused, pendingNulls
+}
+
+// chainMatchesRow reports whether the target parity chain at cell c equals
+// the old parity stored there: every contentful cover must be an OldData
+// cell of c's row.
+func (p *planner) chainMatchesRow(st int, ov Overlay, c layout.Coord) bool {
+	ch, ok := chainAt(ov.Conv.Code, c)
+	if !ok {
+		return false
+	}
+	rowData := make(map[layout.Coord]bool)
+	for j, cl := range ov.Class[c.Row] {
+		if cl == OldData {
+			rowData[layout.Coord{Row: c.Row, Col: j}] = true
+		}
+	}
+	covered := 0
+	for _, m := range ch.Covers {
+		if !p.content[st][m] {
+			continue // zero cell contributes nothing
+		}
+		if !rowData[m] {
+			return false
+		}
+		covered++
+	}
+	return covered == len(rowData)
+}
+
+// raid4Horizontals resolves the target horizontal parities from the
+// dedicated RAID-4 column: in place if the target keeps them there (RDP,
+// EVENODD), by a second migration if the target scatters them (H-Code).
+// It returns the set of horizontal parity cells already satisfied.
+func (p *planner) raid4Horizontals(st int, ov Overlay, dedicated int) map[layout.Coord]bool {
+	done := make(map[layout.Coord]bool)
+	for _, ch := range ov.Conv.Code.Chains() {
+		if ch.Kind != layout.ParityH {
+			continue
+		}
+		h := ch.Parity
+		src := layout.Coord{Row: h.Row, Col: dedicated}
+		if !p.content[st][src] {
+			continue // no migrated parity for this row (virtual rows)
+		}
+		if h == src {
+			if p.chainMatchesRow(st, ov, h) {
+				p.reuse(st, h)
+				done[h] = true
+			}
+			continue
+		}
+		// The dedicated cell vacates either way: evaluate the chain as if
+		// the parity had left it (it may itself be one of the chain's
+		// covers, as with H-Code's pure-data column).
+		delete(p.content[st], src)
+		if p.chainMatchesRowFrom(st, ov, ch, h.Row) {
+			p.content[st][src] = true // migrate() re-deletes it
+			p.migrate(st, src, h)
+			done[h] = true
+		} else {
+			// The migrated parity is useless for this target: NULL it so
+			// the stale block cannot corrupt the cell's final role.
+			p.content[st][src] = true
+			p.invalidate(st, src)
+		}
+	}
+	return done
+}
+
+// chainMatchesRowFrom is chainMatchesRow for a chain whose parity has not
+// been placed yet: the migrated old parity of row `row` satisfies the chain
+// if every contentful cover is an OldData cell of that row.
+func (p *planner) chainMatchesRowFrom(st int, ov Overlay, ch layout.Chain, row int) bool {
+	rowData := make(map[layout.Coord]bool)
+	for j, cl := range ov.Class[row] {
+		if cl == OldData {
+			rowData[layout.Coord{Row: row, Col: j}] = true
+		}
+	}
+	covered := 0
+	for _, m := range ch.Covers {
+		if !p.content[st][m] {
+			continue
+		}
+		if !rowData[m] {
+			return false
+		}
+		covered++
+	}
+	return covered == len(rowData)
+}
+
+// chainAt returns the chain whose parity is at cell c.
+func chainAt(code layout.Code, c layout.Coord) (layout.Chain, bool) {
+	for _, ch := range code.Chains() {
+		if ch.Parity == c {
+			return ch, true
+		}
+	}
+	return layout.Chain{}, false
+}
+
+// generateAll emits OpGenerate for every parity cell of the stripe that is
+// neither virtual nor already satisfied, in chain dependency order.
+func (p *planner) generateAll(st int, ov Overlay, satisfied map[layout.Coord]bool) {
+	code := ov.Conv.Code
+	chains := code.Chains()
+	// Dependency order: a chain is ready once none of its covers is a
+	// pending parity.
+	pending := make(map[layout.Coord]bool)
+	var todo []int
+	for i, ch := range chains {
+		c := ch.Parity
+		if c.Col < p.virtual {
+			continue // virtual parity: not materialized
+		}
+		if satisfied[c] {
+			continue
+		}
+		pending[c] = true
+		todo = append(todo, i)
+	}
+	for len(todo) > 0 {
+		var next []int
+		progressed := false
+		for _, i := range todo {
+			ch := chains[i]
+			ready := true
+			for _, m := range ch.Covers {
+				if pending[m] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, i)
+				continue
+			}
+			p.generate(st, ch)
+			delete(pending, ch.Parity)
+			progressed = true
+		}
+		if !progressed {
+			panic(fmt.Sprintf("migrate: cyclic parity dependencies in %s", code.Name()))
+		}
+		todo = next
+	}
+}
+
+func (p *planner) generate(st int, ch layout.Chain) {
+	op := Op{Kind: OpGenerate, Phase: p.curPhase, Stripe: st, Cell: ch.Parity}
+	covers := append([]layout.Coord(nil), ch.Covers...)
+	sort.Slice(covers, func(a, b int) bool {
+		if covers[a].Row != covers[b].Row {
+			return covers[a].Row < covers[b].Row
+		}
+		return covers[a].Col < covers[b].Col
+	})
+	for _, m := range covers {
+		if !p.content[st][m] {
+			continue
+		}
+		op.Contribs = append(op.Contribs, m)
+		if p.read(st, m) {
+			op.Reads = append(op.Reads, m)
+		}
+	}
+	if n := len(op.Contribs); n > 1 {
+		op.XORs = n - 1
+	}
+	p.write(st, ch.Parity)
+	p.plan.Ops = append(p.plan.Ops, op)
+	p.plan.Generated++
+	p.plan.XORs += op.XORs
+	p.content[st][ch.Parity] = len(op.Contribs) > 0
+	if len(op.Contribs) == 0 {
+		delete(p.content[st], ch.Parity)
+	}
+}

@@ -1,0 +1,209 @@
+package migrate
+
+import (
+	"code56/internal/layout"
+)
+
+// ReliabilityGrade is the paper's Table VI scale for the risk a conversion
+// approach poses to the data while the conversion is in flight.
+type ReliabilityGrade int
+
+// Grades of Table VI.
+const (
+	// ReliabilityLow: some step of the conversion leaves data unprotected
+	// — a single disk failure at that moment loses data (the RAID-0
+	// intermediate of the degrade/upgrade path).
+	ReliabilityLow ReliabilityGrade = iota
+	// ReliabilityMedium: data stays recoverable throughout, but parity
+	// blocks are relocated in flight ("errors may occur when old parity
+	// blocks are migrated").
+	ReliabilityMedium
+	// ReliabilityHigh: data stays recoverable and no parity ever moves
+	// (old parities retained in place until the conversion completes).
+	ReliabilityHigh
+)
+
+// String returns the paper's spelling.
+func (g ReliabilityGrade) String() string {
+	switch g {
+	case ReliabilityLow:
+		return "Low"
+	case ReliabilityMedium:
+		return "Medium"
+	case ReliabilityHigh:
+		return "High"
+	default:
+		return "?"
+	}
+}
+
+// Reliability is the measured in-flight protection of one conversion plan
+// (the paper's Table VI, derived rather than asserted).
+type Reliability struct {
+	// SingleFailureSafe reports whether, after every operation of the
+	// conversion, every source data block would survive the failure of
+	// any single disk.
+	SingleFailureSafe bool
+	// UnsafeSteps counts (op index, failed column) combinations that
+	// would lose data.
+	UnsafeSteps int
+	// ParityMoves counts parity blocks relocated in flight.
+	ParityMoves int
+	// Grade is the Table VI classification derived from the above.
+	Grade ReliabilityGrade
+}
+
+// protChain is one usable protection relation during conversion: the XOR of
+// Cells is zero (with invalidated/hole cells treated per their semantics at
+// the time the chain is usable).
+type protChain struct {
+	cells []layout.Coord
+}
+
+// ReliabilityProfile replays the plan symbolically and measures the
+// conversion window's fault tolerance. Analysis runs on the first stripe of
+// the period (the windows are per-stripe; unconverted stripes are ordinary
+// RAID-5 and finished stripes full RAID-6).
+func (p *Plan) ReliabilityProfile() Reliability {
+	const stripe = 0
+	ov := buildOverlay(p.Conv, stripe)
+	g := p.Conv.Code.Geometry()
+
+	// Real (content-bearing) source cells and the initial protection:
+	// one RAID-5 row chain per absorbed source row.
+	dataCells := make(map[layout.Coord]bool)
+	for r, row := range ov.Class {
+		for j, cl := range row {
+			if cl == OldData {
+				dataCells[layout.Coord{Row: r, Col: j}] = true
+			}
+		}
+	}
+	chains := make(map[int]protChain)
+	next := 0
+	parityOf := make(map[layout.Coord]int) // live parity cell -> chain
+	for i, r := range ov.DataRows {
+		pc := layout.Coord{Row: r, Col: ov.OldParityCol[i]}
+		cells := []layout.Coord{pc}
+		for j, cl := range ov.Class[r] {
+			if cl == OldData {
+				cells = append(cells, layout.Coord{Row: r, Col: j})
+			}
+		}
+		chains[next] = protChain{cells: cells}
+		parityOf[pc] = next
+		next++
+	}
+
+	rel := Reliability{SingleFailureSafe: true, ParityMoves: p.Migrated}
+
+	// check evaluates whether all data cells survive any single column
+	// failure under the current chain set.
+	check := func() {
+		for col := p.Virtual; col < g.Cols; col++ {
+			if !recoverableAfterColumnLoss(g, chains, dataCells, col) {
+				rel.SingleFailureSafe = false
+				rel.UnsafeSteps++
+			}
+		}
+	}
+
+	check()
+	for _, op := range p.Ops {
+		if op.Stripe != stripe {
+			continue
+		}
+		switch op.Kind {
+		case OpReuse:
+			// The old parity doubles as the new horizontal parity;
+			// protection unchanged.
+		case OpInvalidate:
+			// The physical NULL write: if the cell still anchors a
+			// protection chain, that chain dies now.
+			if id, ok := parityOf[op.Cell]; ok {
+				delete(chains, id)
+				delete(parityOf, op.Cell)
+			}
+		case OpMigrate:
+			// The parity value moves; its chain follows the new location.
+			if id, ok := parityOf[op.From]; ok {
+				delete(parityOf, op.From)
+				ch := chains[id]
+				for k, c := range ch.cells {
+					if c == op.From {
+						ch.cells[k] = op.Cell
+					}
+				}
+				chains[id] = ch
+				parityOf[op.Cell] = id
+			}
+		case OpGenerate:
+			// Writing the new parity may overwrite a cell anchoring an
+			// old chain (HDP's anti-diagonal) — that chain dies...
+			if id, ok := parityOf[op.Cell]; ok {
+				delete(chains, id)
+				delete(parityOf, op.Cell)
+			}
+			// ...and a new protection chain becomes usable: the parity
+			// plus its contentful contributors.
+			cells := append([]layout.Coord{op.Cell}, op.Contribs...)
+			chains[next] = protChain{cells: cells}
+			parityOf[op.Cell] = next
+			next++
+		}
+		check()
+	}
+
+	switch {
+	case !rel.SingleFailureSafe:
+		rel.Grade = ReliabilityLow
+	case rel.ParityMoves > 0:
+		rel.Grade = ReliabilityMedium
+	default:
+		rel.Grade = ReliabilityHigh
+	}
+	return rel
+}
+
+// recoverableAfterColumnLoss checks, by peeling over the usable protection
+// chains, whether every data cell in the failed column can be rebuilt.
+func recoverableAfterColumnLoss(g layout.Geometry, chains map[int]protChain, dataCells map[layout.Coord]bool, col int) bool {
+	lost := make(map[layout.Coord]bool)
+	needed := 0
+	for c := range dataCells {
+		if c.Col == col {
+			lost[c] = true
+			needed++
+		}
+	}
+	if needed == 0 {
+		// Only parity (or nothing) on this column: data is safe.
+		return true
+	}
+	// Every cell of the failed column is unreadable, including parities.
+	for r := 0; r < g.Rows; r++ {
+		lost[layout.Coord{Row: r, Col: col}] = true
+	}
+	recovered := 0
+	for changed := true; changed && recovered < needed; {
+		changed = false
+		for _, ch := range chains {
+			missing := 0
+			var miss layout.Coord
+			for _, c := range ch.cells {
+				if lost[c] {
+					missing++
+					miss = c
+				}
+			}
+			if missing == 1 {
+				delete(lost, miss)
+				if dataCells[miss] {
+					recovered++
+				}
+				changed = true
+			}
+		}
+	}
+	return recovered == needed
+}

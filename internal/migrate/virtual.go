@@ -1,0 +1,53 @@
+package migrate
+
+import (
+	"fmt"
+
+	"code56/internal/core"
+	"code56/internal/layout"
+	"code56/internal/raid5"
+)
+
+// VirtualConversion builds the Code 5-6 direct conversion for a RAID-5 of
+// any m >= 3 disks (paper §IV-B2): the stripe geometry uses p = the
+// smallest prime >= m+1, and v = p-m-1 virtual disks (all-NULL columns that
+// do not physically exist) pad the layout. The resulting RAID-6 has m+1
+// real disks.
+func VirtualConversion(m int, src raid5.Layout) (Conversion, int, error) {
+	if m < 3 {
+		return Conversion{}, 0, fmt.Errorf("migrate: source RAID-5 needs >= 3 disks, got %d", m)
+	}
+	p := layout.PrimeAtLeast(m + 1)
+	v := p - m - 1
+	code, err := core.New(p)
+	if err != nil {
+		return Conversion{}, 0, err
+	}
+	return Conversion{M: m, SourceLayout: src, Code: code, Approach: Direct, Virtual: v}, v, nil
+}
+
+// NewVirtualPlan plans the Code 5-6 direct conversion for a RAID-5 of any
+// m >= 3 disks, inserting virtual disks as needed.
+func NewVirtualPlan(m int, src raid5.Layout) (*Plan, error) {
+	conv, _, err := VirtualConversion(m, src)
+	if err != nil {
+		return nil, err
+	}
+	return NewPlan(conv)
+}
+
+// Code56StorageEfficiency evaluates the paper's Equation 6: the storage
+// efficiency of a RAID-6 built from a RAID-5 of m disks with Code 5-6 and
+// virtual disks, (n-1)(n-2) / ((n-1)n + v) with n = m+1 real disks.
+func Code56StorageEfficiency(m int) float64 {
+	n := m + 1
+	p := layout.PrimeAtLeast(n)
+	v := p - n
+	return float64((n-1)*(n-2)) / float64((n-1)*n+v)
+}
+
+// TypicalRAID6StorageEfficiency is the MDS optimum for m+1 disks:
+// (m-1)/(m+1). Fig. 18 plots it against Code56StorageEfficiency.
+func TypicalRAID6StorageEfficiency(m int) float64 {
+	return float64(m-1) / float64(m+1)
+}

@@ -1,0 +1,133 @@
+package mttdl
+
+import (
+	"math"
+	"testing"
+)
+
+// year3 is the paper's Table I year-3 AFR (8.6%), its worst year.
+var year3 = Params{Disks: 5, AFR: 0.086, MTTRHours: 24}
+
+func TestClosedForms(t *testing.T) {
+	r5, err := RAID5Hours(year3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6, err := RAID6Hours(Params{Disks: 6, AFR: 0.086, MTTRHours: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RAID-6 must beat RAID-5 by orders of magnitude even with an extra
+	// disk: every repair window shrinks the exposure by ~MTTF/MTTR.
+	if r6 < 100*r5 {
+		t.Errorf("RAID-6 MTTDL %.3g not far beyond RAID-5's %.3g", r6, r5)
+	}
+	// Spot value: MTTF = 8760/0.086 ≈ 101860 h;
+	// RAID-5: MTTF²/(5·4·24).
+	mttf := HoursPerYear / 0.086
+	want := mttf * mttf / (5 * 4 * 24)
+	if math.Abs(r5-want)/want > 1e-12 {
+		t.Errorf("RAID5Hours = %v, want %v", r5, want)
+	}
+}
+
+func TestLossProbability(t *testing.T) {
+	if p := LossProbability(HoursPerYear, 1); math.Abs(p-(1-math.Exp(-1))) > 1e-12 {
+		t.Errorf("1-year loss with 1-year MTTDL = %v", p)
+	}
+	if p := LossProbability(1e12, 1); p > 1e-6 {
+		t.Errorf("huge MTTDL should give tiny loss probability, got %v", p)
+	}
+	// Monotone in horizon.
+	if LossProbability(1e6, 5) <= LossProbability(1e6, 1) {
+		t.Error("loss probability must grow with horizon")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bads := []Params{
+		{Disks: 1, AFR: 0.05, MTTRHours: 24},
+		{Disks: 5, AFR: 0, MTTRHours: 24},
+		{Disks: 5, AFR: 1.5, MTTRHours: 24},
+		{Disks: 5, AFR: 0.05, MTTRHours: 0},
+	}
+	for i, p := range bads {
+		if _, err := RAID5Hours(p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if _, err := RAID6Hours(Params{Disks: 2, AFR: 0.05, MTTRHours: 24}); err == nil {
+		t.Error("RAID-6 with 2 disks accepted")
+	}
+	if _, err := SimulateHours(year3, 0, 10, 1); err == nil {
+		t.Error("tolerance 0 accepted")
+	}
+	if _, err := SimulateHours(year3, 1, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+// TestSimulationMatchesClosedFormRAID5: the Monte Carlo estimate must agree
+// with the Markov closed form within sampling error (the closed form is an
+// approximation valid for MTTR << MTTF, which holds by ~3 orders of
+// magnitude here).
+func TestSimulationMatchesClosedFormRAID5(t *testing.T) {
+	closed, err := RAID5Hours(year3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SimulateHours(year3, 1, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := sim / closed; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("simulated/closed = %.3f (sim %.3g, closed %.3g)", ratio, sim, closed)
+	}
+}
+
+// TestSimulationMatchesClosedFormRAID6 uses an artificially high AFR so
+// double-failure losses occur in feasible simulation time, and accepts a
+// wider band (the closed form degrades as MTTR/MTTF grows).
+func TestSimulationMatchesClosedFormRAID6(t *testing.T) {
+	p := Params{Disks: 6, AFR: 0.5, MTTRHours: 72}
+	closed, err := RAID6Hours(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SimulateHours(p, 2, 3000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := sim / closed; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("simulated/closed = %.3f (sim %.3g, closed %.3g)", ratio, sim, closed)
+	}
+}
+
+// TestPaperMotivation reproduces §I quantitatively: with Table I's aged-disk
+// AFRs, a 5-disk RAID-5's 5-year data-loss probability is substantial,
+// while the migrated 6-disk Code 5-6 RAID-6 brings it down by orders of
+// magnitude.
+func TestPaperMotivation(t *testing.T) {
+	afrs := map[int]float64{1: 0.017, 2: 0.081, 3: 0.086, 4: 0.058, 5: 0.072}
+	for year, afr := range afrs {
+		r5, err := RAID5Hours(Params{Disks: 5, AFR: afr, MTTRHours: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r6, err := RAID6Hours(Params{Disks: 6, AFR: afr, MTTRHours: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p5 := LossProbability(r5, 5)
+		p6 := LossProbability(r6, 5)
+		if p6 >= p5/100 {
+			t.Errorf("year %d: RAID-6 loss %.2e not ≪ RAID-5's %.2e", year, p6, p5)
+		}
+	}
+	// The worst aged year leaves RAID-5 clearly above a 0.1% 5-year loss
+	// budget — the paper's "insufficient reliability".
+	r5, _ := RAID5Hours(Params{Disks: 5, AFR: 0.086, MTTRHours: 24})
+	if p := LossProbability(r5, 5); p < 1e-3 {
+		t.Errorf("year-3 RAID-5 5-year loss probability %.2e unexpectedly low", p)
+	}
+}

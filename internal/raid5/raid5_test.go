@@ -1,0 +1,296 @@
+package raid5
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+var layouts = []Layout{LeftAsymmetric, LeftSymmetric, RightAsymmetric, RightSymmetric}
+
+func TestLayoutStrings(t *testing.T) {
+	want := map[Layout]string{
+		LeftAsymmetric:  "left-asymmetric",
+		LeftSymmetric:   "left-symmetric",
+		RightAsymmetric: "right-asymmetric",
+		RightSymmetric:  "right-symmetric",
+		Layout(9):       "Layout(9)",
+	}
+	for l, s := range want {
+		if l.String() != s {
+			t.Errorf("%d: %q", int(l), l.String())
+		}
+	}
+}
+
+func TestNewRejectsSmallArrays(t *testing.T) {
+	for _, m := range []int{0, 1, 2} {
+		if _, err := New(m, 16, LeftAsymmetric); err == nil {
+			t.Errorf("New(%d) should fail", m)
+		}
+	}
+}
+
+// TestPlacement checks the rotation conventions: every disk of every row is
+// used exactly once (parity + m-1 data positions form a permutation), and
+// the left-asymmetric rotation matches the paper's assumption (row i parity
+// on disk m-1-i for i < m).
+func TestPlacement(t *testing.T) {
+	for _, l := range layouts {
+		a, _ := New(5, 16, l)
+		for row := int64(0); row < 10; row++ {
+			used := map[int]bool{a.ParityDisk(row): true}
+			for k := 0; k < 4; k++ {
+				d := a.DataDisk(row, k)
+				if used[d] {
+					t.Fatalf("%v row %d: disk %d reused", l, row, d)
+				}
+				used[d] = true
+			}
+			if len(used) != 5 {
+				t.Fatalf("%v row %d: %d disks used", l, row, len(used))
+			}
+		}
+	}
+	a, _ := New(5, 16, LeftAsymmetric)
+	for i := int64(0); i < 5; i++ {
+		if pd := a.ParityDisk(i); pd != 4-int(i) {
+			t.Errorf("left-asymmetric row %d parity on disk %d, want %d", i, pd, 4-int(i))
+		}
+	}
+	r, _ := New(5, 16, RightAsymmetric)
+	for i := int64(0); i < 5; i++ {
+		if pd := r.ParityDisk(i); pd != int(i) {
+			t.Errorf("right-asymmetric row %d parity on disk %d, want %d", i, pd, int(i))
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	for _, l := range layouts {
+		a, _ := New(4, 16, l)
+		r := rand.New(rand.NewSource(1))
+		want := make(map[int64][]byte)
+		for L := int64(0); L < 30; L++ {
+			b := make([]byte, 16)
+			r.Read(b)
+			want[L] = b
+			if err := a.WriteBlock(L, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		buf := make([]byte, 16)
+		for L, w := range want {
+			if err := a.ReadBlock(L, buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, w) {
+				t.Fatalf("%v block %d mismatch", l, L)
+			}
+		}
+		for row := int64(0); row < 10; row++ {
+			ok, err := a.VerifyRow(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("%v row %d parity inconsistent", l, row)
+			}
+		}
+	}
+}
+
+func TestWriteRejectsBadSize(t *testing.T) {
+	a, _ := New(4, 16, LeftAsymmetric)
+	if err := a.WriteBlock(0, make([]byte, 8)); err == nil {
+		t.Fatal("short write accepted")
+	}
+}
+
+func TestDegradedRead(t *testing.T) {
+	a, _ := New(4, 16, LeftSymmetric)
+	r := rand.New(rand.NewSource(2))
+	want := make(map[int64][]byte)
+	for L := int64(0); L < 24; L++ {
+		b := make([]byte, 16)
+		r.Read(b)
+		want[L] = b
+		if err := a.WriteBlock(L, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Disks().Disk(2).Fail()
+	buf := make([]byte, 16)
+	for L, w := range want {
+		if err := a.ReadBlock(L, buf); err != nil {
+			t.Fatalf("degraded read %d: %v", L, err)
+		}
+		if !bytes.Equal(buf, w) {
+			t.Fatalf("degraded read %d mismatch", L)
+		}
+	}
+}
+
+func TestDegradedWriteAndRebuild(t *testing.T) {
+	a, _ := New(4, 16, LeftAsymmetric)
+	r := rand.New(rand.NewSource(3))
+	want := make(map[int64][]byte)
+	write := func(L int64) {
+		b := make([]byte, 16)
+		r.Read(b)
+		want[L] = b
+		if err := a.WriteBlock(L, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for L := int64(0); L < 24; L++ {
+		write(L)
+	}
+	a.Disks().Disk(1).Fail()
+	// Degraded writes: some land on the failed disk (reconstruct-write),
+	// some on parity rows whose parity disk failed.
+	for L := int64(0); L < 24; L += 2 {
+		write(L)
+	}
+	// Replace and rebuild.
+	a.Disks().Disk(1).Replace()
+	if err := a.Rebuild(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	for L, w := range want {
+		if err := a.ReadBlock(L, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, w) {
+			t.Fatalf("block %d mismatch after rebuild", L)
+		}
+	}
+	for row := int64(0); row < 8; row++ {
+		ok, err := a.VerifyRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("row %d inconsistent after rebuild", row)
+		}
+	}
+}
+
+func TestDoubleFailure(t *testing.T) {
+	a, _ := New(4, 16, LeftAsymmetric)
+	for L := int64(0); L < 12; L++ {
+		if err := a.WriteBlock(L, make([]byte, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Disks().Disk(0).Fail()
+	a.Disks().Disk(2).Fail()
+	sawDouble := false
+	buf := make([]byte, 16)
+	for L := int64(0); L < 12; L++ {
+		if err := a.ReadBlock(L, buf); errors.Is(err, ErrDoubleFailure) {
+			sawDouble = true
+		}
+	}
+	if !sawDouble {
+		t.Fatal("double failure never surfaced — RAID-5 should not survive two failed disks")
+	}
+	if err := a.Rebuild(0, 3); !errors.Is(err, ErrDoubleFailure) {
+		t.Fatalf("Rebuild with failed disks: %v", err)
+	}
+}
+
+// TestLatentErrorRecovery: a latent sector error on a data block is
+// transparently recovered through parity.
+func TestLatentErrorRecovery(t *testing.T) {
+	a, _ := New(4, 16, LeftAsymmetric)
+	want := []byte("0123456789abcdef")
+	if err := a.WriteBlock(5, want); err != nil {
+		t.Fatal(err)
+	}
+	row, disk := a.Locate(5)
+	a.Disks().Disk(disk).InjectLatentError(row)
+	buf := make([]byte, 16)
+	if err := a.ReadBlock(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("latent error not recovered via parity")
+	}
+}
+
+// TestRMWTouchesTwoDisks asserts the single-write I/O profile the paper's
+// Table III builds on: an update in a healthy array costs 2 reads + 2
+// writes on exactly the data disk and the parity disk.
+func TestRMWTouchesTwoDisks(t *testing.T) {
+	a, _ := New(5, 16, LeftAsymmetric)
+	if err := a.WriteBlock(7, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	a.Disks().ResetStats()
+	if err := a.WriteBlock(7, []byte("0123456789abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	row, disk := a.Locate(7)
+	pd := a.ParityDisk(row)
+	for i := 0; i < 5; i++ {
+		s := a.Disks().Disk(i).Stats()
+		switch i {
+		case disk, pd:
+			if s.Reads != 1 || s.Writes != 1 {
+				t.Errorf("disk %d stats %+v, want 1r/1w", i, s)
+			}
+		default:
+			if s.Total() != 0 {
+				t.Errorf("disk %d touched: %+v", i, s)
+			}
+		}
+	}
+}
+
+func TestAccessorsAndWrap(t *testing.T) {
+	a, _ := New(5, 32, LeftSymmetric)
+	if a.M() != 5 || a.Layout() != LeftSymmetric || a.BlockSize() != 32 {
+		t.Fatalf("accessors: m=%d layout=%v bs=%d", a.M(), a.Layout(), a.BlockSize())
+	}
+	w, err := Wrap(a.Disks(), 5, LeftSymmetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Disks() != a.Disks() {
+		t.Fatal("Wrap must reuse the disk set")
+	}
+	if _, err := Wrap(a.Disks(), 2, LeftSymmetric); err == nil {
+		t.Error("Wrap with m=2 accepted")
+	}
+	if _, err := Wrap(a.Disks(), 9, LeftSymmetric); err == nil {
+		t.Error("Wrap with too few disks accepted")
+	}
+}
+
+// TestWriteParity regenerates a row's parity wholesale after direct data
+// manipulation.
+func TestWriteParity(t *testing.T) {
+	a, _ := New(4, 16, LeftAsymmetric)
+	// Write data blocks directly to the disks, skipping parity upkeep.
+	row := int64(2)
+	for k := 0; k < 3; k++ {
+		d := a.DataDisk(row, k)
+		// 1, 2, 4: XOR is nonzero, so the zero parity is genuinely stale.
+		if err := a.Disks().Disk(d).Write(row, bytes.Repeat([]byte{byte(1 << k)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, _ := a.VerifyRow(row); ok {
+		t.Fatal("row should be inconsistent before WriteParity")
+	}
+	if err := a.WriteParity(row); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := a.VerifyRow(row)
+	if err != nil || !ok {
+		t.Fatalf("row inconsistent after WriteParity: %v %v", ok, err)
+	}
+}

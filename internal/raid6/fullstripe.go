@@ -1,0 +1,142 @@
+package raid6
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"code56/internal/layout"
+)
+
+// RebuildParallel is Rebuild with the per-stripe reconstructions fanned out
+// over a worker pool (stripes are independent: disjoint reads per stripe
+// row range, disjoint writes). workers <= 0 selects GOMAXPROCS. The disks
+// must have been Replace()d first.
+func (a *Array) RebuildParallel(stripes int64, workers int, disks ...int) error {
+	if len(disks) > a.code.FaultTolerance() {
+		return fmt.Errorf("%w: %d disks", ErrTooManyFailures, len(disks))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if int64(workers) > stripes {
+		workers = int(stripes)
+	}
+	if workers <= 1 {
+		return a.Rebuild(stripes, disks...)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= stripes {
+					mu.Unlock()
+					return
+				}
+				st := next
+				next++
+				mu.Unlock()
+				if err := a.rebuildStripe(st, disks); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// rebuildStripe reconstructs the given disks' cells of one stripe.
+func (a *Array) rebuildStripe(st int64, disks []int) error {
+	s, es, err := a.loadStripe(st)
+	if err != nil {
+		return err
+	}
+	for _, d := range disks {
+		col := a.colOnDisk(st, d)
+		for r := 0; r < a.geom.Rows; r++ {
+			c := layout.Coord{Row: r, Col: col}
+			s.Zero(c)
+			es[c] = true
+		}
+	}
+	if _, err := layout.Reconstruct(a.code, s, es); err != nil {
+		return fmt.Errorf("%w: stripe %d: %v", ErrTooManyFailures, st, err)
+	}
+	for _, d := range disks {
+		col := a.colOnDisk(st, d)
+		for r := 0; r < a.geom.Rows; r++ {
+			c := layout.Coord{Row: r, Col: col}
+			if err := a.writeCell(st, c, s.Block(c)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteStripe writes all data blocks of one stripe at once and encodes its
+// parities in a single pass — the full-stripe write optimization: no block
+// is read, every cell is written exactly once (2 writes per data block at
+// MDS rates, versus up to 6 I/Os per block through read-modify-write).
+// data must contain exactly DataPerStripe() blocks, in Locate order. The
+// array must be healthy.
+func (a *Array) WriteStripe(stripe int64, data [][]byte) error {
+	if len(data) != len(a.dataCells) {
+		return fmt.Errorf("raid6: full-stripe write of %d blocks, want %d", len(data), len(a.dataCells))
+	}
+	if len(a.failedColumns()) > 0 {
+		return fmt.Errorf("%w: full-stripe write needs a healthy array", ErrTooManyFailures)
+	}
+	s := layout.NewStripe(a.geom, a.blockSize)
+	for i, b := range data {
+		if len(b) != a.blockSize {
+			return fmt.Errorf("raid6: block %d has %d bytes, want %d", i, len(b), a.blockSize)
+		}
+		s.SetBlock(a.dataCells[i], b)
+	}
+	layout.Encode(a.code, s)
+	for r := 0; r < a.geom.Rows; r++ {
+		for j := 0; j < a.geom.Cols; j++ {
+			c := layout.Coord{Row: r, Col: j}
+			if err := a.writeCell(stripe, c, s.Block(c)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadStripe reads all data blocks of one stripe in Locate order,
+// reconstructing if disks have failed.
+func (a *Array) ReadStripe(stripe int64) ([][]byte, error) {
+	s, es, err := a.loadStripe(stripe)
+	if err != nil {
+		return nil, err
+	}
+	if len(es) > 0 {
+		if _, err := layout.Reconstruct(a.code, s, es); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTooManyFailures, err)
+		}
+	}
+	out := make([][]byte, len(a.dataCells))
+	for i, c := range a.dataCells {
+		b := make([]byte, a.blockSize)
+		copy(b, s.Block(c))
+		out[i] = b
+	}
+	return out, nil
+}

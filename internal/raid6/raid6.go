@@ -1,0 +1,302 @@
+// Package raid6 implements a RAID-6 array driver over any layout.Code: it
+// maps logical data blocks onto stripes of the code's geometry, maintains
+// parities on writes, serves degraded reads under one or two disk failures,
+// and rebuilds replaced disks. The migration engine produces arrays driven
+// by this package (with Code 5-6 as the code) from RAID-5 arrays.
+package raid6
+
+import (
+	"errors"
+	"fmt"
+
+	"code56/internal/layout"
+	"code56/internal/vdisk"
+	"code56/internal/xorblk"
+)
+
+// ErrTooManyFailures is returned when an operation needs more surviving
+// columns than are available.
+var ErrTooManyFailures = errors.New("raid6: failures exceed fault tolerance")
+
+// Array is a RAID-6 array using an erasure code over vdisk-backed disks.
+// Disk i of the array stores column i of every stripe; stripe s occupies
+// disk blocks [s*Rows, (s+1)*Rows).
+type Array struct {
+	code      layout.Code
+	disks     *vdisk.Array
+	blockSize int
+	geom      layout.Geometry
+	dataCells []layout.Coord
+	rotate    bool
+}
+
+// New creates a RAID-6 array for the code over fresh disks.
+func New(code layout.Code, blockSize int) *Array {
+	g := code.Geometry()
+	return &Array{
+		code:      code,
+		disks:     vdisk.NewArray(g.Cols, blockSize),
+		blockSize: blockSize,
+		geom:      g,
+		dataCells: layout.DataElements(code),
+	}
+}
+
+// Wrap builds an Array over an existing disk array (used by the migration
+// engine after a conversion completes). The disk array must have exactly
+// Geometry().Cols disks.
+func Wrap(code layout.Code, disks *vdisk.Array) (*Array, error) {
+	g := code.Geometry()
+	if disks.Len() != g.Cols {
+		return nil, fmt.Errorf("raid6: %d disks for a %d-column code", disks.Len(), g.Cols)
+	}
+	return &Array{
+		code:      code,
+		disks:     disks,
+		blockSize: disks.BlockSize(),
+		geom:      g,
+		dataCells: layout.DataElements(code),
+	}, nil
+}
+
+// Code returns the erasure code in use.
+func (a *Array) Code() layout.Code { return a.code }
+
+// Disks exposes the underlying disk array.
+func (a *Array) Disks() *vdisk.Array { return a.disks }
+
+// BlockSize returns the block size in bytes.
+func (a *Array) BlockSize() int { return a.blockSize }
+
+// DataPerStripe returns the number of logical data blocks per stripe.
+func (a *Array) DataPerStripe() int { return len(a.dataCells) }
+
+// Locate maps a logical data block to its stripe index and cell coordinate.
+func (a *Array) Locate(logical int64) (stripe int64, cell layout.Coord) {
+	n := int64(len(a.dataCells))
+	return logical / n, a.dataCells[logical%n]
+}
+
+// blockAddr returns the disk block address of cell c in stripe s.
+func (a *Array) blockAddr(stripe int64, c layout.Coord) int64 {
+	return stripe*int64(a.geom.Rows) + int64(c.Row)
+}
+
+// readCell reads one cell into buf directly from its disk (honoring the
+// per-stripe rotation when enabled).
+func (a *Array) readCell(stripe int64, c layout.Coord, buf []byte) error {
+	return a.diskFor(stripe, c.Col).Read(a.blockAddr(stripe, c), buf)
+}
+
+// writeCell writes one cell.
+func (a *Array) writeCell(stripe int64, c layout.Coord, data []byte) error {
+	return a.diskFor(stripe, c.Col).Write(a.blockAddr(stripe, c), data)
+}
+
+// failedColumns returns the failed disk indices.
+func (a *Array) failedColumns() []int {
+	var f []int
+	for i := 0; i < a.geom.Cols; i++ {
+		if a.disks.Disk(i).Failed() {
+			f = append(f, i)
+		}
+	}
+	return f
+}
+
+// loadStripe reads every cell of stripe s from non-failed disks and returns
+// the stripe plus the erasure set of unreadable cells.
+func (a *Array) loadStripe(stripe int64) (*layout.Stripe, layout.ErasureSet, error) {
+	s := layout.NewStripe(a.geom, a.blockSize)
+	es := make(layout.ErasureSet)
+	for r := 0; r < a.geom.Rows; r++ {
+		for j := 0; j < a.geom.Cols; j++ {
+			c := layout.Coord{Row: r, Col: j}
+			err := a.readCell(stripe, c, s.Block(c))
+			switch {
+			case err == nil:
+			case errors.Is(err, vdisk.ErrFailed), errors.Is(err, vdisk.ErrLatent):
+				s.Zero(c)
+				es[c] = true
+			default:
+				return nil, nil, err
+			}
+		}
+	}
+	return s, es, nil
+}
+
+// ReadBlock reads logical data block L, reconstructing the stripe if the
+// holding disk (or a needed block) is unavailable.
+func (a *Array) ReadBlock(logical int64, buf []byte) error {
+	stripe, cell := a.Locate(logical)
+	err := a.readCell(stripe, cell, buf)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, vdisk.ErrFailed) && !errors.Is(err, vdisk.ErrLatent) {
+		return err
+	}
+	s, es, err := a.loadStripe(stripe)
+	if err != nil {
+		return err
+	}
+	if _, err := layout.Reconstruct(a.code, s, es); err != nil {
+		return fmt.Errorf("%w: %v", ErrTooManyFailures, err)
+	}
+	copy(buf, s.Block(cell))
+	return nil
+}
+
+// ReadCell reads an arbitrary stripe cell (data or parity), reconstructing
+// the stripe if the cell's disk is unavailable. Migration tooling uses it
+// to serve RAID-5-addressed blocks through the RAID-6 redundancy.
+func (a *Array) ReadCell(stripe int64, cell layout.Coord, buf []byte) error {
+	err := a.readCell(stripe, cell, buf)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, vdisk.ErrFailed) && !errors.Is(err, vdisk.ErrLatent) {
+		return err
+	}
+	s, es, err := a.loadStripe(stripe)
+	if err != nil {
+		return err
+	}
+	if _, err := layout.Reconstruct(a.code, s, es); err != nil {
+		return fmt.Errorf("%w: %v", ErrTooManyFailures, err)
+	}
+	copy(buf, s.Block(cell))
+	return nil
+}
+
+// WriteBlock writes logical data block L. In a healthy array it performs
+// read-modify-write: read the old data, XOR the delta into every covering
+// parity. With failures present it falls back to stripe
+// reconstruct-modify-write.
+func (a *Array) WriteBlock(logical int64, data []byte) error {
+	if len(data) != a.blockSize {
+		return fmt.Errorf("raid6: write of %d bytes, want %d", len(data), a.blockSize)
+	}
+	stripe, cell := a.Locate(logical)
+	if len(a.failedColumns()) == 0 {
+		return a.writeRMW(stripe, cell, data)
+	}
+	return a.writeDegraded(stripe, cell, data)
+}
+
+func (a *Array) writeRMW(stripe int64, cell layout.Coord, data []byte) error {
+	old := make([]byte, a.blockSize)
+	if err := a.readCell(stripe, cell, old); err != nil {
+		return err
+	}
+	delta := make([]byte, a.blockSize)
+	xorblk.XorInto(delta, old, data)
+	if err := a.writeCell(stripe, cell, data); err != nil {
+		return err
+	}
+	// Propagate the delta through every chain covering the changed cell.
+	// Parity cells can themselves be covered by other chains (RDP's
+	// diagonals cover the row-parity column; HDP's horizontal chains cover
+	// the anti-diagonal parities), so updates cascade; the chain graph is
+	// acyclic, so this terminates.
+	type change struct {
+		at    layout.Coord
+		delta []byte
+	}
+	queue := []change{{cell, delta}}
+	parity := make([]byte, a.blockSize)
+	for len(queue) > 0 {
+		ch := queue[0]
+		queue = queue[1:]
+		for _, ci := range layout.ChainsCovering(a.code, ch.at) {
+			p := a.code.Chains()[ci].Parity
+			if err := a.readCell(stripe, p, parity); err != nil {
+				return err
+			}
+			xorblk.Xor(parity, ch.delta)
+			if err := a.writeCell(stripe, p, parity); err != nil {
+				return err
+			}
+			queue = append(queue, change{p, ch.delta})
+		}
+	}
+	return nil
+}
+
+func (a *Array) writeDegraded(stripe int64, cell layout.Coord, data []byte) error {
+	s, es, err := a.loadStripe(stripe)
+	if err != nil {
+		return err
+	}
+	if _, err := layout.Reconstruct(a.code, s, es); err != nil {
+		return fmt.Errorf("%w: %v", ErrTooManyFailures, err)
+	}
+	s.SetBlock(cell, data)
+	layout.Encode(a.code, s)
+	// Write back the changed data cell and every parity on surviving
+	// disks; failed columns are skipped (their content is restored at
+	// rebuild time).
+	write := func(c layout.Coord) error {
+		if a.diskFor(stripe, c.Col).Failed() {
+			return nil
+		}
+		return a.writeCell(stripe, c, s.Block(c))
+	}
+	if err := write(cell); err != nil {
+		return err
+	}
+	for _, ch := range a.code.Chains() {
+		if err := write(ch.Parity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeStripe recomputes and writes all parities of stripe s from its data
+// cells (full-stripe parity generation).
+func (a *Array) EncodeStripe(stripe int64) error {
+	s, es, err := a.loadStripe(stripe)
+	if err != nil {
+		return err
+	}
+	if len(es) > 0 {
+		return fmt.Errorf("%w: cannot encode with failures present", ErrTooManyFailures)
+	}
+	layout.Encode(a.code, s)
+	for _, ch := range a.code.Chains() {
+		if err := a.writeCell(stripe, ch.Parity, s.Block(ch.Parity)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyStripe reports whether every parity chain of stripe s holds.
+func (a *Array) VerifyStripe(stripe int64) (bool, error) {
+	s, es, err := a.loadStripe(stripe)
+	if err != nil {
+		return false, err
+	}
+	if len(es) > 0 {
+		return false, fmt.Errorf("%w: cannot verify with failures present", ErrTooManyFailures)
+	}
+	return layout.Verify(a.code, s), nil
+}
+
+// Rebuild reconstructs the contents of the given replaced disks across
+// stripes [0, stripes). The disks must have been Replace()d (accepting I/O,
+// contents lost) before the call. Disk indices are physical; with rotation
+// enabled each disk serves a different logical column per stripe.
+func (a *Array) Rebuild(stripes int64, disks ...int) error {
+	if len(disks) > a.code.FaultTolerance() {
+		return fmt.Errorf("%w: %d disks", ErrTooManyFailures, len(disks))
+	}
+	for st := int64(0); st < stripes; st++ {
+		if err := a.rebuildStripe(st, disks); err != nil {
+			return err
+		}
+	}
+	return nil
+}

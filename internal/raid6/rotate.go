@@ -1,0 +1,181 @@
+package raid6
+
+import (
+	"errors"
+
+	"code56/internal/layout"
+	"code56/internal/vdisk"
+	"code56/internal/xorblk"
+)
+
+// SetRotation enables or disables per-stripe column rotation: with rotation
+// on, logical column c of stripe s lives on disk (c + s) mod n. This is the
+// paper's "with load balancing support" implementation (§V-B): codes with
+// dedicated parity columns (RDP, EVENODD, Code 5-6) would otherwise
+// concentrate parity traffic on fixed disks. Call before any I/O; changing
+// the mapping on a populated array scrambles it.
+func (a *Array) SetRotation(on bool) { a.rotate = on }
+
+// Rotated reports whether per-stripe column rotation is enabled.
+func (a *Array) Rotated() bool { return a.rotate }
+
+// diskFor maps a stripe's logical column to its physical disk.
+func (a *Array) diskFor(stripe int64, col int) *vdisk.Disk {
+	if a.rotate {
+		col = (col + int(stripe%int64(a.geom.Cols))) % a.geom.Cols
+	}
+	return a.disks.Disk(col)
+}
+
+// colOnDisk inverts diskFor: the logical column that disk d serves in the
+// given stripe.
+func (a *Array) colOnDisk(stripe int64, d int) int {
+	if a.rotate {
+		return ((d-int(stripe%int64(a.geom.Cols)))%a.geom.Cols + a.geom.Cols) % a.geom.Cols
+	}
+	return d
+}
+
+// ScrubReport summarizes a scrub pass (the defense against the latent
+// sector errors and undetected disk errors motivating the paper's §I).
+type ScrubReport struct {
+	// Stripes is the number of stripes checked.
+	Stripes int64
+	// LatentRepaired counts blocks that returned latent sector errors and
+	// were rebuilt and rewritten.
+	LatentRepaired int
+	// CorruptRepaired counts silently corrupted blocks located by parity
+	// syndrome intersection and rewritten.
+	CorruptRepaired int
+	// Unrecoverable lists stripes whose inconsistency could not be
+	// attributed to a single block.
+	Unrecoverable []int64
+}
+
+// Scrub verifies every stripe in [0, stripes): latent sector errors are
+// rebuilt from redundancy and rewritten; silent single-block corruptions
+// are located by intersecting the failing parity chains and repaired. A
+// stripe whose corruption cannot be pinned to one block is reported
+// unrecoverable (RAID-6 syndromes cannot always distinguish multi-block
+// corruption).
+func (a *Array) Scrub(stripes int64) (ScrubReport, error) {
+	rep := ScrubReport{Stripes: stripes}
+	for st := int64(0); st < stripes; st++ {
+		// Load with latent-error healing.
+		s := layout.NewStripe(a.geom, a.blockSize)
+		var latent []layout.Coord
+		for r := 0; r < a.geom.Rows; r++ {
+			for j := 0; j < a.geom.Cols; j++ {
+				c := layout.Coord{Row: r, Col: j}
+				err := a.diskFor(st, c.Col).Read(a.blockAddr(st, c), s.Block(c))
+				switch {
+				case err == nil:
+				case errors.Is(err, vdisk.ErrLatent):
+					s.Zero(c)
+					latent = append(latent, c)
+				default:
+					return rep, err
+				}
+			}
+		}
+		if len(latent) > 0 {
+			es := make(layout.ErasureSet, len(latent))
+			for _, c := range latent {
+				es[c] = true
+			}
+			if _, err := layout.Reconstruct(a.code, s, es); err != nil {
+				rep.Unrecoverable = append(rep.Unrecoverable, st)
+				continue
+			}
+			for _, c := range latent {
+				if err := a.diskFor(st, c.Col).Write(a.blockAddr(st, c), s.Block(c)); err != nil {
+					return rep, err
+				}
+				rep.LatentRepaired++
+			}
+		}
+
+		// Syndrome check for silent corruption.
+		if layout.Verify(a.code, s) {
+			continue
+		}
+		cell, ok := locateCorruption(a.code, s)
+		if !ok {
+			rep.Unrecoverable = append(rep.Unrecoverable, st)
+			continue
+		}
+		es := layout.ErasureSet{cell: true}
+		s.Zero(cell)
+		if _, err := layout.Reconstruct(a.code, s, es); err != nil {
+			rep.Unrecoverable = append(rep.Unrecoverable, st)
+			continue
+		}
+		if err := a.diskFor(st, cell.Col).Write(a.blockAddr(st, cell), s.Block(cell)); err != nil {
+			return rep, err
+		}
+		rep.CorruptRepaired++
+		if !layout.Verify(a.code, s) {
+			// Repairing the located block did not restore consistency:
+			// more than one block was corrupt after all.
+			rep.Unrecoverable = append(rep.Unrecoverable, st)
+		}
+	}
+	return rep, nil
+}
+
+// locateCorruption finds the unique cell whose membership pattern matches
+// the set of failing chains, if exactly one exists.
+func locateCorruption(code layout.Code, s *layout.Stripe) (layout.Coord, bool) {
+	failing := make(map[int]bool)
+	acc := make([]byte, s.BlockSize)
+	for i, ch := range code.Chains() {
+		copy(acc, s.Block(ch.Parity))
+		for _, m := range ch.Covers {
+			xorblk.Xor(acc, s.Block(m))
+		}
+		if !xorblk.IsZero(acc) {
+			failing[i] = true
+		}
+	}
+	if len(failing) == 0 {
+		return layout.Coord{}, false
+	}
+	g := code.Geometry()
+	var found layout.Coord
+	matches := 0
+	for r := 0; r < g.Rows; r++ {
+		for j := 0; j < g.Cols; j++ {
+			c := layout.Coord{Row: r, Col: j}
+			// The chains that would fail if c were corrupt: every chain
+			// containing c (as parity or cover).
+			ok := true
+			count := 0
+			for i, ch := range code.Chains() {
+				contains := ch.Parity == c
+				if !contains {
+					for _, m := range ch.Covers {
+						if m == c {
+							contains = true
+							break
+						}
+					}
+				}
+				if contains {
+					count++
+					if !failing[i] {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok && count == len(failing) {
+				found = c
+				matches++
+			}
+		}
+	}
+	if matches != 1 {
+		return layout.Coord{}, false
+	}
+	return found, true
+}

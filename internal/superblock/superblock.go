@@ -1,0 +1,178 @@
+// Package superblock gives arrays an mdadm-like identity: a Manifest
+// records what an array is (code, prime, variant, geometry, rotation), and
+// SaveArray/LoadArray persist a complete RAID-6 — manifest plus disk
+// snapshot — as one stream, so a simulated array can be torn down and
+// reassembled across processes without out-of-band knowledge.
+package superblock
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"code56/internal/codes/evenodd"
+	"code56/internal/codes/hdp"
+	"code56/internal/codes/pcode"
+	"code56/internal/codes/rdp"
+	"code56/internal/codes/xcode"
+	"code56/internal/core"
+	"code56/internal/layout"
+	"code56/internal/raid6"
+	"code56/internal/vdisk"
+
+	hcodepkg "code56/internal/codes/hcode"
+)
+
+// ManifestVersion is the current manifest format version.
+const ManifestVersion = 1
+
+// ErrBadManifest is returned for malformed or unsupported manifests.
+var ErrBadManifest = errors.New("superblock: bad manifest")
+
+// Manifest identifies an array's code and geometry.
+type Manifest struct {
+	// Version is the manifest format version.
+	Version int `json:"version"`
+	// CodeName is the code's Name() ("code56", "rdp", "evenodd",
+	// "xcode", "pcode", "pcode-p", "hcode", "hdp", "code56r").
+	CodeName string `json:"code"`
+	// P is the code's prime parameter.
+	P int `json:"p"`
+	// BlockSize is the array's block size in bytes.
+	BlockSize int `json:"block_size"`
+	// Stripes is the number of stripes the array holds.
+	Stripes int64 `json:"stripes"`
+	// Rotated records per-stripe parity rotation.
+	Rotated bool `json:"rotated,omitempty"`
+}
+
+// ManifestFor derives the manifest of a live array.
+func ManifestFor(a *raid6.Array, stripes int64) Manifest {
+	return Manifest{
+		Version:   ManifestVersion,
+		CodeName:  a.Code().Name(),
+		P:         a.Code().Geometry().P,
+		BlockSize: a.BlockSize(),
+		Stripes:   stripes,
+		Rotated:   a.Rotated(),
+	}
+}
+
+// BuildCode reconstructs the erasure code a manifest names.
+func BuildCode(m Manifest) (layout.Code, error) {
+	switch m.CodeName {
+	case "code56":
+		return core.New(m.P)
+	case "code56r":
+		return core.NewOriented(m.P, core.Right)
+	case "rdp":
+		return rdp.New(m.P)
+	case "evenodd":
+		return evenodd.New(m.P)
+	case "xcode":
+		return xcode.New(m.P)
+	case "pcode":
+		return pcode.New(m.P, pcode.VariantPMinus1)
+	case "pcode-p":
+		return pcode.New(m.P, pcode.VariantP)
+	case "hcode":
+		return hcodepkg.New(m.P)
+	case "hdp":
+		return hdp.New(m.P)
+	default:
+		return nil, fmt.Errorf("%w: unknown code %q", ErrBadManifest, m.CodeName)
+	}
+}
+
+// Validate checks internal consistency.
+func (m Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadManifest, m.Version)
+	}
+	if m.BlockSize <= 0 {
+		return fmt.Errorf("%w: block size %d", ErrBadManifest, m.BlockSize)
+	}
+	if m.Stripes < 0 {
+		return fmt.Errorf("%w: negative stripes", ErrBadManifest)
+	}
+	_, err := BuildCode(m)
+	return err
+}
+
+var streamMagic = [8]byte{'C', '5', '6', 'A', 'R', 'R', 'Y', '1'}
+
+// SaveArray writes the array — manifest and full disk snapshot — to w.
+func SaveArray(w io.Writer, a *raid6.Array, stripes int64) error {
+	m := ManifestFor(a, stripes)
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(streamMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(blob))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(blob); err != nil {
+		return err
+	}
+	if err := a.Disks().Save(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadArray reassembles an array saved by SaveArray.
+func LoadArray(r io.Reader) (*raid6.Array, Manifest, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, Manifest{}, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if magic != streamMagic {
+		return nil, Manifest{}, fmt.Errorf("%w: bad magic", ErrBadManifest)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, Manifest{}, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if n == 0 || n > 1<<20 {
+		return nil, Manifest{}, fmt.Errorf("%w: manifest size %d", ErrBadManifest, n)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(br, blob); err != nil {
+		return nil, Manifest{}, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, Manifest{}, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, Manifest{}, err
+	}
+	code, err := BuildCode(m)
+	if err != nil {
+		return nil, Manifest{}, err
+	}
+	disks, err := vdisk.Load(br)
+	if err != nil {
+		return nil, Manifest{}, err
+	}
+	if disks.BlockSize() != m.BlockSize {
+		return nil, Manifest{}, fmt.Errorf("%w: snapshot block size %d vs manifest %d", ErrBadManifest, disks.BlockSize(), m.BlockSize)
+	}
+	a, err := raid6.Wrap(code, disks)
+	if err != nil {
+		return nil, Manifest{}, err
+	}
+	a.SetRotation(m.Rotated)
+	return a, m, nil
+}

@@ -1,0 +1,165 @@
+package superblock
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"code56/internal/core"
+	"code56/internal/raid6"
+)
+
+func TestBuildCodeAllNames(t *testing.T) {
+	for _, name := range []string{"code56", "code56r", "rdp", "evenodd", "xcode", "pcode", "pcode-p", "hcode", "hdp"} {
+		m := Manifest{Version: ManifestVersion, CodeName: name, P: 5, BlockSize: 512, Stripes: 1}
+		code, err := BuildCode(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if code.Name() != name {
+			t.Errorf("built %q, want %q", code.Name(), name)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := BuildCode(Manifest{Version: 1, CodeName: "nonesuch", P: 5}); !errors.Is(err, ErrBadManifest) {
+		t.Error("unknown code accepted")
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	good := Manifest{Version: ManifestVersion, CodeName: "code56", P: 5, BlockSize: 512, Stripes: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Manifest{
+		{Version: 99, CodeName: "code56", P: 5, BlockSize: 512},
+		{Version: 1, CodeName: "code56", P: 5, BlockSize: 0},
+		{Version: 1, CodeName: "code56", P: 5, BlockSize: 512, Stripes: -1},
+		{Version: 1, CodeName: "code56", P: 4, BlockSize: 512},
+	}
+	for i, m := range bads {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad manifest %d accepted", i)
+		}
+	}
+}
+
+func TestSaveLoadArrayRoundTrip(t *testing.T) {
+	code := core.MustNew(5)
+	a := raid6.New(code, 64)
+	a.SetRotation(true)
+	r := rand.New(rand.NewSource(1))
+	const stripes = 3
+	want := map[int64][]byte{}
+	for L := int64(0); L < int64(a.DataPerStripe()*stripes); L++ {
+		b := make([]byte, 64)
+		r.Read(b)
+		want[L] = b
+		if err := a.WriteBlock(L, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Disks().Disk(2).InjectLatentError(5)
+
+	var buf bytes.Buffer
+	if err := SaveArray(&buf, a, stripes); err != nil {
+		t.Fatal(err)
+	}
+	restored, m, err := LoadArray(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CodeName != "code56" || m.P != 5 || m.Stripes != stripes || !m.Rotated {
+		t.Fatalf("manifest %+v", m)
+	}
+	if !restored.Rotated() {
+		t.Fatal("rotation not reapplied")
+	}
+	out := make([]byte, 64)
+	for L, w := range want {
+		if err := restored.ReadBlock(L, out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, w) {
+			t.Fatalf("block %d differs after reassembly", L)
+		}
+	}
+	// The latent error survives the round trip and a scrub heals it.
+	rep, err := restored.Scrub(stripes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LatentRepaired != 1 {
+		t.Errorf("latent repairs %d, want 1", rep.LatentRepaired)
+	}
+	for st := int64(0); st < stripes; st++ {
+		ok, err := restored.VerifyStripe(st)
+		if err != nil || !ok {
+			t.Fatalf("stripe %d: %v %v", st, ok, err)
+		}
+	}
+}
+
+func TestLoadArrayRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadArray(bytes.NewBufferString("garbage")); !errors.Is(err, ErrBadManifest) {
+		t.Errorf("garbage accepted: %v", err)
+	}
+	// Valid magic, oversized manifest length.
+	var buf bytes.Buffer
+	buf.Write(streamMagic[:])
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F})
+	if _, _, err := LoadArray(&buf); !errors.Is(err, ErrBadManifest) {
+		t.Errorf("oversized manifest accepted: %v", err)
+	}
+	// Manifest/snapshot block size mismatch.
+	code := core.MustNew(5)
+	a := raid6.New(code, 64)
+	var good bytes.Buffer
+	if err := SaveArray(&good, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	mangled := bytes.Replace(good.Bytes(), []byte(`"block_size":64`), []byte(`"block_size":32`), 1)
+	if _, _, err := LoadArray(bytes.NewBuffer(mangled)); !errors.Is(err, ErrBadManifest) {
+		t.Errorf("block-size mismatch accepted: %v", err)
+	}
+}
+
+// TestSaveLoadEveryCode round-trips a small array of every code through
+// the superblock stream.
+func TestSaveLoadEveryCode(t *testing.T) {
+	for _, name := range []string{"code56", "code56r", "rdp", "evenodd", "xcode", "pcode", "pcode-p", "hcode", "hdp"} {
+		code, err := BuildCode(Manifest{Version: ManifestVersion, CodeName: name, P: 5, BlockSize: 32, Stripes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := raid6.New(code, 32)
+		b := bytes.Repeat([]byte{0x42}, 32)
+		if err := a.WriteBlock(0, b); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := SaveArray(&buf, a, 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		restored, m, err := LoadArray(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.CodeName != name {
+			t.Fatalf("%s: manifest says %s", name, m.CodeName)
+		}
+		out := make([]byte, 32)
+		if err := restored.ReadBlock(0, out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, b) {
+			t.Fatalf("%s: contents lost", name)
+		}
+		if ok, _ := restored.VerifyStripe(0); !ok {
+			t.Fatalf("%s: stripe inconsistent after reassembly", name)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package trace turns migration plans into block-level I/O traces — the
+// paper's §V-C methodology ("we generate different synthetic traces for the
+// migration I/Os by using various coding schemes, based on the results of
+// the mathematical analysis") — and provides synthetic application
+// workload generators for the online-migration experiments. Traces can be
+// serialized in a DiskSim-style ASCII format.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"code56/internal/disksim"
+	"code56/internal/migrate"
+)
+
+// Options controls trace synthesis from a plan.
+type Options struct {
+	// TotalDataBlocks is the paper's B: the trace covers enough stripe
+	// groups that at least this many source data blocks are involved
+	// (0.6 million in §V-C).
+	TotalDataBlocks int
+	// LoadBalanced rotates the column roles across stripe groups (the
+	// paper's "with load balancing support"), spreading the dedicated
+	// parity columns' writes over all disks.
+	LoadBalanced bool
+}
+
+// FromPlan expands the plan's operation stream into per-phase I/O traces.
+// The plan covers one parity-rotation period; the trace replicates it
+// across ceil(TotalDataBlocks / plan.DataBlocks) groups at increasing block
+// addresses. Disk indexes are real-disk indexes (virtual columns are
+// skipped; the planner never schedules I/O on them).
+func FromPlan(plan *migrate.Plan, o Options) [][]disksim.Request {
+	if o.TotalDataBlocks <= 0 {
+		o.TotalDataBlocks = plan.DataBlocks
+	}
+	groups := (o.TotalDataBlocks + plan.DataBlocks - 1) / plan.DataBlocks
+	rows := plan.Conv.Code.Geometry().Rows
+	cols := plan.Conv.Code.Geometry().Cols
+	realCols := cols - plan.Virtual
+	phases := make([][]disksim.Request, len(plan.PhaseNames))
+
+	for g := 0; g < groups; g++ {
+		markers := make([]int, len(phases))
+		for i := range phases {
+			markers[i] = len(phases[i])
+		}
+		base := int64(g) * int64(plan.Period) * int64(rows)
+		rot := 0
+		if o.LoadBalanced {
+			rot = g % realCols
+		}
+		mapDisk := func(col int) int {
+			d := col - plan.Virtual
+			return (d + rot) % realCols
+		}
+		for _, op := range plan.Ops {
+			op := op
+			lba := func(row int) int64 { return base + int64(op.Stripe)*int64(rows) + int64(row) }
+			switch op.Kind {
+			case migrate.OpReuse:
+				// Zero I/O.
+			case migrate.OpInvalidate:
+				phases[op.Phase] = append(phases[op.Phase], disksim.Request{
+					Disk: mapDisk(op.Cell.Col), LBA: lba(op.Cell.Row), Write: true,
+				})
+			case migrate.OpMigrate:
+				for _, c := range op.Reads {
+					phases[op.Phase] = append(phases[op.Phase], disksim.Request{
+						Disk: mapDisk(c.Col), LBA: lba(c.Row),
+					})
+				}
+				phases[op.Phase] = append(phases[op.Phase], disksim.Request{
+					Disk: mapDisk(op.Cell.Col), LBA: lba(op.Cell.Row), Write: true,
+				})
+			case migrate.OpGenerate:
+				for _, c := range op.Reads {
+					phases[op.Phase] = append(phases[op.Phase], disksim.Request{
+						Disk: mapDisk(c.Col), LBA: lba(c.Row),
+					})
+				}
+				phases[op.Phase] = append(phases[op.Phase], disksim.Request{
+					Disk: mapDisk(op.Cell.Col), LBA: lba(op.Cell.Row), Write: true,
+				})
+			}
+		}
+		// Elevator order within the stripe group: the conversion engine
+		// (like any disk scheduler) issues each group's I/O in ascending
+		// address order per disk, so per-disk streams are near-sequential
+		// sweeps rather than chain-traversal order.
+		for i := range phases {
+			bucket := phases[i][markers[i]:]
+			sort.SliceStable(bucket, func(a, b int) bool { return bucket[a].LBA < bucket[b].LBA })
+		}
+	}
+	return phases
+}
+
+// Write serializes a trace in a DiskSim-style ASCII format: one request per
+// line, "<arrival-ms> <disk> <lba> <R|W>".
+func Write(w io.Writer, tr []disksim.Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range tr {
+		op := "R"
+		if r.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%.3f %d %d %s\n", r.Arrival, r.Disk, r.LBA, op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the ASCII trace format produced by Write.
+func Read(r io.Reader) ([]disksim.Request, error) {
+	var out []disksim.Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(f))
+		}
+		arrival, err := strconv.ParseFloat(f[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad arrival: %v", line, err)
+		}
+		disk, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad disk: %v", line, err)
+		}
+		lba, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad lba: %v", line, err)
+		}
+		var write bool
+		switch f[3] {
+		case "R", "r":
+		case "W", "w":
+			write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", line, f[3])
+		}
+		out = append(out, disksim.Request{Arrival: arrival, Disk: disk, LBA: lba, Write: write})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WorkloadKind selects an application I/O pattern.
+type WorkloadKind int
+
+const (
+	// RandomRW issues uniformly random reads and writes.
+	RandomRW WorkloadKind = iota
+	// SequentialRead scans blocks in order.
+	SequentialRead
+	// WriteHeavy issues 80% writes at random addresses.
+	WriteHeavy
+	// ZipfRW issues reads and writes with a Zipf-distributed hot set —
+	// the skewed access pattern real block workloads exhibit.
+	ZipfRW
+)
+
+// AppOp is one application-level operation against a logical block.
+type AppOp struct {
+	Logical int64
+	Write   bool
+}
+
+// Workload generates n application operations over logical blocks
+// [0, blocks) with the given pattern; deterministic per seed.
+func Workload(kind WorkloadKind, blocks int64, n int, seed int64) []AppOp {
+	r := rand.New(rand.NewSource(seed))
+	var zipf *rand.Zipf
+	if kind == ZipfRW && blocks > 1 {
+		zipf = rand.NewZipf(r, 1.2, 1, uint64(blocks-1))
+	}
+	ops := make([]AppOp, n)
+	for i := range ops {
+		switch kind {
+		case SequentialRead:
+			ops[i] = AppOp{Logical: int64(i) % blocks}
+		case WriteHeavy:
+			ops[i] = AppOp{Logical: r.Int63n(blocks), Write: r.Intn(10) < 8}
+		case ZipfRW:
+			var l int64
+			if zipf != nil {
+				l = int64(zipf.Uint64())
+			}
+			ops[i] = AppOp{Logical: l, Write: r.Intn(2) == 0}
+		default:
+			ops[i] = AppOp{Logical: r.Int63n(blocks), Write: r.Intn(2) == 0}
+		}
+	}
+	return ops
+}

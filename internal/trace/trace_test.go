@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"code56/internal/core"
+	"code56/internal/disksim"
+	"code56/internal/migrate"
+	"code56/internal/raid5"
+)
+
+func code56Plan(t *testing.T) *migrate.Plan {
+	t.Helper()
+	p, err := migrate.NewPlan(migrate.Conversion{
+		M: 4, SourceLayout: raid5.LeftAsymmetric, Code: core.MustNew(5), Approach: migrate.Direct,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFromPlanCounts: the trace's request counts must equal the plan's I/O
+// totals scaled by the number of stripe groups.
+func TestFromPlanCounts(t *testing.T) {
+	plan := code56Plan(t)
+	groups := 10
+	phases := FromPlan(plan, Options{TotalDataBlocks: plan.DataBlocks * groups})
+	if len(phases) != len(plan.PhaseNames) {
+		t.Fatalf("%d phases, want %d", len(phases), len(plan.PhaseNames))
+	}
+	reads, writes := 0, 0
+	for _, ph := range phases {
+		for _, r := range ph {
+			if r.Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+	}
+	if reads != plan.TotalReads()*groups {
+		t.Errorf("reads %d, want %d", reads, plan.TotalReads()*groups)
+	}
+	if writes != plan.TotalWrites()*groups {
+		t.Errorf("writes %d, want %d", writes, plan.TotalWrites()*groups)
+	}
+}
+
+// TestFromPlanRoundsUpGroups: a block target that is not a multiple of the
+// period is covered by rounding groups up.
+func TestFromPlanRoundsUpGroups(t *testing.T) {
+	plan := code56Plan(t)
+	phases := FromPlan(plan, Options{TotalDataBlocks: plan.DataBlocks + 1})
+	n := 0
+	for _, ph := range phases {
+		n += len(ph)
+	}
+	if want := 2 * (plan.TotalReads() + plan.TotalWrites()); n != want {
+		t.Errorf("requests %d, want %d (2 groups)", n, want)
+	}
+}
+
+// TestLoadBalancingSpreadsWrites: without LB, Code 5-6's conversion writes
+// all land on the last disk; with LB they spread across all disks.
+func TestLoadBalancingSpreadsWrites(t *testing.T) {
+	plan := code56Plan(t)
+	opts := Options{TotalDataBlocks: plan.DataBlocks * 50}
+
+	writesPerDisk := func(lb bool) map[int]int {
+		o := opts
+		o.LoadBalanced = lb
+		out := make(map[int]int)
+		for _, ph := range FromPlan(plan, o) {
+			for _, r := range ph {
+				if r.Write {
+					out[r.Disk]++
+				}
+			}
+		}
+		return out
+	}
+
+	nlb := writesPerDisk(false)
+	if len(nlb) != 1 {
+		t.Fatalf("NLB writes hit %d disks, want 1 (dedicated parity disk)", len(nlb))
+	}
+	lb := writesPerDisk(true)
+	if len(lb) != 5 {
+		t.Fatalf("LB writes hit %d disks, want 5", len(lb))
+	}
+	for d, n := range lb {
+		if n != 40 { // 200 total writes spread over 5 disks
+			t.Errorf("disk %d got %d writes, want 40", d, n)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := []disksim.Request{
+		{Arrival: 0, Disk: 1, LBA: 42, Write: true},
+		{Arrival: 1.5, Disk: 0, LBA: 7},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestTraceReadErrors(t *testing.T) {
+	for _, bad := range []string{
+		"1 2 3",          // too few fields
+		"x 0 0 R",        // bad arrival
+		"0 x 0 R",        // bad disk
+		"0 0 x R",        // bad lba
+		"0 0 0 Q",        // bad op
+		"0 0 0 R extra1", // too many fields — wait, that's 5 fields
+	} {
+		if _, err := Read(bytes.NewBufferString(bad)); err == nil {
+			t.Errorf("input %q accepted", bad)
+		}
+	}
+	// Comments and blank lines are fine.
+	got, err := Read(bytes.NewBufferString("# comment\n\n0 0 0 W\n"))
+	if err != nil || len(got) != 1 || !got[0].Write {
+		t.Fatalf("comment handling: %v %+v", err, got)
+	}
+}
+
+func TestWorkloadDeterminismAndShape(t *testing.T) {
+	a := Workload(RandomRW, 100, 1000, 7)
+	b := Workload(RandomRW, 100, 1000, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give same workload")
+	}
+	seq := Workload(SequentialRead, 50, 100, 1)
+	for i, op := range seq {
+		if op.Write || op.Logical != int64(i%50) {
+			t.Fatalf("sequential op %d = %+v", i, op)
+		}
+	}
+	zf := Workload(ZipfRW, 1000, 5000, 9)
+	counts := map[int64]int{}
+	for _, op := range zf {
+		if op.Logical < 0 || op.Logical >= 1000 {
+			t.Fatalf("zipf logical %d out of range", op.Logical)
+		}
+		counts[op.Logical]++
+	}
+	// Skew: the hottest block must be far above uniform expectation (5).
+	hot := 0
+	for _, c := range counts {
+		if c > hot {
+			hot = c
+		}
+	}
+	if hot < 50 {
+		t.Errorf("zipf hottest block hit %d times; expected strong skew", hot)
+	}
+
+	wh := Workload(WriteHeavy, 1000, 5000, 2)
+	writes := 0
+	for _, op := range wh {
+		if op.Logical < 0 || op.Logical >= 1000 {
+			t.Fatalf("out-of-range logical %d", op.Logical)
+		}
+		if op.Write {
+			writes++
+		}
+	}
+	if frac := float64(writes) / 5000; frac < 0.75 || frac > 0.85 {
+		t.Errorf("write-heavy fraction %.2f, want ~0.8", frac)
+	}
+}
+
+// TestSimulatedCode56BeatsRDP ties trace generation to the simulator: the
+// Fig. 19 shape must hold — Code 5-6's conversion completes faster than
+// RDP's best approach at the same scale.
+func TestSimulatedCode56BeatsRDP(t *testing.T) {
+	c56 := code56Plan(t)
+	var rdpBest *migrate.Plan
+	for _, c := range migrate.StandardConversions(6) {
+		if c.Code.Name() != "rdp" {
+			continue
+		}
+		p, err := migrate.NewPlan(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rdpBest == nil || p.Metrics().TimeLB < rdpBest.Metrics().TimeLB {
+			rdpBest = p
+		}
+	}
+	opts := Options{TotalDataBlocks: 6000, LoadBalanced: true}
+	run := func(p *migrate.Plan) float64 {
+		sim, err := disksim.New(p.Conv.Code.Geometry().Cols-p.Virtual, 4096, disksim.DefaultModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.RunPhases(FromPlan(p, opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Makespan
+	}
+	t56, trdp := run(c56), run(rdpBest)
+	if t56 >= trdp {
+		t.Errorf("Code 5-6 simulated time %.1f >= RDP's %.1f", t56, trdp)
+	}
+}

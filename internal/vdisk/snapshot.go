@@ -1,0 +1,171 @@
+package vdisk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot format: a versioned binary stream so simulated arrays (and
+// mid-migration states) can be persisted and restored across runs.
+//
+//	magic "C56VDSK1"
+//	array: uint32 diskCount, uint32 blockSize
+//	per disk: uint32 id, uint8 failed,
+//	          uint32 nBlocks,  nBlocks × (int64 addr, blockSize bytes)
+//	          uint32 nLatent,  nLatent × int64 addr
+var snapshotMagic = [8]byte{'C', '5', '6', 'V', 'D', 'S', 'K', '1'}
+
+// ErrBadSnapshot is returned when Load encounters a malformed stream.
+var ErrBadSnapshot = errors.New("vdisk: bad snapshot")
+
+// Save serializes the array — contents, failure states, latent errors and
+// I/O-neutral metadata — to w.
+func (a *Array) Save(w io.Writer) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(a.disks))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(a.blockSize)); err != nil {
+		return err
+	}
+	for _, d := range a.disks {
+		if err := d.save(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (d *Disk) save(w io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := binary.Write(w, binary.LittleEndian, uint32(d.id)); err != nil {
+		return err
+	}
+	failed := uint8(0)
+	if d.failed {
+		failed = 1
+	}
+	if err := binary.Write(w, binary.LittleEndian, failed); err != nil {
+		return err
+	}
+	addrs := make([]int64, 0, len(d.blocks))
+	for b := range d.blocks {
+		addrs = append(addrs, b)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(addrs))); err != nil {
+		return err
+	}
+	for _, b := range addrs {
+		if err := binary.Write(w, binary.LittleEndian, b); err != nil {
+			return err
+		}
+		if _, err := w.Write(d.blocks[b]); err != nil {
+			return err
+		}
+	}
+	lat := make([]int64, 0, len(d.latent))
+	for b := range d.latent {
+		lat = append(lat, b)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(lat))); err != nil {
+		return err
+	}
+	for _, b := range lat {
+		if err := binary.Write(w, binary.LittleEndian, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reconstructs an array from a snapshot written by Save. I/O counters
+// start at zero (they describe activity, not state).
+func Load(r io.Reader) (*Array, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, magic[:])
+	}
+	var diskCount, blockSize uint32
+	if err := binary.Read(br, binary.LittleEndian, &diskCount); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &blockSize); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if blockSize == 0 || blockSize > 1<<30 || diskCount > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible geometry (%d disks, %d-byte blocks)", ErrBadSnapshot, diskCount, blockSize)
+	}
+	a := &Array{blockSize: int(blockSize)}
+	maxID := -1
+	for i := uint32(0); i < diskCount; i++ {
+		d, err := loadDisk(br, int(blockSize))
+		if err != nil {
+			return nil, err
+		}
+		a.disks = append(a.disks, d)
+		if d.id > maxID {
+			maxID = d.id
+		}
+	}
+	a.nextID = maxID + 1
+	return a, nil
+}
+
+func loadDisk(r io.Reader, blockSize int) (*Disk, error) {
+	var id uint32
+	if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	var failed uint8
+	if err := binary.Read(r, binary.LittleEndian, &failed); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	d := NewDisk(int(id), blockSize)
+	d.failed = failed != 0
+	var nBlocks uint32
+	if err := binary.Read(r, binary.LittleEndian, &nBlocks); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	for i := uint32(0); i < nBlocks; i++ {
+		var addr int64
+		if err := binary.Read(r, binary.LittleEndian, &addr); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		if addr < 0 {
+			return nil, fmt.Errorf("%w: negative block address", ErrBadSnapshot)
+		}
+		buf := make([]byte, blockSize)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		d.blocks[addr] = buf
+	}
+	var nLatent uint32
+	if err := binary.Read(r, binary.LittleEndian, &nLatent); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	for i := uint32(0); i < nLatent; i++ {
+		var addr int64
+		if err := binary.Read(r, binary.LittleEndian, &addr); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		d.latent[addr] = true
+	}
+	return d, nil
+}

@@ -1,0 +1,96 @@
+package vdisk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	a := NewArray(3, 16)
+	want := map[[2]int64][]byte{}
+	for d := 0; d < 3; d++ {
+		for b := int64(0); b < 5; b++ {
+			data := bytes.Repeat([]byte{byte(d*10 + int(b))}, 16)
+			if err := a.Disk(d).Write(b*7, data); err != nil {
+				t.Fatal(err)
+			}
+			want[[2]int64{int64(d), b * 7}] = data
+		}
+	}
+	a.Disk(1).InjectLatentError(14)
+	a.Disk(2).Fail()
+	extra := a.Add() // ID 3
+	_ = extra
+
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 4 || b.BlockSize() != 16 {
+		t.Fatalf("geometry %d disks / %d bytes", b.Len(), b.BlockSize())
+	}
+	out := make([]byte, 16)
+	for k, w := range want {
+		d, addr := int(k[0]), k[1]
+		if d == 2 {
+			continue // failed disk refuses I/O
+		}
+		if addr == 14 && d == 1 {
+			continue // latent, checked below
+		}
+		if err := b.Disk(d).Read(addr, out); err != nil {
+			t.Fatalf("disk %d block %d: %v", d, addr, err)
+		}
+		if !bytes.Equal(out, w) {
+			t.Fatalf("disk %d block %d contents differ", d, addr)
+		}
+	}
+	if err := b.Disk(1).Read(14, out); !errors.Is(err, ErrLatent) {
+		t.Errorf("latent error not restored: %v", err)
+	}
+	if !b.Disk(2).Failed() {
+		t.Error("failed state not restored")
+	}
+	if b.Disk(3).BlocksInUse() != 0 {
+		t.Error("empty disk not empty after restore")
+	}
+	// ID allocation continues past the snapshot's max.
+	if b.Add().ID() != 4 {
+		t.Error("nextID not restored")
+	}
+	// Counters start fresh.
+	if b.Disk(0).Stats().Writes != 0 {
+		t.Error("stats should reset on load")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a snapshot at all")); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("garbage accepted: %v", err)
+	}
+	if _, err := Load(bytes.NewBuffer(nil)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("empty stream accepted: %v", err)
+	}
+	// Truncated valid stream.
+	a := NewArray(2, 8)
+	_ = a.Disk(0).Write(0, make([]byte, 8))
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := Load(bytes.NewBuffer(trunc)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("truncated stream accepted: %v", err)
+	}
+	// Implausible geometry.
+	bad := append([]byte{}, buf.Bytes()[:8]...)
+	bad = append(bad, 0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0) // huge disk count, zero block size
+	if _, err := Load(bytes.NewBuffer(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("implausible geometry accepted: %v", err)
+	}
+}

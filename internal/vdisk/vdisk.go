@@ -1,0 +1,264 @@
+// Package vdisk provides the simulated block-device substrate the RAID
+// layers run on: in-memory disks with per-disk I/O accounting, fail-stop
+// failure injection, and latent sector errors (the unrecoverable-error class
+// the paper's motivation section cites as the reason to migrate RAID-5
+// arrays to RAID-6).
+//
+// Disks are safe for concurrent use; the online-migration engine drives
+// application I/O and conversion I/O against the same disks from separate
+// goroutines.
+package vdisk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Error values returned by disk operations.
+var (
+	// ErrFailed is returned by any I/O against a fail-stopped disk.
+	ErrFailed = errors.New("vdisk: disk failed")
+	// ErrLatent is returned when reading a block with an injected latent
+	// sector error; writes clear the error (sector remap semantics).
+	ErrLatent = errors.New("vdisk: latent sector error")
+	// ErrBadBlock is returned for negative block addresses or size
+	// mismatches.
+	ErrBadBlock = errors.New("vdisk: bad block request")
+)
+
+// Stats counts the I/O a disk has served. Counters are monotonically
+// increasing; failed operations are not counted.
+type Stats struct {
+	Reads  int64
+	Writes int64
+}
+
+// Total returns Reads+Writes.
+func (s Stats) Total() int64 { return s.Reads + s.Writes }
+
+// Disk is an in-memory block device with a fixed block size. Unwritten
+// blocks read as zero, matching the NULL/virtual-element semantics the
+// migration algorithms rely on. The zero value is not usable; construct
+// with NewDisk.
+type Disk struct {
+	id        int
+	blockSize int
+
+	mu     sync.RWMutex
+	blocks map[int64][]byte
+	failed bool
+	latent map[int64]bool
+	stats  Stats
+}
+
+// NewDisk returns an empty disk with the given id and block size.
+func NewDisk(id, blockSize int) *Disk {
+	if blockSize <= 0 {
+		panic(fmt.Sprintf("vdisk: invalid block size %d", blockSize))
+	}
+	return &Disk{
+		id:        id,
+		blockSize: blockSize,
+		blocks:    make(map[int64][]byte),
+		latent:    make(map[int64]bool),
+	}
+}
+
+// ID returns the disk's identifier.
+func (d *Disk) ID() int { return d.id }
+
+// BlockSize returns the disk's block size in bytes.
+func (d *Disk) BlockSize() int { return d.blockSize }
+
+// Read copies block b into buf. buf must be exactly one block long.
+func (d *Disk) Read(b int64, buf []byte) error {
+	if b < 0 || len(buf) != d.blockSize {
+		return fmt.Errorf("%w: read block %d, buf %d", ErrBadBlock, b, len(buf))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return fmt.Errorf("%w: disk %d", ErrFailed, d.id)
+	}
+	if d.latent[b] {
+		return fmt.Errorf("%w: disk %d block %d", ErrLatent, d.id, b)
+	}
+	if data, ok := d.blocks[b]; ok {
+		copy(buf, data)
+	} else {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	d.stats.Reads++
+	return nil
+}
+
+// Write stores data as block b. data must be exactly one block long.
+// Writing clears any latent error on the block.
+func (d *Disk) Write(b int64, data []byte) error {
+	if b < 0 || len(data) != d.blockSize {
+		return fmt.Errorf("%w: write block %d, data %d", ErrBadBlock, b, len(data))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return fmt.Errorf("%w: disk %d", ErrFailed, d.id)
+	}
+	dst, ok := d.blocks[b]
+	if !ok {
+		dst = make([]byte, d.blockSize)
+		d.blocks[b] = dst
+	}
+	copy(dst, data)
+	delete(d.latent, b)
+	d.stats.Writes++
+	return nil
+}
+
+// Trim discards block b's contents; subsequent reads return zeros. It is
+// not counted as an I/O (it models invalidating a parity block's mapping,
+// not writing it — use Write for the paper's NULL-write accounting).
+func (d *Disk) Trim(b int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.blocks, b)
+}
+
+// Fail marks the disk fail-stopped: every subsequent I/O errors until
+// Replace is called.
+func (d *Disk) Fail() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = true
+}
+
+// Failed reports whether the disk is fail-stopped.
+func (d *Disk) Failed() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.failed
+}
+
+// Replace swaps in a fresh drive: contents and latent errors are discarded
+// and the disk accepts I/O again. Stats are preserved (they describe the
+// slot, which is how the migration cost accounting uses them).
+func (d *Disk) Replace() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = false
+	d.blocks = make(map[int64][]byte)
+	d.latent = make(map[int64]bool)
+}
+
+// InjectLatentError marks block b with a latent sector error: reads fail
+// until the block is rewritten.
+func (d *Disk) InjectLatentError(b int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.latent[b] = true
+}
+
+// Stats returns a snapshot of the disk's I/O counters.
+func (d *Disk) Stats() Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.stats
+}
+
+// ResetStats zeroes the I/O counters.
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// BlocksInUse returns the number of blocks holding written data.
+func (d *Disk) BlocksInUse() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.blocks)
+}
+
+// Array is an ordered set of disks sharing a block size. It supports the
+// add/remove operations RAID level migration performs.
+type Array struct {
+	mu        sync.RWMutex
+	blockSize int
+	disks     []*Disk
+	nextID    int
+}
+
+// NewArray returns an array of n fresh disks.
+func NewArray(n, blockSize int) *Array {
+	a := &Array{blockSize: blockSize}
+	for i := 0; i < n; i++ {
+		a.disks = append(a.disks, NewDisk(i, blockSize))
+		a.nextID++
+	}
+	return a
+}
+
+// BlockSize returns the shared block size.
+func (a *Array) BlockSize() int { return a.blockSize }
+
+// Len returns the number of disks.
+func (a *Array) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.disks)
+}
+
+// Disk returns disk i.
+func (a *Array) Disk(i int) *Disk {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.disks[i]
+}
+
+// Add appends a fresh disk and returns it (the "add a new disk to the
+// array" step of the paper's Algorithm 2).
+func (a *Array) Add() *Disk {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d := NewDisk(a.nextID, a.blockSize)
+	a.nextID++
+	a.disks = append(a.disks, d)
+	return d
+}
+
+// RemoveLast detaches and returns the last disk (the RAID-6 → RAID-5
+// conversion direction). It returns nil if the array is empty.
+func (a *Array) RemoveLast() *Disk {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.disks) == 0 {
+		return nil
+	}
+	d := a.disks[len(a.disks)-1]
+	a.disks = a.disks[:len(a.disks)-1]
+	return d
+}
+
+// TotalStats sums the stats of all disks.
+func (a *Array) TotalStats() Stats {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var t Stats
+	for _, d := range a.disks {
+		s := d.Stats()
+		t.Reads += s.Reads
+		t.Writes += s.Writes
+	}
+	return t
+}
+
+// ResetStats zeroes every disk's counters.
+func (a *Array) ResetStats() {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, d := range a.disks {
+		d.ResetStats()
+	}
+}

@@ -1,0 +1,114 @@
+// Package xorblk provides the XOR kernels used by every array code in this
+// repository. All RAID-6 parity math here is pure XOR over byte blocks
+// (no Galois-field multiplication), so these kernels are the entire
+// computational substrate of encoding, decoding, and migration.
+//
+// Two code paths exist: a word-at-a-time path that processes eight bytes per
+// iteration when both slices are suitably sized, and a portable byte path.
+// The word path works on the byte level through encoding/binary and is
+// endianness-agnostic because XOR commutes with any byte permutation.
+package xorblk
+
+import "encoding/binary"
+
+// wordSize is the stride of the fast path in bytes.
+const wordSize = 8
+
+// Xor sets dst[i] ^= src[i] for all i. dst and src must have equal length;
+// it panics otherwise, since a length mismatch is always a programming error
+// in stripe handling (blocks within a stripe share one block size).
+func Xor(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("xorblk: length mismatch")
+	}
+	n := len(dst) &^ (wordSize - 1)
+	for i := 0; i < n; i += wordSize {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// XorBytes is the portable byte-at-a-time kernel. It is exported so that
+// benchmarks can compare it against the word-wise path; library code should
+// call Xor.
+func XorBytes(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("xorblk: length mismatch")
+	}
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// XorInto computes dst = a ^ b without reading dst's prior contents.
+// All three slices must have equal length.
+func XorInto(dst, a, b []byte) {
+	if len(dst) != len(a) || len(dst) != len(b) {
+		panic("xorblk: length mismatch")
+	}
+	n := len(dst) &^ (wordSize - 1)
+	for i := 0; i < n; i += wordSize {
+		x := binary.LittleEndian.Uint64(a[i:])
+		y := binary.LittleEndian.Uint64(b[i:])
+		binary.LittleEndian.PutUint64(dst[i:], x^y)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// XorMulti sets dst to the XOR of all srcs. If srcs is empty, dst is zeroed.
+// Every source must have the same length as dst.
+func XorMulti(dst []byte, srcs ...[]byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, s := range srcs {
+		Xor(dst, s)
+	}
+}
+
+// AccumulateMulti XORs every source into dst, preserving dst's existing
+// contents. It returns the number of XOR block operations performed, which
+// the migration cost model uses to count computation work.
+func AccumulateMulti(dst []byte, srcs ...[]byte) int {
+	for _, s := range srcs {
+		Xor(dst, s)
+	}
+	return len(srcs)
+}
+
+// IsZero reports whether every byte of b is zero. Parity verification uses
+// it: XOR of a full, consistent parity chain (including the parity block)
+// must be the zero block.
+func IsZero(b []byte) bool {
+	n := len(b) &^ (wordSize - 1)
+	for i := 0; i < n; i += wordSize {
+		if binary.LittleEndian.Uint64(b[i:]) != 0 {
+			return false
+		}
+	}
+	for i := n; i < len(b); i++ {
+		if b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether a and b have identical length and contents.
+func Equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+package xorblk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBlock(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestXorMatchesBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 63, 64, 65, 4096, 4097} {
+		a := randBlock(r, n)
+		b := randBlock(r, n)
+		want := append([]byte(nil), a...)
+		XorBytes(want, b)
+		got := append([]byte(nil), a...)
+		Xor(got, b)
+		if !bytes.Equal(got, want) {
+			t.Errorf("n=%d: Xor disagrees with XorBytes", n)
+		}
+	}
+}
+
+func TestXorSelfInverse(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if len(a) > len(b) {
+			a = a[:len(b)]
+		} else {
+			b = b[:len(a)]
+		}
+		orig := append([]byte(nil), a...)
+		Xor(a, b)
+		Xor(a, b)
+		return bytes.Equal(a, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		n := min3(len(a), len(b), len(c))
+		a, b, c = a[:n], b[:n], c[:n]
+		// (a^b)^c
+		x := append([]byte(nil), a...)
+		Xor(x, b)
+		Xor(x, c)
+		// a^(c^b)
+		y := append([]byte(nil), c...)
+		Xor(y, b)
+		Xor(y, a)
+		return bytes.Equal(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func TestXorInto(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 3, 8, 100, 4096} {
+		a := randBlock(r, n)
+		b := randBlock(r, n)
+		dst := randBlock(r, n) // garbage contents must be ignored
+		XorInto(dst, a, b)
+		want := append([]byte(nil), a...)
+		Xor(want, b)
+		if !bytes.Equal(dst, want) {
+			t.Errorf("n=%d: XorInto wrong", n)
+		}
+	}
+}
+
+func TestXorMulti(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	srcs := make([][]byte, 5)
+	for i := range srcs {
+		srcs[i] = randBlock(r, 128)
+	}
+	dst := randBlock(r, 128)
+	XorMulti(dst, srcs...)
+	want := make([]byte, 128)
+	for _, s := range srcs {
+		XorBytes(want, s)
+	}
+	if !bytes.Equal(dst, want) {
+		t.Error("XorMulti wrong")
+	}
+	// Zero sources zeroes dst.
+	XorMulti(dst)
+	if !IsZero(dst) {
+		t.Error("XorMulti with no sources should zero dst")
+	}
+}
+
+func TestAccumulateMulti(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	a := randBlock(r, 64)
+	b := randBlock(r, 64)
+	dst := append([]byte(nil), a...)
+	n := AccumulateMulti(dst, b)
+	if n != 1 {
+		t.Errorf("op count = %d, want 1", n)
+	}
+	want := append([]byte(nil), a...)
+	Xor(want, b)
+	if !bytes.Equal(dst, want) {
+		t.Error("AccumulateMulti wrong result")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(nil) {
+		t.Error("nil should be zero")
+	}
+	if !IsZero(make([]byte, 100)) {
+		t.Error("all-zero should be zero")
+	}
+	for _, pos := range []int{0, 7, 8, 9, 99} {
+		b := make([]byte, 100)
+		b[pos] = 1
+		if IsZero(b) {
+			t.Errorf("nonzero at %d not detected", pos)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal([]byte{1, 2}, []byte{1, 2}) {
+		t.Error("equal slices reported unequal")
+	}
+	if Equal([]byte{1, 2}, []byte{1, 3}) {
+		t.Error("unequal contents reported equal")
+	}
+	if Equal([]byte{1}, []byte{1, 2}) {
+		t.Error("unequal lengths reported equal")
+	}
+}
+
+func TestXorPanicsOnMismatch(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Xor":      func() { Xor(make([]byte, 3), make([]byte, 4)) },
+		"XorBytes": func() { XorBytes(make([]byte, 3), make([]byte, 4)) },
+		"XorInto":  func() { XorInto(make([]byte, 3), make([]byte, 3), make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on length mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func benchXor(b *testing.B, n int, f func(dst, src []byte)) {
+	dst := make([]byte, n)
+	src := make([]byte, n)
+	rand.New(rand.NewSource(5)).Read(src)
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(dst, src)
+	}
+}
+
+func BenchmarkXorWord4K(b *testing.B)  { benchXor(b, 4096, Xor) }
+func BenchmarkXorByte4K(b *testing.B)  { benchXor(b, 4096, XorBytes) }
+func BenchmarkXorWord64K(b *testing.B) { benchXor(b, 65536, Xor) }
+func BenchmarkXorByte64K(b *testing.B) { benchXor(b, 65536, XorBytes) }

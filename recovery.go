@@ -1,0 +1,46 @@
+package code56
+
+import (
+	"code56/internal/raid6"
+	"code56/internal/recovery"
+	"code56/internal/superblock"
+)
+
+// Recovery and maintenance facade.
+type (
+	// ColumnRecoveryPlan is a read-minimizing single-disk rebuild plan
+	// usable with any Code (the §III-E-4 hybrid recovery generalized).
+	ColumnRecoveryPlan = recovery.Plan
+	// ScrubReport summarizes a RAID-6 scrub pass: latent-sector-error
+	// repairs, located silent corruptions, unrecoverable stripes.
+	ScrubReport = raid6.ScrubReport
+)
+
+// PlanColumnRecovery computes a read-minimizing plan for rebuilding one
+// failed column of any code.
+func PlanColumnRecovery(code Code, failed int) (ColumnRecoveryPlan, error) {
+	return recovery.PlanColumn(code, failed)
+}
+
+// ConventionalRecoveryReads returns the read cost of the baseline rebuild
+// strategy for comparison with PlanColumnRecovery.
+func ConventionalRecoveryReads(code Code, failed int) (int, error) {
+	return recovery.ConventionalReads(code, failed)
+}
+
+// Array persistence (mdadm-style assembly).
+type (
+	// Manifest identifies a persisted array's code and geometry.
+	Manifest = superblock.Manifest
+)
+
+// Array persistence entry points.
+var (
+	// SaveArray persists a RAID-6 array (manifest + disk snapshot) to a
+	// writer.
+	SaveArray = superblock.SaveArray
+	// LoadArray reassembles an array saved by SaveArray.
+	LoadArray = superblock.LoadArray
+	// BuildCode reconstructs the erasure code a manifest names.
+	BuildCode = superblock.BuildCode
+)
