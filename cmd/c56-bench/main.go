@@ -1,0 +1,126 @@
+// Command c56-bench measures full-stripe encoding for Code 5-6 against the
+// paper's RAID-6 baselines (RDP, EVENODD) and writes the results as JSON —
+// the machine-readable companion to the paper's Fig. 13 computation-cost
+// comparison.
+//
+// Usage:
+//
+//	c56-bench                        # writes BENCH_encode.json
+//	c56-bench -out - -p 7 -block 8192
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	code56 "code56"
+	"code56/internal/layout"
+)
+
+// Result is one code's encoding measurement.
+type Result struct {
+	Code  string `json:"code"`
+	Disks int    `json:"disks"`
+	// DataElements is the number of data blocks per stripe.
+	DataElements int `json:"data_elements"`
+	// XORsPerElement is the encoding cost: block XOR operations per data
+	// block (the paper's Fig. 13 metric, here measured, not derived).
+	XORsPerElement float64 `json:"xors_per_element"`
+	// MBPerSec is the encoding throughput over the stripe's data bytes.
+	MBPerSec float64 `json:"mb_per_s"`
+	// Iterations is how many full-stripe encodes the sample averaged.
+	Iterations int `json:"iterations"`
+}
+
+// Report is the file's top-level object.
+type Report struct {
+	BlockSize int      `json:"block_size"`
+	P         int      `json:"p"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_encode.json", "output file ('-' for stdout)")
+		block   = flag.Int("block", 4096, "block size in bytes")
+		p       = flag.Int("p", 5, "prime parameter")
+		minTime = flag.Duration("mintime", 200*time.Millisecond, "minimum measurement time per code")
+	)
+	flag.Parse()
+	if err := run(*out, *block, *p, *minTime); err != nil {
+		fmt.Fprintln(os.Stderr, "c56-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, block, p int, minTime time.Duration) error {
+	c56, err := code56.New(p)
+	if err != nil {
+		return err
+	}
+	rdp, err := code56.NewRDP(p)
+	if err != nil {
+		return err
+	}
+	eo, err := code56.NewEVENODD(p)
+	if err != nil {
+		return err
+	}
+	rep := Report{BlockSize: block, P: p}
+	for _, c := range []struct {
+		name string
+		code code56.Code
+	}{
+		{fmt.Sprintf("code56-p%d", p), c56},
+		{fmt.Sprintf("rdp-p%d", p), rdp},
+		{fmt.Sprintf("evenodd-p%d", p), eo},
+	} {
+		rep.Results = append(rep.Results, measure(c.name, c.code, block, minTime))
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Printf("wrote %d results to %s\n", len(rep.Results), out)
+	}
+	return nil
+}
+
+// measure encodes full stripes until minTime has elapsed and averages.
+func measure(name string, code code56.Code, block int, minTime time.Duration) Result {
+	s := layout.NewStripe(code.Geometry(), block)
+	s.FillRandom(code, rand.New(rand.NewSource(1)))
+	data := len(layout.DataElements(code))
+	xors := layout.Encode(code, s) // warm-up; XOR count is deterministic
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minTime {
+		layout.Encode(code, s)
+		iters++
+	}
+	elapsed := time.Since(start)
+	bytesDone := float64(iters) * float64(data*block)
+	return Result{
+		Code:           name,
+		Disks:          code.Geometry().Cols,
+		DataElements:   data,
+		XORsPerElement: float64(xors) / float64(data),
+		MBPerSec:       bytesDone / 1e6 / elapsed.Seconds(),
+		Iterations:     iters,
+	}
+}

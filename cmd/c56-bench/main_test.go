@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestBenchReport runs the harness into a temp file and validates the JSON:
+// all three codes present, sensible XOR costs, positive throughput.
+func TestBenchReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_encode.json")
+	if err := run(out, 1024, 5, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(rep.Results))
+	}
+	want := map[string]bool{"code56-p5": true, "rdp-p5": true, "evenodd-p5": true}
+	for _, r := range rep.Results {
+		if !want[r.Code] {
+			t.Errorf("unexpected code %q", r.Code)
+		}
+		delete(want, r.Code)
+		if r.XORsPerElement <= 0 || r.XORsPerElement >= 4 {
+			t.Errorf("%s: implausible XORs/element %.3f", r.Code, r.XORsPerElement)
+		}
+		if r.MBPerSec <= 0 {
+			t.Errorf("%s: non-positive throughput %.3f", r.Code, r.MBPerSec)
+		}
+		if r.Iterations <= 0 {
+			t.Errorf("%s: no iterations measured", r.Code)
+		}
+	}
+	for c := range want {
+		t.Errorf("missing code %q", c)
+	}
+}

@@ -3,9 +3,13 @@
 // online to a Code 5-6 RAID-6 while an application workload keeps reading
 // and writing, then verifies every stripe and every data block.
 //
+// With -online=false it instead replays the offline conversion plan
+// through the executor and reports the paper's §V-A cost metrics.
+//
 // Usage:
 //
 //	c56-migrate -disks 4 -stripes 256 -block 4096 -workload random
+//	c56-migrate -online -metrics - -trace trace.jsonl
 package main
 
 import (
@@ -17,13 +21,14 @@ import (
 	"time"
 
 	code56 "code56"
+	"code56/internal/telemetry"
 	"code56/internal/trace"
 )
 
 func main() {
 	var (
 		disks    = flag.Int("disks", 4, "RAID-5 disks (disks+1 must be prime)")
-		stripes  = flag.Int("stripes", 256, "Code 5-6 stripes to migrate")
+		stripes  = flag.Int("stripes", 256, "Code 5-6 stripes to migrate (online mode)")
 		block    = flag.Int("block", 4096, "block size in bytes")
 		workload = flag.String("workload", "random", "application workload during migration: random, sequential, write-heavy, zipf, none")
 		ops      = flag.Int("ops", 2000, "application operations during migration")
@@ -31,15 +36,33 @@ func main() {
 		throttle = flag.Duration("throttle", 0, "pause between converted stripes (e.g. 5ms)")
 		parallel = flag.Int("parallel", 1, "concurrent stripe-conversion workers")
 		snapshot = flag.String("snapshot", "", "write a disk-array snapshot of the converted array to this file")
+		online   = flag.Bool("online", true, "convert online with Algorithm 2; false replays the offline plan via the executor")
+		metrics  = flag.String("metrics", "", "dump final telemetry counters to this file ('-' for stdout, '.json' suffix for JSON)")
+		traceOut = flag.String("trace", "", "write a JSON-lines span/event trace to this file ('-' for stderr)")
+		progress = flag.Bool("progress", true, "show a live progress line on stderr during online migration")
 	)
 	flag.Parse()
-	if err := run(*disks, *stripes, *block, *workload, *ops, *seed, *throttle, *snapshot, *parallel); err != nil {
+	closeTrace, err := telemetry.AttachTraceFile(telemetry.DefaultTracer(), *traceOut)
+	if err == nil {
+		if *online {
+			err = runOnline(*disks, *stripes, *block, *workload, *ops, *seed, *throttle, *snapshot, *parallel, *progress)
+		} else {
+			err = runOffline(*disks, *block, *seed)
+		}
+	}
+	if cerr := closeTrace(); err == nil {
+		err = cerr
+	}
+	if merr := telemetry.DumpMetrics(telemetry.Default(), *metrics); err == nil {
+		err = merr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "c56-migrate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(disks, stripes, block int, workload string, nops int, seed int64, throttle time.Duration, snapshot string, parallel int) error {
+func runOnline(disks, stripes, block int, workload string, nops int, seed int64, throttle time.Duration, snapshot string, parallel int, progress bool) error {
 	p := disks + 1
 	rows := int64(stripes) * int64(p-1)
 	blocks := rows * int64(disks-1)
@@ -72,12 +95,6 @@ func run(disks, stripes, block int, workload string, nops int, seed int64, throt
 			return err
 		}
 	}
-	r5.Disks().ResetStats()
-	start := time.Now()
-	if err := mig.Start(); err != nil {
-		return err
-	}
-
 	var kind trace.WorkloadKind
 	runApp := true
 	switch workload {
@@ -93,6 +110,38 @@ func run(disks, stripes, block int, workload string, nops int, seed int64, throt
 		runApp = false
 	default:
 		return fmt.Errorf("unknown workload %q", workload)
+	}
+
+	r5.Disks().ResetStats()
+	// Counter baseline: the default registry is process-wide and the fill
+	// phase above already moved it, so report deltas from here.
+	base := telemetry.Default().Snapshot().Counters
+	start := time.Now()
+	if err := mig.Start(); err != nil {
+		return err
+	}
+
+	stopProgress := make(chan struct{})
+	var progWG sync.WaitGroup
+	if progress {
+		progWG.Add(1)
+		go func() {
+			defer progWG.Done()
+			tick := time.NewTicker(150 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					fmt.Fprintf(os.Stderr, "\r%70s\r", "")
+					return
+				case <-tick.C:
+					pr := mig.ProgressSnapshot()
+					fmt.Fprintf(os.Stderr, "\rmigrating: %5.1f%% (%d/%d stripes) %8.0f stripes/s ETA %-12s",
+						100*pr.Fraction(), pr.Converted, pr.Total, pr.StripesPerSec,
+						pr.ETA.Truncate(time.Millisecond))
+				}
+			}
+		}()
 	}
 
 	appOps := 0
@@ -117,7 +166,10 @@ func run(disks, stripes, block int, workload string, nops int, seed int64, throt
 		}
 	}
 
-	if err := mig.Wait(); err != nil {
+	err = mig.Wait()
+	close(stopProgress)
+	progWG.Wait()
+	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
@@ -159,6 +211,9 @@ func run(disks, stripes, block int, workload string, nops int, seed int64, throt
 		writes += s.Writes
 	}
 	fmt.Printf("total I/O during migration+workload: %d reads, %d writes\n", reads, writes)
+	if err := reportCounters(disks, st, base); err != nil {
+		return err
+	}
 	if snapshot != "" {
 		f, err := os.Create(snapshot)
 		if err != nil {
@@ -169,6 +224,59 @@ func run(disks, stripes, block int, workload string, nops int, seed int64, throt
 			return err
 		}
 		fmt.Printf("snapshot of the converted array written to %s\n", snapshot)
+	}
+	return nil
+}
+
+// reportCounters prints the migration's telemetry counters and cross-checks
+// the conversion XOR tally against the offline plan's aggregate: every
+// converted stripe (including redos) costs Plan.XORs / Plan.Period XORs.
+func reportCounters(disks int, st code56.MigrationStats, base map[string]int64) error {
+	plan, err := code56.NewVirtualPlan(disks, code56.LeftAsymmetric)
+	if err != nil {
+		return err
+	}
+	c := telemetry.Default().Snapshot().Counters
+	delta := func(name string) int64 { return c[name] - base[name] }
+	expected := st.StripesConverted * int64(plan.XORs/plan.Period)
+	fmt.Printf("telemetry: %d stripes converted, %d app reads, %d app writes, %d conversion XORs (plan predicts %d)\n",
+		delta("migrate.stripes_converted"), delta("migrate.app_reads"), delta("migrate.app_writes"),
+		delta("migrate.conversion_xors"), expected)
+	if got := delta("migrate.conversion_xors"); got != expected {
+		return fmt.Errorf("conversion XOR counter %d does not match the plan's %d", got, expected)
+	}
+	return nil
+}
+
+func runOffline(disks, block int, seed int64) error {
+	plan, err := code56.NewVirtualPlan(disks, code56.LeftAsymmetric)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("offline plan %s: %d stripes/period, %d data blocks, %d ops (%d reuse, %d invalidate, %d migrate, %d generate)\n",
+		plan.Conv.Label(), plan.Period, plan.DataBlocks, len(plan.Ops),
+		plan.Reused, plan.Invalidated, plan.Migrated, plan.Generated)
+	base := telemetry.Default().Snapshot().Counters
+	ex := code56.NewExecutor(plan, block, seed)
+	if err := ex.Run(); err != nil {
+		return err
+	}
+	if err := ex.VerifyResult(); err != nil {
+		return err
+	}
+	fmt.Printf("verified: all %d stripes consistent, all data blocks intact\n", plan.Period)
+	m := plan.Metrics()
+	fmt.Printf("metrics (per data block): %.4f XORs, %.4f reads, %.4f writes, %.4f total I/O\n",
+		m.XORRatio, m.ReadRatio, m.WriteRatio, m.TotalIORatio)
+	c := telemetry.Default().Snapshot().Counters
+	delta := func(name string) int64 { return c[name] - base[name] }
+	fmt.Printf("telemetry: %d reads, %d writes, %d XORs (plan: %d reads, %d writes, %d XORs)\n",
+		delta("migrate.exec.reads"), delta("migrate.exec.writes"), delta("migrate.exec.xors"),
+		plan.TotalReads(), plan.TotalWrites(), plan.XORs)
+	if delta("migrate.exec.reads") != int64(plan.TotalReads()) ||
+		delta("migrate.exec.writes") != int64(plan.TotalWrites()) ||
+		delta("migrate.exec.xors") != int64(plan.XORs) {
+		return fmt.Errorf("executor counters diverge from the plan's aggregates")
 	}
 	return nil
 }

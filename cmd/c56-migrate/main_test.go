@@ -7,21 +7,27 @@ import (
 
 func TestRunWorkloads(t *testing.T) {
 	for _, w := range []string{"random", "sequential", "write-heavy", "zipf", "none"} {
-		if err := run(4, 4, 512, w, 50, 1, 0, "", 1); err != nil {
+		if err := runOnline(4, 4, 512, w, 50, 1, 0, "", 1, false); err != nil {
 			t.Fatalf("%s: %v", w, err)
 		}
 	}
-	if err := run(4, 4, 512, "nonesuch", 10, 1, 0, "", 1); err == nil {
+	if err := runOnline(4, 4, 512, "nonesuch", 10, 1, 0, "", 1, false); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run(5, 4, 512, "none", 0, 1, 0, "", 1); err == nil {
+	if err := runOnline(5, 4, 512, "none", 0, 1, 0, "", 1, false); err == nil {
 		t.Error("non-prime-plus-one disk count accepted")
 	}
 }
 
 func TestRunSnapshot(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "arr.snap")
-	if err := run(4, 2, 512, "none", 0, 1, 0, path, 4); err != nil {
+	if err := runOnline(4, 2, 512, "none", 0, 1, 0, path, 4, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOffline(t *testing.T) {
+	if err := runOffline(4, 512, 1); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"code56/internal/analysis"
 	"code56/internal/disksim"
 	"code56/internal/migrate"
+	"code56/internal/telemetry"
 	"code56/internal/trace"
 )
 
@@ -37,13 +38,25 @@ func main() {
 		util      = flag.Bool("utilization", false, "also print per-disk utilization of each winner")
 		dumpTrace = flag.String("dump-trace", "", "write the migration trace for -code to a file and exit")
 		codeName  = flag.String("code", "code56", "with -dump-trace: which code's trace to dump")
+		metrics   = flag.String("metrics", "", "dump final telemetry counters to this file ('-' for stdout, '.json' suffix for JSON)")
+		traceOut  = flag.String("trace", "", "write a JSON-lines span/event trace to this file ('-' for stderr)")
 	)
 	flag.Parse()
 
 	model := disksim.Model{SeekTime: *seek, RotationTime: *rot, TransferMBps: *rate, SeqWindow: *window}
 	cfg := analysis.SimConfig{TotalDataBlocks: *b, LoadBalanced: !*nlb, Model: model}
 
-	if err := run(*p, *n, *byN, *block, cfg, *dumpTrace, *codeName, *util); err != nil {
+	closeTrace, err := telemetry.AttachTraceFile(telemetry.DefaultTracer(), *traceOut)
+	if err == nil {
+		err = run(*p, *n, *byN, *block, cfg, *dumpTrace, *codeName, *util)
+	}
+	if cerr := closeTrace(); err == nil {
+		err = cerr
+	}
+	if merr := telemetry.DumpMetrics(telemetry.Default(), *metrics); err == nil {
+		err = merr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "c56-sim:", err)
 		os.Exit(1)
 	}

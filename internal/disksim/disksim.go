@@ -15,6 +15,8 @@ package disksim
 import (
 	"fmt"
 	"sort"
+
+	"code56/internal/telemetry"
 )
 
 // Model holds the mechanical parameters of one disk. The defaults mimic a
@@ -103,20 +105,42 @@ func (s Stats) Utilization(d int) float64 {
 	return s.PerDiskBusy[d] / s.Makespan
 }
 
+// serviceBucketsMS covers the model's service-time range: a sequential
+// 4 KB transfer (~0.04 ms) up to long queued random accesses.
+var serviceBucketsMS = []float64{0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 15, 20, 50}
+
 // Sim replays request traces over an array of identical disks.
 type Sim struct {
 	model     Model
 	disks     int
 	blockSize int
+
+	tr       *telemetry.Tracer
+	requests *telemetry.Counter
+	seqHits  *telemetry.Counter
+	svcTime  *telemetry.Histogram
 }
 
 // New creates a simulator for `disks` disks with the given block size in
-// bytes.
+// bytes, bound to the default telemetry registry (rebind with
+// SetTelemetry).
 func New(disks, blockSize int, model Model) (*Sim, error) {
 	if disks <= 0 || blockSize <= 0 {
 		return nil, fmt.Errorf("disksim: need positive disks (%d) and block size (%d)", disks, blockSize)
 	}
-	return &Sim{model: model, disks: disks, blockSize: blockSize}, nil
+	s := &Sim{model: model, disks: disks, blockSize: blockSize}
+	s.SetTelemetry(nil, nil)
+	return s, nil
+}
+
+// SetTelemetry rebinds the simulator's counters, service-time histogram
+// and tracer. Pass nil for either argument to use the process-wide
+// defaults.
+func (s *Sim) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	s.tr = tr
+	s.requests = reg.Counter("disksim.requests")
+	s.seqHits = reg.Counter("disksim.sequential_hits")
+	s.svcTime = reg.Histogram("disksim.service_ms", serviceBucketsMS)
 }
 
 // Run replays the trace and returns the run's statistics. Requests are
@@ -141,6 +165,7 @@ func (s *Sim) Run(trace []Request) (Stats, error) {
 		}
 		perDisk[r.Disk] = append(perDisk[r.Disk], r)
 	}
+	sp := s.tr.StartSpan("disksim.run", telemetry.A("requests", len(trace)))
 	for d, reqs := range perDisk {
 		sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
 		now := 0.0
@@ -154,6 +179,7 @@ func (s *Sim) Run(trace []Request) (Stats, error) {
 				st.SequentialHits++
 			}
 			dt := s.model.serviceTimeGap(s.blockSize, gap)
+			s.svcTime.Observe(dt)
 			now += dt
 			st.PerDiskBusy[d] += dt
 			lastLBA = r.LBA
@@ -163,6 +189,9 @@ func (s *Sim) Run(trace []Request) (Stats, error) {
 			st.Makespan = now
 		}
 	}
+	s.requests.Add(int64(st.Requests))
+	s.seqHits.Add(int64(st.SequentialHits))
+	sp.End(telemetry.A("makespan_ms", st.Makespan), telemetry.A("sequential_hits", st.SequentialHits))
 	return st, nil
 }
 

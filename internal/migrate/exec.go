@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"code56/internal/layout"
+	"code56/internal/telemetry"
 	"code56/internal/vdisk"
 	"code56/internal/xorblk"
 )
@@ -21,6 +22,17 @@ type Executor struct {
 	// want remembers every source data block for post-conversion
 	// integrity checks, keyed by stripe and cell.
 	want map[int]map[layout.Coord][]byte
+
+	reg *telemetry.Registry
+	tr  *telemetry.Tracer
+}
+
+// SetTelemetry rebinds the executor's counters and tracer (and those of
+// its disks). Pass nil for either argument to use the process-wide
+// defaults. Call before Run.
+func (e *Executor) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	e.reg, e.tr = reg, tr
+	e.disks.SetTelemetry(reg, tr)
 }
 
 // NewExecutor sets up source disks populated with random data laid out per
@@ -97,19 +109,30 @@ type imageKey struct {
 // operation needs a block that is neither scheduled for reading nor cached —
 // which would mean the planner's read accounting is wrong.
 func (e *Executor) Run() error {
+	reads := e.reg.Counter("migrate.exec.reads")
+	writes := e.reg.Counter("migrate.exec.writes")
+	xors := e.reg.Counter("migrate.exec.xors")
 	image := make(map[imageKey][]byte)
 	phase := -1
 	zero := make([]byte, e.blockSize)
+	var phaseSpan *telemetry.Span
+	defer func() { phaseSpan.End() }()
 	for _, op := range e.plan.Ops {
 		if op.Phase != phase {
 			image = make(map[imageKey][]byte) // conversion memory drains between phases
 			phase = op.Phase
+			phaseSpan.End()
+			phaseSpan = e.tr.StartSpan("migrate.exec.phase",
+				telemetry.A("phase", phase),
+				telemetry.A("name", e.plan.PhaseNames[phase]),
+				telemetry.A("conversion", e.plan.Conv.Label()))
 		}
 		for _, c := range op.Reads {
 			buf := make([]byte, e.blockSize)
 			if err := e.disk(c).Read(e.addr(op.Stripe, c), buf); err != nil {
 				return err
 			}
+			reads.Inc()
 			image[imageKey{op.Stripe, c}] = buf
 		}
 		switch op.Kind {
@@ -119,6 +142,7 @@ func (e *Executor) Run() error {
 			if err := e.disk(op.Cell).Write(e.addr(op.Stripe, op.Cell), zero); err != nil {
 				return err
 			}
+			writes.Inc()
 			image[imageKey{op.Stripe, op.Cell}] = zero
 		case OpMigrate:
 			b, ok := image[imageKey{op.Stripe, op.From}]
@@ -128,6 +152,7 @@ func (e *Executor) Run() error {
 			if err := e.disk(op.Cell).Write(e.addr(op.Stripe, op.Cell), b); err != nil {
 				return err
 			}
+			writes.Inc()
 			image[imageKey{op.Stripe, op.Cell}] = b
 			e.disk(op.From).Trim(e.addr(op.Stripe, op.From))
 		case OpGenerate:
@@ -139,9 +164,11 @@ func (e *Executor) Run() error {
 				}
 				xorblk.Xor(acc, b)
 			}
+			xors.Add(int64(op.XORs))
 			if err := e.disk(op.Cell).Write(e.addr(op.Stripe, op.Cell), acc); err != nil {
 				return err
 			}
+			writes.Inc()
 			image[imageKey{op.Stripe, op.Cell}] = acc
 		}
 	}

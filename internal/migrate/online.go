@@ -10,6 +10,7 @@ import (
 	"code56/internal/layout"
 	"code56/internal/raid5"
 	"code56/internal/raid6"
+	"code56/internal/telemetry"
 	"code56/internal/xorblk"
 )
 
@@ -68,7 +69,45 @@ type OnlineMigrator struct {
 	// stripe completes.
 	onProgress func(converted, total int64)
 
-	stats MigrationStats
+	stats     MigrationStats
+	startTime time.Time
+	endTime   time.Time
+
+	tel  onlineTel
+	span *telemetry.Span // the migrate.online root span
+}
+
+// onlineTel holds the migrator's bound telemetry instruments (see README
+// "Telemetry" for the metric reference).
+type onlineTel struct {
+	tr         *telemetry.Tracer
+	converted  *telemetry.Counter // stripes converted (incl. redone)
+	redone     *telemetry.Counter // stripes reconverted after a racing write
+	interrupts *telemetry.Counter // app writes that interrupted the conversion
+	diagUpd    *telemetry.Counter // write-redirect hits on converted stripes
+	appReads   *telemetry.Counter // application reads served
+	appWrites  *telemetry.Counter // application writes served
+	xors       *telemetry.Counter // conversion XORs (Equation 2 evaluations)
+	// redirectXORs counts the extra XORs write redirects spend updating
+	// already-converted diagonal parities (kept separate so xors matches
+	// the plan's conversion-only accounting).
+	redirectXORs *telemetry.Counter
+	progress     *telemetry.Gauge // contiguous converted-stripe watermark
+}
+
+func bindOnlineTel(reg *telemetry.Registry, tr *telemetry.Tracer) onlineTel {
+	return onlineTel{
+		tr:         tr,
+		converted:  reg.Counter("migrate.stripes_converted"),
+		redone:     reg.Counter("migrate.stripes_redone"),
+		interrupts: reg.Counter("migrate.write_interrupts"),
+		diagUpd:    reg.Counter("migrate.diagonal_updates"),
+		appReads:     reg.Counter("migrate.app_reads"),
+		appWrites:    reg.Counter("migrate.app_writes"),
+		xors:         reg.Counter("migrate.conversion_xors"),
+		redirectXORs: reg.Counter("migrate.redirect_xors"),
+		progress:     reg.Gauge("migrate.progress_stripes"),
+	}
 }
 
 // MigrationStats counts the online conversion's interactions with the
@@ -121,9 +160,19 @@ func NewOnlineMigrator(a *raid5.Array, rows int64) (*OnlineMigrator, error) {
 		dirtySet:    make(map[int64]bool),
 		doneSet:     make(map[int64]bool),
 		done:        make(chan struct{}),
+		tel:         bindOnlineTel(nil, nil),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
+}
+
+// SetTelemetry rebinds the migrator's counters, progress gauge and tracer.
+// Pass nil for either argument to use the process-wide defaults. Call
+// before Start.
+func (m *OnlineMigrator) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tel = bindOnlineTel(reg, tr)
 }
 
 // Code returns the Code 5-6 instance used by the migration.
@@ -187,6 +236,7 @@ func (m *OnlineMigrator) Pause() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.userPaused = true
+	m.span.Event("migrate.pause", telemetry.A("at_stripe", m.cursor))
 	m.cond.Broadcast()
 	for m.started && !m.finished && m.parked < m.workers {
 		m.cond.Wait()
@@ -198,6 +248,7 @@ func (m *OnlineMigrator) Resume() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.userPaused = false
+	m.span.Event("migrate.resume", telemetry.A("at_stripe", m.cursor))
 	m.cond.Broadcast()
 }
 
@@ -211,9 +262,15 @@ func (m *OnlineMigrator) Start() error {
 		return errors.New("migrate: already started")
 	}
 	m.started = true
+	m.startTime = time.Now()
 	if m.r5.Disks().Len() < m.code.P() {
 		m.r5.Disks().Add()
 	}
+	m.span = m.tel.tr.StartSpan("migrate.online",
+		telemetry.A("stripes", m.stripes),
+		telemetry.A("disks", m.code.P()-1),
+		telemetry.A("resume_from", m.cursor),
+		telemetry.A("parallelism", m.parallelism))
 	m.workers = m.parallelism
 	go m.convert()
 	return nil
@@ -232,6 +289,65 @@ func (m *OnlineMigrator) Progress() (converted, total int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.cursor, m.stripes
+}
+
+// ProgressReport is a coherent point-in-time view of a running (or
+// finished) migration, taken under the migrator's lock: every field
+// describes the same instant, so Converted, Stats and the derived
+// rate/ETA never disagree with each other.
+type ProgressReport struct {
+	// Converted is the contiguous converted-stripe watermark; Total is
+	// the migration's stripe count.
+	Converted, Total int64
+	// Started and Finished report the migration's lifecycle state.
+	Started, Finished bool
+	// Elapsed is the time since Start (frozen once the conversion ends).
+	Elapsed time.Duration
+	// StripesPerSec is the mean conversion rate so far (0 before Start).
+	StripesPerSec float64
+	// ETA estimates the remaining conversion time from the mean rate;
+	// zero when unknown (not started or no stripes converted yet).
+	ETA time.Duration
+	// Stats snapshots the interaction counters at the same instant.
+	Stats MigrationStats
+}
+
+// Fraction returns the converted fraction in [0, 1].
+func (p ProgressReport) Fraction() float64 {
+	if p.Total == 0 {
+		return 1
+	}
+	return float64(p.Converted) / float64(p.Total)
+}
+
+// ProgressSnapshot returns a coherent progress report for live reporting
+// (the CLIs' percent / stripes-per-second / ETA line).
+func (m *OnlineMigrator) ProgressSnapshot() ProgressReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := ProgressReport{
+		Converted: m.cursor,
+		Total:     m.stripes,
+		Started:   m.started,
+		Finished:  m.finished,
+		Stats:     m.stats,
+	}
+	if !m.started {
+		return r
+	}
+	switch {
+	case m.finished:
+		r.Elapsed = m.endTime.Sub(m.startTime)
+	default:
+		r.Elapsed = time.Since(m.startTime)
+	}
+	if secs := r.Elapsed.Seconds(); secs > 0 && r.Converted > 0 {
+		r.StripesPerSec = float64(r.Converted) / secs
+		if remaining := r.Total - r.Converted; remaining > 0 {
+			r.ETA = time.Duration(float64(remaining) / r.StripesPerSec * float64(time.Second))
+		}
+	}
+	return r
 }
 
 // Stats returns a snapshot of the migration's interaction counters.
@@ -269,8 +385,20 @@ func (m *OnlineMigrator) convert() {
 	wg.Wait()
 	m.mu.Lock()
 	m.finished = true
+	m.endTime = time.Now()
+	span, st, err := m.span, m.stats, m.err
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	attrs := []telemetry.Attr{
+		telemetry.A("stripes_converted", st.StripesConverted),
+		telemetry.A("stripes_redone", st.StripesRedone),
+		telemetry.A("write_interrupts", st.WriteInterrupts),
+		telemetry.A("diagonal_updates", st.DiagonalUpdates),
+	}
+	if err != nil {
+		attrs = append(attrs, telemetry.A("error", err.Error()))
+	}
+	span.End(attrs...)
 }
 
 // waitRunnable parks the calling worker while application writes are in
@@ -320,11 +448,14 @@ func (m *OnlineMigrator) worker() {
 			}
 			m.mu.Lock()
 			m.stats.StripesConverted++
+			m.tel.converted.Inc()
 			if m.dirtySet[st] {
 				// A concurrent write raced with our reads; redo the
 				// stripe (after letting pending writes drain).
 				delete(m.dirtySet, st)
 				m.stats.StripesRedone++
+				m.tel.redone.Inc()
+				m.span.Event("migrate.stripe_redone", telemetry.A("stripe", st))
 				if !m.waitRunnable() {
 					delete(m.inProgress, st)
 					m.mu.Unlock()
@@ -342,6 +473,7 @@ func (m *OnlineMigrator) worker() {
 			delete(m.doneSet, m.cursor)
 			m.cursor++
 		}
+		m.tel.progress.Set(m.cursor)
 		progress, total := m.cursor, m.stripes
 		fn := m.onProgress
 		throttle := m.throttle
@@ -375,15 +507,22 @@ func (m *OnlineMigrator) convertStripe(st int64) error {
 		}
 		m.mu.Unlock()
 
+		// The first contributor is copied, the rest are folded in, so the
+		// XOR tally matches the planner's n-1 accounting (and the plan's
+		// Metrics aggregates) exactly.
 		ch := m.code.Chains()[p-1+i] // diagonal chain i
-		for i := range parity {
-			parity[i] = 0
-		}
-		for _, c := range ch.Covers {
-			if err := m.r5.Disks().Disk(c.Col).Read(base+int64(c.Row), buf); err != nil {
+		for j, c := range ch.Covers {
+			dst := parity
+			if j > 0 {
+				dst = buf
+			}
+			if err := m.r5.Disks().Disk(c.Col).Read(base+int64(c.Row), dst); err != nil {
 				return err
 			}
-			xorblk.Xor(parity, buf)
+			if j > 0 {
+				xorblk.Xor(parity, buf)
+				m.tel.xors.Inc()
+			}
 		}
 		if err := newDisk.Write(base+int64(ch.Parity.Row), parity); err != nil {
 			return err
@@ -395,6 +534,7 @@ func (m *OnlineMigrator) convertStripe(st int64) error {
 // Read serves an application read (Algorithm 2's online thread): it never
 // conflicts with the conversion.
 func (m *OnlineMigrator) Read(logical int64, buf []byte) error {
+	m.tel.appReads.Inc()
 	return m.r5.ReadBlock(logical, buf)
 }
 
@@ -422,10 +562,13 @@ func (m *OnlineMigrator) Write(logical int64, data []byte) error {
 	}
 	if m.started && !m.finished {
 		m.stats.WriteInterrupts++
+		m.tel.interrupts.Inc()
 	}
 	if needDiag {
 		m.stats.DiagonalUpdates++
+		m.tel.diagUpd.Inc()
 	}
+	m.tel.appWrites.Inc()
 	m.mu.Unlock()
 
 	err := m.writeLocked(logical, row, disk, data, needDiag)
@@ -452,6 +595,7 @@ func (m *OnlineMigrator) writeLocked(logical, row int64, disk int, data []byte, 
 	// Apply the XOR delta to the diagonal parity of the block's chain.
 	delta := make([]byte, blockSize)
 	xorblk.XorInto(delta, old, data)
+	m.tel.redirectXORs.Add(2) // delta + fold into the diagonal parity
 	rows := int64(m.code.P() - 1)
 	inRow := int(row % rows)
 	chainIdx := m.code.DiagonalChainOf(inRow, disk)

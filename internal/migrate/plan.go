@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"code56/internal/layout"
+	"code56/internal/telemetry"
 )
 
 // OpKind enumerates the conversion operations the paper's §V-A cost model
@@ -112,7 +113,19 @@ type planner struct {
 }
 
 // NewPlan builds the conversion plan. The conversion must Validate().
-func NewPlan(c Conversion) (*Plan, error) {
+// Planning is traced as a "migrate.plan" span on the default tracer,
+// annotated with the conversion label and the resulting op counts.
+func NewPlan(c Conversion) (plan *Plan, err error) {
+	sp := telemetry.DefaultTracer().StartSpan("migrate.plan", telemetry.A("conversion", c.Label()))
+	defer func() {
+		if err != nil {
+			sp.End(telemetry.A("error", err.Error()))
+		} else {
+			sp.End(telemetry.A("ops", len(plan.Ops)),
+				telemetry.A("data_blocks", plan.DataBlocks),
+				telemetry.A("xors", plan.XORs))
+		}
+	}()
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"code56/internal/telemetry"
 	"code56/internal/vdisk"
 	"code56/internal/xorblk"
 )
@@ -56,12 +57,37 @@ func (l Layout) String() string {
 // and the paper's motivation for migrating to RAID-6.
 var ErrDoubleFailure = errors.New("raid5: more than one failed disk")
 
+// tel holds the array's bound telemetry instruments (see README
+// "Telemetry" for the metric reference).
+type tel struct {
+	tr            *telemetry.Tracer
+	blockReads    *telemetry.Counter // ReadBlock calls served
+	blockWrites   *telemetry.Counter // WriteBlock calls served
+	degradedReads *telemetry.Counter // reads answered by reconstruction
+	parityUpdates *telemetry.Counter // parity blocks written
+	xors          *telemetry.Counter // block XOR operations
+	rebuilt       *telemetry.Counter // blocks rebuilt onto replaced disks
+}
+
+func bindTel(reg *telemetry.Registry, tr *telemetry.Tracer) tel {
+	return tel{
+		tr:            tr,
+		blockReads:    reg.Counter("raid5.block_reads"),
+		blockWrites:   reg.Counter("raid5.block_writes"),
+		degradedReads: reg.Counter("raid5.degraded_reads"),
+		parityUpdates: reg.Counter("raid5.parity_updates"),
+		xors:          reg.Counter("raid5.xors"),
+		rebuilt:       reg.Counter("raid5.blocks_rebuilt"),
+	}
+}
+
 // Array is a RAID-5 array of m >= 3 disks.
 type Array struct {
 	disks     *vdisk.Array
 	m         int
 	layout    Layout
 	blockSize int
+	tel       tel
 }
 
 // New creates a RAID-5 array over m fresh disks.
@@ -69,7 +95,15 @@ func New(m, blockSize int, layout Layout) (*Array, error) {
 	if m < 3 {
 		return nil, fmt.Errorf("raid5: need at least 3 disks, got %d", m)
 	}
-	return &Array{disks: vdisk.NewArray(m, blockSize), m: m, layout: layout, blockSize: blockSize}, nil
+	return &Array{disks: vdisk.NewArray(m, blockSize), m: m, layout: layout, blockSize: blockSize, tel: bindTel(nil, nil)}, nil
+}
+
+// SetTelemetry rebinds the array's counters and tracer (and those of the
+// underlying disks). Pass nil for either argument to use the process-wide
+// defaults.
+func (a *Array) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	a.tel = bindTel(reg, tr)
+	a.disks.SetTelemetry(reg, tr)
 }
 
 // Wrap builds a RAID-5 view over existing disks (e.g. restored from a
@@ -83,7 +117,7 @@ func Wrap(disks *vdisk.Array, m int, layout Layout) (*Array, error) {
 	if disks.Len() < m {
 		return nil, fmt.Errorf("raid5: %d disks present, need at least %d", disks.Len(), m)
 	}
-	return &Array{disks: disks, m: m, layout: layout, blockSize: disks.BlockSize()}, nil
+	return &Array{disks: disks, m: m, layout: layout, blockSize: disks.BlockSize(), tel: bindTel(nil, nil)}, nil
 }
 
 // Disks exposes the underlying disk array (the migration engine attaches new
@@ -146,6 +180,7 @@ func (a *Array) failedDisks() []int {
 // ReadBlock reads logical data block L, reconstructing from parity if the
 // holding disk has failed (degraded read).
 func (a *Array) ReadBlock(logical int64, buf []byte) error {
+	a.tel.blockReads.Inc()
 	row, disk := a.Locate(logical)
 	err := a.disks.Disk(disk).Read(row, buf)
 	if err == nil {
@@ -154,6 +189,7 @@ func (a *Array) ReadBlock(logical int64, buf []byte) error {
 	if !errors.Is(err, vdisk.ErrFailed) && !errors.Is(err, vdisk.ErrLatent) {
 		return err
 	}
+	a.tel.degradedReads.Inc()
 	return a.reconstructInto(row, disk, buf)
 }
 
@@ -174,6 +210,7 @@ func (a *Array) reconstructInto(row int64, disk int, buf []byte) error {
 			return err
 		}
 		xorblk.Xor(buf, tmp)
+		a.tel.xors.Inc()
 	}
 	return nil
 }
@@ -185,6 +222,7 @@ func (a *Array) WriteBlock(logical int64, data []byte) error {
 	if len(data) != a.blockSize {
 		return fmt.Errorf("raid5: write of %d bytes, want %d", len(data), a.blockSize)
 	}
+	a.tel.blockWrites.Inc()
 	row, disk := a.Locate(logical)
 	pd := a.ParityDisk(row)
 
@@ -204,9 +242,11 @@ func (a *Array) WriteBlock(logical int64, data []byte) error {
 		// parity ^= old ^ new
 		xorblk.Xor(parity, old)
 		xorblk.Xor(parity, data)
+		a.tel.xors.Add(2)
 		if err := dataDisk.Write(row, data); err != nil {
 			return err
 		}
+		a.tel.parityUpdates.Inc()
 		return parityDisk.Write(row, parity)
 
 	case dataDisk.Failed():
@@ -225,7 +265,9 @@ func (a *Array) WriteBlock(logical int64, data []byte) error {
 				return err
 			}
 			xorblk.Xor(parity, tmp)
+			a.tel.xors.Inc()
 		}
+		a.tel.parityUpdates.Inc()
 		return parityDisk.Write(row, parity)
 
 	default:
@@ -249,7 +291,9 @@ func (a *Array) WriteParity(row int64) error {
 			return err
 		}
 		xorblk.Xor(parity, tmp)
+		a.tel.xors.Inc()
 	}
+	a.tel.parityUpdates.Inc()
 	return a.disks.Disk(pd).Write(row, parity)
 }
 
@@ -260,15 +304,20 @@ func (a *Array) Rebuild(disk int, rows int64) error {
 	if len(a.failedDisks()) > 0 {
 		return fmt.Errorf("%w: cannot rebuild with failed disks present", ErrDoubleFailure)
 	}
+	sp := a.tel.tr.StartSpan("raid5.rebuild", telemetry.A("disk", disk), telemetry.A("rows", rows))
 	buf := make([]byte, a.blockSize)
 	for row := int64(0); row < rows; row++ {
 		if err := a.reconstructInto(row, disk, buf); err != nil {
+			sp.End(telemetry.A("error", err.Error()))
 			return err
 		}
 		if err := a.disks.Disk(disk).Write(row, buf); err != nil {
+			sp.End(telemetry.A("error", err.Error()))
 			return err
 		}
+		a.tel.rebuilt.Inc()
 	}
+	sp.End(telemetry.A("blocks", rows))
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"code56/internal/layout"
+	"code56/internal/telemetry"
 	"code56/internal/vdisk"
 	"code56/internal/xorblk"
 )
@@ -28,18 +29,68 @@ type Array struct {
 	geom      layout.Geometry
 	dataCells []layout.Coord
 	rotate    bool
+	tel       tel
+	// encodeXORs is the XOR count of one full-stripe encode: for each
+	// chain, members fold into the parity with len(Covers)-1 XORs.
+	encodeXORs int64
+}
+
+// tel holds the array's bound telemetry instruments (see README
+// "Telemetry" for the metric reference).
+type tel struct {
+	tr            *telemetry.Tracer
+	blockReads    *telemetry.Counter // ReadBlock/ReadCell calls served
+	blockWrites   *telemetry.Counter // WriteBlock calls served
+	degradedReads *telemetry.Counter // reads answered by reconstruction
+	parityUpdates *telemetry.Counter // parity cells written
+	xors          *telemetry.Counter // block XOR operations
+	stripeEncodes *telemetry.Counter // full-stripe parity generations
+	rebuilt       *telemetry.Counter // blocks rebuilt onto replaced disks
+}
+
+func bindTel(reg *telemetry.Registry, tr *telemetry.Tracer) tel {
+	return tel{
+		tr:            tr,
+		blockReads:    reg.Counter("raid6.block_reads"),
+		blockWrites:   reg.Counter("raid6.block_writes"),
+		degradedReads: reg.Counter("raid6.degraded_reads"),
+		parityUpdates: reg.Counter("raid6.parity_updates"),
+		xors:          reg.Counter("raid6.xors"),
+		stripeEncodes: reg.Counter("raid6.stripe_encodes"),
+		rebuilt:       reg.Counter("raid6.blocks_rebuilt"),
+	}
+}
+
+func encodeXORCount(code layout.Code) int64 {
+	var n int64
+	for _, ch := range code.Chains() {
+		if len(ch.Covers) > 1 {
+			n += int64(len(ch.Covers) - 1)
+		}
+	}
+	return n
 }
 
 // New creates a RAID-6 array for the code over fresh disks.
 func New(code layout.Code, blockSize int) *Array {
 	g := code.Geometry()
 	return &Array{
-		code:      code,
-		disks:     vdisk.NewArray(g.Cols, blockSize),
-		blockSize: blockSize,
-		geom:      g,
-		dataCells: layout.DataElements(code),
+		code:       code,
+		disks:      vdisk.NewArray(g.Cols, blockSize),
+		blockSize:  blockSize,
+		geom:       g,
+		dataCells:  layout.DataElements(code),
+		tel:        bindTel(nil, nil),
+		encodeXORs: encodeXORCount(code),
 	}
+}
+
+// SetTelemetry rebinds the array's counters and tracer (and those of the
+// underlying disks). Pass nil for either argument to use the process-wide
+// defaults.
+func (a *Array) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	a.tel = bindTel(reg, tr)
+	a.disks.SetTelemetry(reg, tr)
 }
 
 // Wrap builds an Array over an existing disk array (used by the migration
@@ -51,11 +102,13 @@ func Wrap(code layout.Code, disks *vdisk.Array) (*Array, error) {
 		return nil, fmt.Errorf("raid6: %d disks for a %d-column code", disks.Len(), g.Cols)
 	}
 	return &Array{
-		code:      code,
-		disks:     disks,
-		blockSize: disks.BlockSize(),
-		geom:      g,
-		dataCells: layout.DataElements(code),
+		code:       code,
+		disks:      disks,
+		blockSize:  disks.BlockSize(),
+		geom:       g,
+		dataCells:  layout.DataElements(code),
+		tel:        bindTel(nil, nil),
+		encodeXORs: encodeXORCount(code),
 	}, nil
 }
 
@@ -129,6 +182,7 @@ func (a *Array) loadStripe(stripe int64) (*layout.Stripe, layout.ErasureSet, err
 // ReadBlock reads logical data block L, reconstructing the stripe if the
 // holding disk (or a needed block) is unavailable.
 func (a *Array) ReadBlock(logical int64, buf []byte) error {
+	a.tel.blockReads.Inc()
 	stripe, cell := a.Locate(logical)
 	err := a.readCell(stripe, cell, buf)
 	if err == nil {
@@ -137,6 +191,7 @@ func (a *Array) ReadBlock(logical int64, buf []byte) error {
 	if !errors.Is(err, vdisk.ErrFailed) && !errors.Is(err, vdisk.ErrLatent) {
 		return err
 	}
+	a.tel.degradedReads.Inc()
 	s, es, err := a.loadStripe(stripe)
 	if err != nil {
 		return err
@@ -152,6 +207,7 @@ func (a *Array) ReadBlock(logical int64, buf []byte) error {
 // the stripe if the cell's disk is unavailable. Migration tooling uses it
 // to serve RAID-5-addressed blocks through the RAID-6 redundancy.
 func (a *Array) ReadCell(stripe int64, cell layout.Coord, buf []byte) error {
+	a.tel.blockReads.Inc()
 	err := a.readCell(stripe, cell, buf)
 	if err == nil {
 		return nil
@@ -159,6 +215,7 @@ func (a *Array) ReadCell(stripe int64, cell layout.Coord, buf []byte) error {
 	if !errors.Is(err, vdisk.ErrFailed) && !errors.Is(err, vdisk.ErrLatent) {
 		return err
 	}
+	a.tel.degradedReads.Inc()
 	s, es, err := a.loadStripe(stripe)
 	if err != nil {
 		return err
@@ -178,6 +235,7 @@ func (a *Array) WriteBlock(logical int64, data []byte) error {
 	if len(data) != a.blockSize {
 		return fmt.Errorf("raid6: write of %d bytes, want %d", len(data), a.blockSize)
 	}
+	a.tel.blockWrites.Inc()
 	stripe, cell := a.Locate(logical)
 	if len(a.failedColumns()) == 0 {
 		return a.writeRMW(stripe, cell, data)
@@ -192,6 +250,7 @@ func (a *Array) writeRMW(stripe int64, cell layout.Coord, data []byte) error {
 	}
 	delta := make([]byte, a.blockSize)
 	xorblk.XorInto(delta, old, data)
+	a.tel.xors.Inc()
 	if err := a.writeCell(stripe, cell, data); err != nil {
 		return err
 	}
@@ -215,9 +274,11 @@ func (a *Array) writeRMW(stripe int64, cell layout.Coord, data []byte) error {
 				return err
 			}
 			xorblk.Xor(parity, ch.delta)
+			a.tel.xors.Inc()
 			if err := a.writeCell(stripe, p, parity); err != nil {
 				return err
 			}
+			a.tel.parityUpdates.Inc()
 			queue = append(queue, change{p, ch.delta})
 		}
 	}
@@ -234,6 +295,7 @@ func (a *Array) writeDegraded(stripe int64, cell layout.Coord, data []byte) erro
 	}
 	s.SetBlock(cell, data)
 	layout.Encode(a.code, s)
+	a.tel.xors.Add(a.encodeXORs)
 	// Write back the changed data cell and every parity on surviving
 	// disks; failed columns are skipped (their content is restored at
 	// rebuild time).
@@ -250,6 +312,7 @@ func (a *Array) writeDegraded(stripe int64, cell layout.Coord, data []byte) erro
 		if err := write(ch.Parity); err != nil {
 			return err
 		}
+		a.tel.parityUpdates.Inc()
 	}
 	return nil
 }
@@ -265,10 +328,13 @@ func (a *Array) EncodeStripe(stripe int64) error {
 		return fmt.Errorf("%w: cannot encode with failures present", ErrTooManyFailures)
 	}
 	layout.Encode(a.code, s)
+	a.tel.stripeEncodes.Inc()
+	a.tel.xors.Add(a.encodeXORs)
 	for _, ch := range a.code.Chains() {
 		if err := a.writeCell(stripe, ch.Parity, s.Block(ch.Parity)); err != nil {
 			return err
 		}
+		a.tel.parityUpdates.Inc()
 	}
 	return nil
 }
@@ -293,10 +359,15 @@ func (a *Array) Rebuild(stripes int64, disks ...int) error {
 	if len(disks) > a.code.FaultTolerance() {
 		return fmt.Errorf("%w: %d disks", ErrTooManyFailures, len(disks))
 	}
+	sp := a.tel.tr.StartSpan("raid6.rebuild",
+		telemetry.A("disks", fmt.Sprint(disks)), telemetry.A("stripes", stripes))
 	for st := int64(0); st < stripes; st++ {
 		if err := a.rebuildStripe(st, disks); err != nil {
+			sp.End(telemetry.A("error", err.Error()))
 			return err
 		}
+		a.tel.rebuilt.Add(int64(len(disks) * a.geom.Rows))
 	}
+	sp.End(telemetry.A("blocks", stripes*int64(len(disks)*a.geom.Rows)))
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"code56/internal/layout"
+	"code56/internal/telemetry"
 )
 
 // Plan is a read-minimizing rebuild schedule for one failed column.
@@ -183,15 +184,40 @@ func ConventionalReads(code layout.Code, failed int) (int, error) {
 // after that parity's own rebuild — cannot happen here since each chain
 // avoids the failed column except for its target cell).
 func (p Plan) Execute(code layout.Code, s *layout.Stripe) (layout.DecodeStats, error) {
+	return p.ExecuteObserved(code, s, nil, nil)
+}
+
+// ExecuteObserved is Execute with telemetry: it wraps the rebuild in a
+// "recovery.rebuild" span with one event per recovered element (chain used,
+// XORs spent) and bumps the recovery.elements_rebuilt / recovery.xors /
+// recovery.blocks_read counters. Pass nil for either argument to use the
+// process-wide defaults.
+func (p Plan) ExecuteObserved(code layout.Code, s *layout.Stripe, reg *telemetry.Registry, tr *telemetry.Tracer) (layout.DecodeStats, error) {
+	sp := tr.StartSpan("recovery.rebuild",
+		telemetry.A("code", code.Name()),
+		telemetry.A("failed_column", p.Failed),
+		telemetry.A("elements", len(p.Lost)))
 	var st layout.DecodeStats
 	read := make(map[layout.Coord]bool)
 	for i, c := range p.Lost {
 		ch := code.Chains()[p.ChainOf[i]]
+		before := st.XORs
 		layout.SolveChainTracked(s, ch, c, read, &st)
+		sp.Event("recovery.element",
+			telemetry.A("row", c.Row),
+			telemetry.A("chain", p.ChainOf[i]),
+			telemetry.A("xors", st.XORs-before),
+			telemetry.A("reads_so_far", len(read)))
 	}
 	st.BlocksRead = len(read)
+	reg.Counter("recovery.elements_rebuilt").Add(int64(len(p.Lost)))
+	reg.Counter("recovery.xors").Add(int64(st.XORs))
+	reg.Counter("recovery.blocks_read").Add(int64(st.BlocksRead))
 	if st.BlocksRead != p.Reads {
-		return st, fmt.Errorf("recovery: executed %d reads, plan promised %d", st.BlocksRead, p.Reads)
+		err := fmt.Errorf("recovery: executed %d reads, plan promised %d", st.BlocksRead, p.Reads)
+		sp.End(telemetry.A("error", err.Error()))
+		return st, err
 	}
+	sp.End(telemetry.A("reads", st.BlocksRead), telemetry.A("xors", st.XORs))
 	return st, nil
 }

@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// DumpMetrics writes a registry dump to path: "-" means stdout, a path
+// ending in ".json" selects the JSON form, anything else the expvar-style
+// text form. It is the implementation behind the CLIs' -metrics flag.
+func DumpMetrics(r *Registry, path string) error {
+	if path == "" {
+		return nil
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("telemetry: metrics dump: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(path, ".json") {
+		return r.WriteJSON(w)
+	}
+	return r.WriteText(w)
+}
+
+// AttachTraceFile creates path ("-" means stderr) and attaches a JSON-lines
+// sink writing to it to the tracer. The returned func flushes and closes the
+// file; call it once tracing is done. The func is never nil, so callers can
+// defer it unconditionally even on error. It is the implementation behind
+// the CLIs' -trace flag.
+func AttachTraceFile(t *Tracer, path string) (func() error, error) {
+	noop := func() error { return nil }
+	if path == "" {
+		return noop, nil
+	}
+	if path == "-" {
+		t.AddSink(NewJSONLSink(os.Stderr))
+		return noop, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return noop, fmt.Errorf("telemetry: trace file: %w", err)
+	}
+	t.AddSink(NewJSONLSink(f))
+	return f.Close, nil
+}

@@ -1,0 +1,308 @@
+// Package telemetry is the repository's dependency-free observability
+// substrate: a metrics registry of atomic counters, gauges and fixed-bucket
+// histograms, plus a lightweight span/event tracer with pluggable sinks
+// (JSON-lines, an in-memory ring for tests, and expvar-style text
+// exposition of the registry).
+//
+// The paper's whole argument is quantitative — conversion I/O counts, XOR
+// tallies, online-migration interference — so the same quantities the
+// offline analysis (internal/analysis) derives from plans are counted live
+// here as the engines run. Every layer of the stack records into a
+// Registry: vdisk (per-disk I/O latency/size), raid5/raid6 (stripe I/O,
+// degraded reads, parity updates, XORs), migrate (conversion progress,
+// write redirects), recovery (reads/XORs per rebuilt element) and disksim
+// (replayed requests, service times).
+//
+// Instruments are get-or-create by name and safe for concurrent use; the
+// hot-path cost of an un-sinked tracer or an idle registry is a few atomic
+// operations. Components accept an explicit *Registry/*Tracer and fall
+// back to the process-wide Default()/DefaultTracer() when given nil, so
+// CLIs can simply dump Default() at exit while tests isolate themselves
+// with fresh instances.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d must be >= 0; negative deltas are
+// ignored to preserve monotonicity).
+func (c *Counter) Add(d int64) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value: it can move both ways and be
+// reset, unlike a Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d (either sign).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counters.
+// Bucket i counts observations v <= Bounds[i]; the last bucket is the
+// overflow (+Inf) bucket. The observation count is always the sum of the
+// bucket counters, so snapshots cannot tear between count and buckets.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64
+	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the upper bucket bounds; Counts has len(Bounds)+1
+	// entries, the last being the overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	// Count is the total number of observations (sum of Counts).
+	Count int64 `json:"count"`
+	// Sum is the sum of observed values.
+	Sum float64 `json:"sum"`
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot returns a copy of the histogram's current state. Count is
+// derived from the bucket counters, so it equals their sum exactly.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Bounds: append([]float64(nil), h.bounds...)}
+	s.Counts = make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = math.Float64frombits(h.sum.Load())
+	return s
+}
+
+// Registry holds named instruments. Lookup is get-or-create: the first
+// registration of a name fixes its kind (and, for histograms, its bucket
+// bounds); later lookups return the same instrument.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Components fall back to it
+// when handed a nil *Registry.
+func Default() *Registry { return defaultRegistry }
+
+// orDefault resolves nil to the process-wide registry, so call sites can
+// hold a possibly-nil *Registry and still always record.
+func (r *Registry) orDefault() *Registry {
+	if r == nil {
+		return defaultRegistry
+	}
+	return r
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r = r.orDefault()
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r = r.orDefault()
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given upper
+// bucket bounds if needed. The first registration's bounds win.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r = r.orDefault()
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+// Individual values are read atomically; since counters are monotonic, a
+// snapshot taken while writers run never shows a counter lower than an
+// earlier snapshot did.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r = r.orDefault()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteText writes an expvar-style text exposition: one "name value" line
+// per instrument, sorted by name. Histograms expose count, sum and mean.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+3*len(s.Histograms))
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s.count %d", name, h.Count),
+			fmt.Sprintf("%s.sum %g", name, h.Sum),
+			fmt.Sprintf("%s.mean %g", name, h.Mean()))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the full snapshot (including histogram buckets) as one
+// indented JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

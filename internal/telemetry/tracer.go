@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A is shorthand for constructing an Attr.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Event is one trace record. Spans emit a "begin" record at StartSpan and
+// an "end" record (with Dur set) at End; free-standing events have Phase
+// "event". Span carries the span's id so sinks can pair begin/end records;
+// events emitted through a span carry its id too.
+type Event struct {
+	Time  time.Time
+	Span  uint64
+	Phase string // "begin", "end" or "event"
+	Name  string
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// Sink receives trace events. Implementations must be safe for concurrent
+// use; Emit is called synchronously from the traced goroutine.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer fans events out to its sinks. A nil *Tracer and a tracer with no
+// sinks are both valid and nearly free, so hot paths can trace
+// unconditionally. Sinks can be attached at any time.
+type Tracer struct {
+	mu     sync.RWMutex
+	sinks  []Sink
+	nextID atomic.Uint64
+	active atomic.Bool // true once a sink is attached
+}
+
+// NewTracer returns a tracer emitting to the given sinks.
+func NewTracer(sinks ...Sink) *Tracer {
+	t := &Tracer{sinks: sinks}
+	t.active.Store(len(sinks) > 0)
+	return t
+}
+
+var defaultTracer = NewTracer()
+
+// DefaultTracer returns the process-wide tracer. It starts with no sinks
+// (events are dropped at the cost of one atomic load); CLIs attach sinks
+// via AddSink. Components fall back to it when handed a nil *Tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+func (t *Tracer) orDefault() *Tracer {
+	if t == nil {
+		return defaultTracer
+	}
+	return t
+}
+
+// AddSink attaches a sink.
+func (t *Tracer) AddSink(s Sink) {
+	t = t.orDefault()
+	t.mu.Lock()
+	t.sinks = append(t.sinks, s)
+	t.active.Store(true)
+	t.mu.Unlock()
+}
+
+// enabled reports whether emitting is worth the allocation.
+func (t *Tracer) enabled() bool { return t != nil && t.active.Load() }
+
+func (t *Tracer) emit(e Event) {
+	t.mu.RLock()
+	sinks := t.sinks
+	t.mu.RUnlock()
+	for _, s := range sinks {
+		s.Emit(e)
+	}
+}
+
+// Event emits a free-standing event.
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	t = t.orDefault()
+	if !t.enabled() {
+		return
+	}
+	t.emit(Event{Time: time.Now(), Phase: "event", Name: name, Attrs: attrs})
+}
+
+// Span is an in-flight traced operation. The zero/nil span is inert, as is
+// any span from a sink-less tracer, so callers never need to nil-check.
+type Span struct {
+	t     *Tracer
+	id    uint64
+	name  string
+	start time.Time
+}
+
+// StartSpan emits a "begin" record and returns the span. If no sink is
+// attached the returned span is inert (and nil — still safe to use).
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+	t = t.orDefault()
+	if !t.enabled() {
+		return nil
+	}
+	sp := &Span{t: t, id: t.nextID.Add(1), name: name, start: time.Now()}
+	t.emit(Event{Time: sp.start, Span: sp.id, Phase: "begin", Name: name, Attrs: attrs})
+	return sp
+}
+
+// Event emits an event inside the span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.t.emit(Event{Time: time.Now(), Span: s.id, Phase: "event", Name: name, Attrs: attrs})
+}
+
+// End emits the span's "end" record with its duration.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.t.emit(Event{Time: now, Span: s.id, Phase: "end", Name: s.name, Dur: now.Sub(s.start), Attrs: attrs})
+}
+
+// jsonEvent is the JSON-lines wire form of an Event.
+type jsonEvent struct {
+	Time  string         `json:"t"`
+	Span  uint64         `json:"span,omitempty"`
+	Phase string         `json:"phase"`
+	Name  string         `json:"name"`
+	DurUS int64          `json:"dur_us,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// JSONLSink writes one JSON object per event to an io.Writer.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes the event as one JSON line. Encoding errors are dropped (the
+// tracer must never fail the traced operation).
+func (s *JSONLSink) Emit(e Event) {
+	je := jsonEvent{
+		Time:  e.Time.Format(time.RFC3339Nano),
+		Span:  e.Span,
+		Phase: e.Phase,
+		Name:  e.Name,
+		DurUS: e.Dur.Microseconds(),
+	}
+	if len(e.Attrs) > 0 {
+		je.Attrs = make(map[string]any, len(e.Attrs))
+		for _, a := range e.Attrs {
+			je.Attrs[a.Key] = a.Value
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(je)
+}
+
+// RingSink keeps the last N events in memory — the test sink.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int
+}
+
+// NewRingSink returns a ring sink with the given capacity.
+func NewRingSink(capacity int) *RingSink {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Emit stores the event, evicting the oldest once full.
+func (s *RingSink) Emit(e Event) {
+	s.mu.Lock()
+	s.buf[s.next] = e
+	s.next = (s.next + 1) % len(s.buf)
+	s.total++
+	s.mu.Unlock()
+}
+
+// Total returns how many events were ever emitted.
+func (s *RingSink) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.total
+	if n > len(s.buf) {
+		n = len(s.buf)
+	}
+	out := make([]Event, 0, n)
+	start := 0
+	if s.total > len(s.buf) {
+		start = s.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, s.buf[(start+i)%len(s.buf)])
+	}
+	return out
+}

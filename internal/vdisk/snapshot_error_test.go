@@ -1,0 +1,85 @@
+package vdisk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// snapshotBytes returns a small valid snapshot: 2 disks, 16-byte blocks,
+// one written block, one latent error, one failed disk.
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	a := NewArray(2, 16)
+	if err := a.Disk(0).Write(3, bytes.Repeat([]byte{0xAB}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	a.Disk(0).InjectLatentError(9)
+	a.Disk(1).Fail()
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotTruncatedEverywhere cuts a valid snapshot at every possible
+// offset: Load must return ErrBadSnapshot for each prefix — never panic,
+// never succeed on partial state.
+func TestSnapshotTruncatedEverywhere(t *testing.T) {
+	snap := snapshotBytes(t)
+	for n := 0; n < len(snap); n++ {
+		_, err := Load(bytes.NewReader(snap[:n]))
+		if !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("truncation at byte %d of %d: got %v, want ErrBadSnapshot", n, len(snap), err)
+		}
+	}
+	// Sanity: the untruncated stream loads.
+	if _, err := Load(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("full snapshot failed to load: %v", err)
+	}
+}
+
+// TestSnapshotBadMagic corrupts each magic byte in turn.
+func TestSnapshotBadMagic(t *testing.T) {
+	snap := snapshotBytes(t)
+	for i := 0; i < 8; i++ {
+		bad := append([]byte(nil), snap...)
+		bad[i] ^= 0xFF
+		if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("magic byte %d corrupted: got %v, want ErrBadSnapshot", i, err)
+		}
+	}
+}
+
+// TestSnapshotMismatchedBlockSize patches the header's block size so the
+// declared geometry disagrees with the payload that follows.
+func TestSnapshotMismatchedBlockSize(t *testing.T) {
+	snap := snapshotBytes(t)
+	// The little-endian uint32 block size lives at bytes 12..16.
+	patch := func(v uint32) []byte {
+		bad := append([]byte(nil), snap...)
+		bad[12], bad[13], bad[14], bad[15] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return bad
+	}
+	for _, v := range []uint32{0, 64, 1 << 31} {
+		if _, err := Load(bytes.NewReader(patch(v))); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("block size patched to %d: got %v, want ErrBadSnapshot", v, err)
+		}
+	}
+}
+
+// TestSnapshotNegativeBlockAddress checks that a stream carrying a negative
+// block address is rejected rather than stored.
+func TestSnapshotNegativeBlockAddress(t *testing.T) {
+	snap := snapshotBytes(t)
+	// Layout: magic(8) count(4) blockSize(4) | disk0: id(4) failed(1)
+	// nBlocks(4) addr(8)... — the first block address starts at byte 25.
+	bad := append([]byte(nil), snap...)
+	for i := 25; i < 33; i++ {
+		bad[i] = 0xFF // addr = -1
+	}
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("negative block address: got %v, want ErrBadSnapshot", err)
+	}
+}

@@ -1,0 +1,92 @@
+package vdisk
+
+import (
+	"fmt"
+
+	"code56/internal/telemetry"
+)
+
+// Telemetry metric names (see README "Telemetry" for the full reference):
+//
+//	vdisk.reads / vdisk.writes           counters, monotonic, all disks
+//	vdisk.read_errors                    counter, failed/latent reads
+//	vdisk.write_errors                   counter, writes to failed disks
+//	vdisk.latent_errors                  counter, latent-sector read hits
+//	vdisk.failures / vdisk.replacements  counters, Fail()/Replace() calls
+//	vdisk.io_bytes                       histogram, bytes per served I/O
+//	vdisk.disk.<id>.reads / .writes      gauges, mirror Stats (resettable)
+//	vdisk.disk.<id>.read_latency_us      histogram, per-disk read latency
+//	vdisk.disk.<id>.write_latency_us     histogram, per-disk write latency
+//
+// Trace events: vdisk.fail, vdisk.replace, vdisk.latent_injected,
+// vdisk.latent_hit — each with a "disk" attribute.
+
+// latencyBucketsUS covers the sub-microsecond map hit through a slow
+// multi-millisecond contended access.
+var latencyBucketsUS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// sizeBuckets covers the block sizes the paper evaluates (4 KB and 8 KB)
+// plus the neighbors tests use.
+var sizeBuckets = []float64{512, 1024, 2048, 4096, 8192, 16384, 65536}
+
+// diskTel holds one disk's bound instruments. All fields are resolved at
+// bind time so the hot path performs no registry lookups.
+type diskTel struct {
+	tr        *telemetry.Tracer
+	reads     *telemetry.Gauge // mirrors Stats.Reads; zeroed by ResetStats
+	writes    *telemetry.Gauge // mirrors Stats.Writes; zeroed by ResetStats
+	readLat   *telemetry.Histogram
+	writeLat  *telemetry.Histogram
+	ioBytes   *telemetry.Histogram
+	allReads  *telemetry.Counter // monotonic, shared across disks
+	allWrites *telemetry.Counter
+	readErrs  *telemetry.Counter
+	writeErrs *telemetry.Counter
+	latent    *telemetry.Counter
+	fails     *telemetry.Counter
+	replaces  *telemetry.Counter
+}
+
+// bindTelemetry (re)binds the disk's instruments to a registry and tracer.
+// nil selects the process-wide defaults.
+func (d *Disk) bindTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	prefix := fmt.Sprintf("vdisk.disk.%d", d.id)
+	d.tel = diskTel{
+		tr:        tr,
+		reads:     reg.Gauge(prefix + ".reads"),
+		writes:    reg.Gauge(prefix + ".writes"),
+		readLat:   reg.Histogram(prefix+".read_latency_us", latencyBucketsUS),
+		writeLat:  reg.Histogram(prefix+".write_latency_us", latencyBucketsUS),
+		ioBytes:   reg.Histogram("vdisk.io_bytes", sizeBuckets),
+		allReads:  reg.Counter("vdisk.reads"),
+		allWrites: reg.Counter("vdisk.writes"),
+		readErrs:  reg.Counter("vdisk.read_errors"),
+		writeErrs: reg.Counter("vdisk.write_errors"),
+		latent:    reg.Counter("vdisk.latent_errors"),
+		fails:     reg.Counter("vdisk.failures"),
+		replaces:  reg.Counter("vdisk.replacements"),
+	}
+	d.tel.reads.Set(d.stats.Reads)
+	d.tel.writes.Set(d.stats.Writes)
+}
+
+// SetTelemetry rebinds the disk's instruments. Pass nil for either argument
+// to use telemetry.Default() / telemetry.DefaultTracer().
+func (d *Disk) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	d.bindTelemetry(reg, tr)
+}
+
+// SetTelemetry rebinds every current disk's instruments and makes future
+// Add()ed disks bind to the same registry and tracer. Pass nil for either
+// argument to use the process-wide defaults.
+func (a *Array) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	a.mu.Lock()
+	a.reg, a.tr = reg, tr
+	disks := append([]*Disk(nil), a.disks...)
+	a.mu.Unlock()
+	for _, d := range disks {
+		d.bindTelemetry(reg, tr)
+	}
+}

@@ -1,0 +1,59 @@
+package vdisk
+
+import (
+	"testing"
+
+	"code56/internal/telemetry"
+)
+
+// TestResetStatsResetsGauges pins the monotonic-vs-resettable contract:
+// per-disk gauges mirror Stats and zero with ResetStats, while the
+// package-wide counters keep their totals.
+func TestResetStatsResetsGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := NewArray(2, 8)
+	a.SetTelemetry(reg, nil)
+
+	b := make([]byte, 8)
+	for i := int64(0); i < 5; i++ {
+		if err := a.Disk(0).Write(i, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Disk(0).Read(i, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges["vdisk.disk.0.reads"]; got != 5 {
+		t.Fatalf("per-disk read gauge = %d, want 5", got)
+	}
+	if got := snap.Gauges["vdisk.disk.0.writes"]; got != 5 {
+		t.Fatalf("per-disk write gauge = %d, want 5", got)
+	}
+
+	a.ResetStats()
+	snap = reg.Snapshot()
+	for _, name := range []string{"vdisk.disk.0.reads", "vdisk.disk.0.writes", "vdisk.disk.1.reads", "vdisk.disk.1.writes"} {
+		if got := snap.Gauges[name]; got != 0 {
+			t.Errorf("after ResetStats, gauge %s = %d, want 0", name, got)
+		}
+	}
+	if got := snap.Counters["vdisk.reads"]; got != 5 {
+		t.Errorf("monotonic vdisk.reads = %d after reset, want 5", got)
+	}
+	if got := snap.Counters["vdisk.writes"]; got != 5 {
+		t.Errorf("monotonic vdisk.writes = %d after reset, want 5", got)
+	}
+	if st := a.Disk(0).Stats(); st.Reads != 0 || st.Writes != 0 {
+		t.Errorf("Stats not reset: %+v", st)
+	}
+
+	// A disk added after SetTelemetry is bound to the same registry.
+	d := a.Add()
+	if err := d.Write(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Gauges["vdisk.disk.2.writes"]; got != 1 {
+		t.Errorf("late-added disk gauge = %d, want 1", got)
+	}
+}

@@ -13,6 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"code56/internal/telemetry"
 )
 
 // Error values returned by disk operations.
@@ -27,8 +30,16 @@ var (
 	ErrBadBlock = errors.New("vdisk: bad block request")
 )
 
-// Stats counts the I/O a disk has served. Counters are monotonically
-// increasing; failed operations are not counted.
+// Stats counts the I/O a disk has served. Failed operations are not
+// counted.
+//
+// Contract: Stats counters are *resettable* — ResetStats zeroes them, and
+// the migration cost accounting relies on that to scope totals to one
+// experiment phase. The per-disk telemetry gauges
+// (vdisk.disk.<id>.reads/.writes) mirror Stats exactly, including resets.
+// The package-wide telemetry counters (vdisk.reads, vdisk.writes, …) are
+// *monotonic* for the life of the process and are never reset; use those
+// for rates and cross-experiment totals.
 type Stats struct {
 	Reads  int64
 	Writes int64
@@ -50,19 +61,23 @@ type Disk struct {
 	failed bool
 	latent map[int64]bool
 	stats  Stats
+	tel    diskTel
 }
 
-// NewDisk returns an empty disk with the given id and block size.
+// NewDisk returns an empty disk with the given id and block size, bound to
+// the default telemetry registry (rebind with SetTelemetry).
 func NewDisk(id, blockSize int) *Disk {
 	if blockSize <= 0 {
 		panic(fmt.Sprintf("vdisk: invalid block size %d", blockSize))
 	}
-	return &Disk{
+	d := &Disk{
 		id:        id,
 		blockSize: blockSize,
 		blocks:    make(map[int64][]byte),
 		latent:    make(map[int64]bool),
 	}
+	d.bindTelemetry(nil, nil)
+	return d
 }
 
 // ID returns the disk's identifier.
@@ -76,12 +91,17 @@ func (d *Disk) Read(b int64, buf []byte) error {
 	if b < 0 || len(buf) != d.blockSize {
 		return fmt.Errorf("%w: read block %d, buf %d", ErrBadBlock, b, len(buf))
 	}
+	start := time.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.failed {
+		d.tel.readErrs.Inc()
 		return fmt.Errorf("%w: disk %d", ErrFailed, d.id)
 	}
 	if d.latent[b] {
+		d.tel.readErrs.Inc()
+		d.tel.latent.Inc()
+		d.tel.tr.Event("vdisk.latent_hit", telemetry.A("disk", d.id), telemetry.A("block", b))
 		return fmt.Errorf("%w: disk %d block %d", ErrLatent, d.id, b)
 	}
 	if data, ok := d.blocks[b]; ok {
@@ -92,6 +112,10 @@ func (d *Disk) Read(b int64, buf []byte) error {
 		}
 	}
 	d.stats.Reads++
+	d.tel.reads.Set(d.stats.Reads)
+	d.tel.allReads.Inc()
+	d.tel.ioBytes.Observe(float64(d.blockSize))
+	d.tel.readLat.Observe(float64(time.Since(start).Nanoseconds()) / 1e3)
 	return nil
 }
 
@@ -101,9 +125,11 @@ func (d *Disk) Write(b int64, data []byte) error {
 	if b < 0 || len(data) != d.blockSize {
 		return fmt.Errorf("%w: write block %d, data %d", ErrBadBlock, b, len(data))
 	}
+	start := time.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.failed {
+		d.tel.writeErrs.Inc()
 		return fmt.Errorf("%w: disk %d", ErrFailed, d.id)
 	}
 	dst, ok := d.blocks[b]
@@ -114,6 +140,10 @@ func (d *Disk) Write(b int64, data []byte) error {
 	copy(dst, data)
 	delete(d.latent, b)
 	d.stats.Writes++
+	d.tel.writes.Set(d.stats.Writes)
+	d.tel.allWrites.Inc()
+	d.tel.ioBytes.Observe(float64(d.blockSize))
+	d.tel.writeLat.Observe(float64(time.Since(start).Nanoseconds()) / 1e3)
 	return nil
 }
 
@@ -131,6 +161,10 @@ func (d *Disk) Trim(b int64) {
 func (d *Disk) Fail() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if !d.failed {
+		d.tel.fails.Inc()
+		d.tel.tr.Event("vdisk.fail", telemetry.A("disk", d.id))
+	}
 	d.failed = true
 }
 
@@ -150,6 +184,8 @@ func (d *Disk) Replace() {
 	d.failed = false
 	d.blocks = make(map[int64][]byte)
 	d.latent = make(map[int64]bool)
+	d.tel.replaces.Inc()
+	d.tel.tr.Event("vdisk.replace", telemetry.A("disk", d.id))
 }
 
 // InjectLatentError marks block b with a latent sector error: reads fail
@@ -158,6 +194,7 @@ func (d *Disk) InjectLatentError(b int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.latent[b] = true
+	d.tel.tr.Event("vdisk.latent_injected", telemetry.A("disk", d.id), telemetry.A("block", b))
 }
 
 // Stats returns a snapshot of the disk's I/O counters.
@@ -167,11 +204,15 @@ func (d *Disk) Stats() Stats {
 	return d.stats
 }
 
-// ResetStats zeroes the I/O counters.
+// ResetStats zeroes the I/O counters and the per-disk telemetry gauges
+// mirroring them. The package-wide monotonic counters are unaffected (see
+// the Stats contract).
 func (d *Disk) ResetStats() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stats = Stats{}
+	d.tel.reads.Set(0)
+	d.tel.writes.Set(0)
 }
 
 // BlocksInUse returns the number of blocks holding written data.
@@ -188,6 +229,8 @@ type Array struct {
 	blockSize int
 	disks     []*Disk
 	nextID    int
+	reg       *telemetry.Registry
+	tr        *telemetry.Tracer
 }
 
 // NewArray returns an array of n fresh disks.
@@ -223,6 +266,9 @@ func (a *Array) Add() *Disk {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	d := NewDisk(a.nextID, a.blockSize)
+	if a.reg != nil || a.tr != nil {
+		d.bindTelemetry(a.reg, a.tr)
+	}
 	a.nextID++
 	a.disks = append(a.disks, d)
 	return d

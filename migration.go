@@ -26,6 +26,12 @@ type (
 	// Executor replays a plan against simulated disks and verifies the
 	// result.
 	Executor = migrate.Executor
+	// MigrationStats counts an online conversion's interactions with the
+	// concurrent application workload.
+	MigrationStats = migrate.MigrationStats
+	// ProgressReport is a coherent point-in-time view of an online
+	// migration (see OnlineMigrator.ProgressSnapshot).
+	ProgressReport = migrate.ProgressReport
 )
 
 // Conversion approaches.
