@@ -3,18 +3,24 @@
 // the machine-readable companion to the paper's Fig. 13 computation-cost
 // comparison.
 //
+// It also sweeps the parallel stripe engine: full-array encodes at
+// 1, 2, 4 and 8 workers, written to BENCH_parallel.json together with the
+// host's core count (scaling beyond 1× needs GOMAXPROCS > 1).
+//
 // Usage:
 //
-//	c56-bench                        # writes BENCH_encode.json
-//	c56-bench -out - -p 7 -block 8192
+//	c56-bench                        # writes BENCH_encode.json + BENCH_parallel.json
+//	c56-bench -out - -p 7 -block 8192 -parallel-out ''
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	code56 "code56"
@@ -43,17 +49,48 @@ type Report struct {
 	Results   []Result `json:"results"`
 }
 
+// ParallelResult is one worker count's full-array encode measurement.
+type ParallelResult struct {
+	Workers    int     `json:"workers"`
+	MBPerSec   float64 `json:"mb_per_s"`
+	Speedup    float64 `json:"speedup_vs_1"`
+	Iterations int     `json:"iterations"`
+}
+
+// ParallelReport is BENCH_parallel.json's top-level object. GOMAXPROCS and
+// NumCPU qualify the speedup column: on a single-core host every worker
+// count time-slices one CPU and Speedup stays ~1.
+type ParallelReport struct {
+	Code       string           `json:"code"`
+	BlockSize  int              `json:"block_size"`
+	P          int              `json:"p"`
+	Stripes    int64            `json:"stripes"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Results    []ParallelResult `json:"results"`
+}
+
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_encode.json", "output file ('-' for stdout)")
-		block   = flag.Int("block", 4096, "block size in bytes")
-		p       = flag.Int("p", 5, "prime parameter")
-		minTime = flag.Duration("mintime", 200*time.Millisecond, "minimum measurement time per code")
+		out      = flag.String("out", "BENCH_encode.json", "output file ('-' for stdout)")
+		block    = flag.Int("block", 4096, "block size in bytes")
+		p        = flag.Int("p", 5, "prime parameter")
+		minTime  = flag.Duration("mintime", 200*time.Millisecond, "minimum measurement time per code")
+		parOut   = flag.String("parallel-out", "BENCH_parallel.json", "parallel sweep output file ('-' for stdout, '' to skip)")
+		parP     = flag.Int("parallel-p", 13, "prime parameter for the parallel sweep")
+		parBlock = flag.Int("parallel-block", 16384, "block size for the parallel sweep")
+		stripes  = flag.Int64("parallel-stripes", 64, "stripes per full-array encode in the parallel sweep")
 	)
 	flag.Parse()
 	if err := run(*out, *block, *p, *minTime); err != nil {
 		fmt.Fprintln(os.Stderr, "c56-bench:", err)
 		os.Exit(1)
+	}
+	if *parOut != "" {
+		if err := runParallel(*parOut, *parBlock, *parP, *stripes, *minTime); err != nil {
+			fmt.Fprintln(os.Stderr, "c56-bench:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -97,6 +134,80 @@ func run(out string, block, p int, minTime time.Duration) error {
 	}
 	if out != "-" {
 		fmt.Printf("wrote %d results to %s\n", len(rep.Results), out)
+	}
+	return nil
+}
+
+// runParallel measures full-array Code 5-6 encodes through the parallel
+// stripe engine at 1, 2, 4 and 8 workers and writes BENCH_parallel.json.
+func runParallel(out string, block, p int, stripes int64, minTime time.Duration) error {
+	code, err := code56.NewCode(p)
+	if err != nil {
+		return err
+	}
+	a := code56.NewRAID6Array(code, code56.WithBlockSize(block))
+	rng := rand.New(rand.NewSource(2))
+	blocks := int64(a.DataPerStripe()) * stripes
+	b := make([]byte, block)
+	for L := int64(0); L < blocks; L++ {
+		rng.Read(b)
+		if err := a.WriteBlock(L, b); err != nil {
+			return err
+		}
+	}
+	rep := ParallelReport{
+		Code:       fmt.Sprintf("code56-p%d", p),
+		BlockSize:  block,
+		P:          p,
+		Stripes:    stripes,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	ctx := context.Background()
+	dataBytes := float64(blocks) * float64(block)
+	for _, w := range []int{1, 2, 4, 8} {
+		// Warm-up pass, then measure until minTime has elapsed.
+		if err := code56.EncodeArrayStripes(ctx, a, stripes, code56.WithWorkers(w)); err != nil {
+			return err
+		}
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < minTime {
+			if err := code56.EncodeArrayStripes(ctx, a, stripes, code56.WithWorkers(w)); err != nil {
+				return err
+			}
+			iters++
+		}
+		elapsed := time.Since(start)
+		r := ParallelResult{
+			Workers:    w,
+			MBPerSec:   float64(iters) * dataBytes / 1e6 / elapsed.Seconds(),
+			Iterations: iters,
+		}
+		if len(rep.Results) > 0 {
+			r.Speedup = r.MBPerSec / rep.Results[0].MBPerSec
+		} else {
+			r.Speedup = 1
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Printf("wrote parallel sweep (%d worker counts, GOMAXPROCS=%d) to %s\n",
+			len(rep.Results), rep.GOMAXPROCS, out)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -34,7 +35,8 @@ func main() {
 		ops      = flag.Int("ops", 2000, "application operations during migration")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		throttle = flag.Duration("throttle", 0, "pause between converted stripes (e.g. 5ms)")
-		parallel = flag.Int("parallel", 1, "concurrent stripe-conversion workers")
+		parallel = flag.Int("parallel", 1, "concurrent stripe-conversion workers (alias of -workers)")
+		workers  = flag.Int("workers", 0, "worker goroutines for conversion (online) or plan execution (offline); 0 = -parallel")
 		snapshot = flag.String("snapshot", "", "write a disk-array snapshot of the converted array to this file")
 		online   = flag.Bool("online", true, "convert online with Algorithm 2; false replays the offline plan via the executor")
 		metrics  = flag.String("metrics", "", "dump final telemetry counters to this file ('-' for stdout, '.json' suffix for JSON)")
@@ -42,12 +44,15 @@ func main() {
 		progress = flag.Bool("progress", true, "show a live progress line on stderr during online migration")
 	)
 	flag.Parse()
+	if *workers == 0 {
+		*workers = *parallel
+	}
 	closeTrace, err := telemetry.AttachTraceFile(telemetry.DefaultTracer(), *traceOut)
 	if err == nil {
 		if *online {
-			err = runOnline(*disks, *stripes, *block, *workload, *ops, *seed, *throttle, *snapshot, *parallel, *progress)
+			err = runOnline(*disks, *stripes, *block, *workload, *ops, *seed, *throttle, *snapshot, *workers, *progress)
 		} else {
-			err = runOffline(*disks, *block, *seed)
+			err = runOffline(*disks, *block, *seed, *workers)
 		}
 	}
 	if cerr := closeTrace(); err == nil {
@@ -62,7 +67,7 @@ func main() {
 	}
 }
 
-func runOnline(disks, stripes, block int, workload string, nops int, seed int64, throttle time.Duration, snapshot string, parallel int, progress bool) error {
+func runOnline(disks, stripes, block int, workload string, nops int, seed int64, throttle time.Duration, snapshot string, workers int, progress bool) error {
 	p := disks + 1
 	rows := int64(stripes) * int64(p-1)
 	blocks := rows * int64(disks-1)
@@ -90,8 +95,8 @@ func runOnline(disks, stripes, block int, workload string, nops int, seed int64,
 	if throttle > 0 {
 		mig.SetThrottle(throttle)
 	}
-	if parallel > 1 {
-		if err := mig.SetParallelism(parallel); err != nil {
+	if workers > 1 {
+		if err := mig.SetParallelism(workers); err != nil {
 			return err
 		}
 	}
@@ -248,7 +253,7 @@ func reportCounters(disks int, st code56.MigrationStats, base map[string]int64) 
 	return nil
 }
 
-func runOffline(disks, block int, seed int64) error {
+func runOffline(disks, block int, seed int64, workers int) error {
 	plan, err := code56.NewVirtualPlan(disks, code56.LeftAsymmetric)
 	if err != nil {
 		return err
@@ -258,7 +263,8 @@ func runOffline(disks, block int, seed int64) error {
 		plan.Reused, plan.Invalidated, plan.Migrated, plan.Generated)
 	base := telemetry.Default().Snapshot().Counters
 	ex := code56.NewExecutor(plan, block, seed)
-	if err := ex.Run(); err != nil {
+	fmt.Printf("executing with %d workers\n", workers)
+	if err := code56.RunPlan(context.Background(), ex, code56.WithWorkers(workers)); err != nil {
 		return err
 	}
 	if err := ex.VerifyResult(); err != nil {

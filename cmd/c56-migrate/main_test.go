@@ -27,7 +27,10 @@ func TestRunSnapshot(t *testing.T) {
 }
 
 func TestRunOffline(t *testing.T) {
-	if err := runOffline(4, 512, 1); err != nil {
+	if err := runOffline(4, 512, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOffline(4, 512, 1, 4); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -30,6 +30,31 @@
 // See the examples/ directory for online migration, virtual disks, and
 // hybrid recovery walkthroughs, and cmd/ for the tools regenerating the
 // paper's tables and figures.
+//
+// # Options and parallelism
+//
+// Every facade constructor has an option-based form, and every long-running
+// operation has a context-bound form; both converge on one functional
+// Option type:
+//
+//	code, _ := code56.NewCode(13)                          // defaults
+//	array := code56.NewRAID6Array(code,
+//	        code56.WithBlockSize(64<<10))
+//	err := code56.ScrubArray(ctx, array, stripes,
+//	        code56.WithWorkers(8))                         // parallel scrub
+//	mig, _ := code56.NewMigrator(r5, rows,
+//	        code56.WithWorkers(4), code56.WithThrottle(time.Millisecond))
+//	err = code56.StartMigration(ctx, mig)                  // cancelable
+//
+// WithWorkers and WithChunkSize control the stripe engine: independent
+// stripes fan out over a bounded worker pool (internal/parallel), and large
+// blocks split into chunks for the multi-source XOR kernel. Cancelling the
+// context stops cleanly at a stripe boundary; for online migration the
+// array stays consistent and resumable. The positional constructors (New,
+// NewRAID5, NewRAID6, NewExecutor, NewOnlineMigrator) and serial methods
+// (Run, Rebuild, Scrub, Start) are all kept and are equivalent to the
+// option forms with WithWorkers(1) and a background context — nothing is
+// deprecated; the new forms only add knobs.
 package code56
 
 import (

@@ -110,6 +110,7 @@ func Encode(code Code, s *Stripe) int {
 	}
 	done := make([]bool, len(chains))
 	xors := 0
+	var covers [][]byte // scratch reused across chains
 	for remaining := len(chains); remaining > 0; {
 		progress := false
 		for i, ch := range chains {
@@ -126,16 +127,15 @@ func Encode(code Code, s *Stripe) int {
 			if !ready {
 				continue
 			}
-			p := s.Block(ch.Parity)
-			for i := range p {
-				p[i] = 0
-			}
+			covers = covers[:0]
 			for _, m := range ch.Covers {
-				xorblk.Xor(p, s.Block(m))
+				covers = append(covers, s.Block(m))
 			}
-			if n := len(ch.Covers); n > 0 {
-				xors += n - 1
-			}
+			// The multi-source kernel folds several covers per pass over
+			// the parity block; its return value is the chain's n-1 XOR
+			// cost, keeping the accounting identical to one-at-a-time
+			// folding.
+			xors += xorblk.XorMulti(s.Block(ch.Parity), covers...)
 			delete(pending, ch.Parity)
 			done[i] = true
 			remaining--
@@ -151,11 +151,14 @@ func Encode(code Code, s *Stripe) int {
 // Verify reports whether every parity chain of the stripe XORs to zero.
 func Verify(code Code, s *Stripe) bool {
 	acc := make([]byte, s.BlockSize)
+	var covers [][]byte
 	for _, ch := range code.Chains() {
 		copy(acc, s.Block(ch.Parity))
+		covers = covers[:0]
 		for _, m := range ch.Covers {
-			xorblk.Xor(acc, s.Block(m))
+			covers = append(covers, s.Block(m))
 		}
+		xorblk.AccumulateMulti(acc, covers...)
 		if !xorblk.IsZero(acc) {
 			return false
 		}

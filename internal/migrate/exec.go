@@ -1,10 +1,12 @@
 package migrate
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"code56/internal/layout"
+	"code56/internal/parallel"
 	"code56/internal/telemetry"
 	"code56/internal/vdisk"
 	"code56/internal/xorblk"
@@ -107,26 +109,74 @@ type imageKey struct {
 
 // Run executes the plan's operations in order. It returns an error if an
 // operation needs a block that is neither scheduled for reading nor cached —
-// which would mean the planner's read accounting is wrong.
+// which would mean the planner's read accounting is wrong. RunContext is the
+// concurrent, cancelable form; Run keeps the original serial signature.
 func (e *Executor) Run() error {
+	return e.RunContext(context.Background(), parallel.WithWorkers(1))
+}
+
+// RunContext executes the plan with independent stripes of each phase
+// spread over internal/parallel's pool (parallel.WithWorkers). Every
+// operation of a plan reads, caches and writes blocks of its own stripe
+// only — the conversion-memory cache is keyed by stripe — so stripes within
+// a phase commute; phases stay strictly ordered (a barrier between them
+// models the plan's "conversion memory drains between phases" rule). The
+// telemetry counters and the resulting disk image are identical to a serial
+// Run for any worker count.
+func (e *Executor) RunContext(ctx context.Context, opts ...parallel.Option) error {
 	reads := e.reg.Counter("migrate.exec.reads")
 	writes := e.reg.Counter("migrate.exec.writes")
 	xors := e.reg.Counter("migrate.exec.xors")
-	image := make(map[imageKey][]byte)
-	phase := -1
-	zero := make([]byte, e.blockSize)
-	var phaseSpan *telemetry.Span
-	defer func() { phaseSpan.End() }()
+
+	// Group ops into contiguous phases, then by stripe within each phase
+	// (first-appearance order, op order within a stripe preserved).
+	type phaseGroup struct {
+		phase   int
+		stripes [][]Op
+	}
+	var (
+		phases []*phaseGroup
+		cur    *phaseGroup
+		slot   map[int]int
+	)
 	for _, op := range e.plan.Ops {
-		if op.Phase != phase {
-			image = make(map[imageKey][]byte) // conversion memory drains between phases
-			phase = op.Phase
-			phaseSpan.End()
-			phaseSpan = e.tr.StartSpan("migrate.exec.phase",
-				telemetry.A("phase", phase),
-				telemetry.A("name", e.plan.PhaseNames[phase]),
-				telemetry.A("conversion", e.plan.Conv.Label()))
+		if cur == nil || op.Phase != cur.phase {
+			cur = &phaseGroup{phase: op.Phase}
+			slot = make(map[int]int)
+			phases = append(phases, cur)
 		}
+		j, ok := slot[op.Stripe]
+		if !ok {
+			j = len(cur.stripes)
+			slot[op.Stripe] = j
+			cur.stripes = append(cur.stripes, nil)
+		}
+		cur.stripes[j] = append(cur.stripes[j], op)
+	}
+
+	for _, pg := range phases {
+		phaseSpan := e.tr.StartSpan("migrate.exec.phase",
+			telemetry.A("phase", pg.phase),
+			telemetry.A("name", e.plan.PhaseNames[pg.phase]),
+			telemetry.A("conversion", e.plan.Conv.Label()))
+		err := parallel.ForEach(ctx, int64(len(pg.stripes)), func(i int64) error {
+			return e.runStripeOps(pg.stripes[i], reads, writes, xors)
+		}, opts...)
+		if err != nil {
+			phaseSpan.End(telemetry.A("error", err.Error()))
+			return err
+		}
+		phaseSpan.End()
+	}
+	return nil
+}
+
+// runStripeOps executes one stripe's ops of one phase against its private
+// conversion-memory cache.
+func (e *Executor) runStripeOps(ops []Op, reads, writes, xors *telemetry.Counter) error {
+	image := make(map[imageKey][]byte)
+	zero := make([]byte, e.blockSize)
+	for _, op := range ops {
 		for _, c := range op.Reads {
 			buf := make([]byte, e.blockSize)
 			if err := e.disk(c).Read(e.addr(op.Stripe, c), buf); err != nil {
@@ -157,13 +207,15 @@ func (e *Executor) Run() error {
 			e.disk(op.From).Trim(e.addr(op.Stripe, op.From))
 		case OpGenerate:
 			acc := make([]byte, e.blockSize)
+			contribs := make([][]byte, 0, len(op.Contribs))
 			for _, c := range op.Contribs {
 				b, ok := image[imageKey{op.Stripe, c}]
 				if !ok {
 					return fmt.Errorf("migrate: generate %v needs %v of stripe %d but it is neither read nor cached", op.Cell, c, op.Stripe)
 				}
-				xorblk.Xor(acc, b)
+				contribs = append(contribs, b)
 			}
+			xorblk.XorMulti(acc, contribs...)
 			xors.Add(int64(op.XORs))
 			if err := e.disk(op.Cell).Write(e.addr(op.Stripe, op.Cell), acc); err != nil {
 				return err

@@ -1,7 +1,12 @@
 package migrate
 
 import (
+	"context"
+	"errors"
 	"testing"
+
+	"code56/internal/parallel"
+	"code56/internal/telemetry"
 )
 
 // TestExecuteAllStandardConversions replays every (code, approach) plan of
@@ -130,5 +135,53 @@ func TestStorageEfficiencyEq6(t *testing.T) {
 	// paper rounds to "less than 3.8%".
 	if maxPenalty > 1.0/2-6.0/13+1e-9 {
 		t.Errorf("max virtual-disk penalty %.4f exceeds the m=3 worst case", maxPenalty)
+	}
+}
+
+// TestRunContextParallelMatchesPlan replays plans with 4 workers and checks
+// the executor still validates: consistent RAID-6 result, intact data, and
+// telemetry counters exactly equal to the plan's aggregates (stripe fan-out
+// must not change the work done, only its schedule).
+func TestRunContextParallelMatchesPlan(t *testing.T) {
+	for _, n := range []int{6, 7} {
+		for _, c := range StandardConversions(n) {
+			c := c
+			t.Run(c.Label(), func(t *testing.T) {
+				plan := mustPlan(t, c)
+				reg := telemetry.NewRegistry()
+				ex := NewExecutor(plan, 64, 43)
+				ex.SetTelemetry(reg, telemetry.NewTracer())
+				if err := ex.RunContext(context.Background(), parallel.WithWorkers(4)); err != nil {
+					t.Fatal(err)
+				}
+				if err := ex.VerifyResult(); err != nil {
+					t.Fatal(err)
+				}
+				got := reg.Snapshot().Counters
+				if got["migrate.exec.reads"] != int64(plan.TotalReads()) ||
+					got["migrate.exec.writes"] != int64(plan.TotalWrites()) ||
+					got["migrate.exec.xors"] != int64(plan.XORs) {
+					t.Errorf("parallel counters %dr/%dw/%dx diverge from plan %dr/%dw/%dx",
+						got["migrate.exec.reads"], got["migrate.exec.writes"], got["migrate.exec.xors"],
+						plan.TotalReads(), plan.TotalWrites(), plan.XORs)
+				}
+			})
+		}
+	}
+}
+
+// TestRunContextCancelled: a pre-cancelled context stops the executor
+// before any operation runs.
+func TestRunContextCancelled(t *testing.T) {
+	plan, err := NewVirtualPlan(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(plan, 32, 44)
+	ex.Disks().ResetStats()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ex.RunContext(ctx, parallel.WithWorkers(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

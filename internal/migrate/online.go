@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -97,11 +98,11 @@ type onlineTel struct {
 
 func bindOnlineTel(reg *telemetry.Registry, tr *telemetry.Tracer) onlineTel {
 	return onlineTel{
-		tr:         tr,
-		converted:  reg.Counter("migrate.stripes_converted"),
-		redone:     reg.Counter("migrate.stripes_redone"),
-		interrupts: reg.Counter("migrate.write_interrupts"),
-		diagUpd:    reg.Counter("migrate.diagonal_updates"),
+		tr:           tr,
+		converted:    reg.Counter("migrate.stripes_converted"),
+		redone:       reg.Counter("migrate.stripes_redone"),
+		interrupts:   reg.Counter("migrate.write_interrupts"),
+		diagUpd:      reg.Counter("migrate.diagonal_updates"),
 		appReads:     reg.Counter("migrate.app_reads"),
 		appWrites:    reg.Counter("migrate.app_writes"),
 		xors:         reg.Counter("migrate.conversion_xors"),
@@ -256,12 +257,40 @@ func (m *OnlineMigrator) Resume() {
 // resumed migration already has it — and launches the conversion goroutine
 // (Step 3).
 func (m *OnlineMigrator) Start() error {
+	return m.StartContext(context.Background())
+}
+
+// StartContext is Start bound to a context: when ctx is cancelled the
+// conversion workers stop at the next stripe boundary and Wait returns
+// ctx's error. Cancellation never corrupts the array — the contiguous
+// converted-stripe watermark (Progress) only advances over fully converted
+// stripes, the RAID-5 data and parity layout is untouched by design, and
+// application reads and writes keep working throughout. A cancelled
+// migration is resumed by creating a new migrator and calling
+// ResumeFrom(converted) with the watermark (any partially written diagonal
+// blocks above it are simply rewritten).
+func (m *OnlineMigrator) StartContext(ctx context.Context) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.started {
 		return errors.New("migrate: already started")
 	}
 	m.started = true
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				m.mu.Lock()
+				if !m.finished && m.err == nil {
+					m.err = ctx.Err()
+					m.span.Event("migrate.cancelled", telemetry.A("at_stripe", m.cursor))
+				}
+				m.cond.Broadcast()
+				m.mu.Unlock()
+			case <-m.done:
+			}
+		}()
+	}
 	m.startTime = time.Now()
 	if m.r5.Disks().Len() < m.code.P() {
 		m.r5.Disks().Add()
@@ -500,10 +529,17 @@ func (m *OnlineMigrator) convertStripe(st int64) error {
 	parity := make([]byte, m.r5.BlockSize())
 	newDisk := m.r5.Disks().Disk(p - 1)
 	for i := 0; i < p-1; i++ {
-		// Writes may be waiting between chains; let them through.
+		// Writes may be waiting between chains; let them through. A
+		// migration error elsewhere (including context cancellation) aborts
+		// this stripe — its partial diagonal writes sit above the watermark
+		// and are redone on resume.
 		m.mu.Lock()
-		for m.pendingWrites > 0 {
+		for m.pendingWrites > 0 && m.err == nil {
 			m.cond.Wait()
+		}
+		if err := m.err; err != nil {
+			m.mu.Unlock()
+			return err
 		}
 		m.mu.Unlock()
 

@@ -2,6 +2,8 @@ package migrate
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -612,5 +614,120 @@ func TestOnlineMigrationRightLayouts(t *testing.T) {
 			t.Fatal(err)
 		}
 		verifyConverted(t, mig, want, 4, l.String())
+	}
+}
+
+// TestCancelMidMigrationLeavesResumableState: a context-cancelled migration
+// must stop promptly, keep every application block intact, and leave the
+// array resumable — a fresh migrator resuming from the watermark completes
+// the conversion to a fully consistent RAID-6.
+func TestCancelMidMigrationLeavesResumableState(t *testing.T) {
+	const m, stripes = 4, 32
+	rows := int64(m * stripes)
+	a, want := newLoadedRAID5(t, m, rows, 23)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig.SetThrottle(500 * time.Microsecond)
+
+	// Cancel from the progress callback once a few stripes are through, so
+	// the cancellation always lands mid-migration.
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	mig.SetProgressFunc(func(done, total int64) {
+		if done >= 3 {
+			once.Do(cancel)
+		}
+	})
+	if err := mig.StartContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	converted, total := mig.Progress()
+	if converted < 3 || converted >= total {
+		t.Fatalf("cancelled migration converted %d of %d stripes; want mid-migration", converted, total)
+	}
+	if _, err := mig.Result(); err == nil {
+		t.Fatal("Result on a cancelled migration should fail")
+	}
+
+	// The data layer is untouched: every block still reads back through the
+	// RAID-5 (and thus through a resumed migrator).
+	buf := make([]byte, 32)
+	for L, w := range want {
+		if err := a.ReadBlock(L, buf); err != nil {
+			t.Fatalf("read %d after cancel: %v", L, err)
+		}
+		if !bytes.Equal(buf, w) {
+			t.Fatalf("block %d corrupted by cancelled migration", L)
+		}
+	}
+	// Every stripe below the watermark is already a consistent Code 5-6
+	// stripe (the new disk's diagonal parities are in place).
+	code, err := core.NewOriented(m+1, core.Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6, err := raid6.Wrap(code, a.Disks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st := int64(0); st < converted; st++ {
+		ok, err := r6.VerifyStripe(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("converted stripe %d inconsistent after cancel", st)
+		}
+	}
+
+	// Resume from the watermark with a fresh migrator and finish.
+	mig2, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig2.ResumeFrom(converted); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	verifyConverted(t, mig2, want, stripes, "resume after cancel")
+}
+
+// TestStartContextPreCancelled: starting with an already-cancelled context
+// converts nothing and reports the context error.
+func TestStartContextPreCancelled(t *testing.T) {
+	const rows = 16
+	a, want := newLoadedRAID5(t, 4, rows, 24)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig.SetThrottle(time.Millisecond) // ensure the watcher beats the workers
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := mig.StartContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	// Data still intact.
+	buf := make([]byte, 32)
+	for L, w := range want {
+		if err := a.ReadBlock(L, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, w) {
+			t.Fatalf("block %d corrupted", L)
+		}
 	}
 }

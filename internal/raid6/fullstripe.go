@@ -1,62 +1,20 @@
 package raid6
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"code56/internal/layout"
+	"code56/internal/parallel"
 )
 
 // RebuildParallel is Rebuild with the per-stripe reconstructions fanned out
 // over a worker pool (stripes are independent: disjoint reads per stripe
 // row range, disjoint writes). workers <= 0 selects GOMAXPROCS. The disks
-// must have been Replace()d first.
+// must have been Replace()d first. It is the pre-context form of
+// RebuildContext, kept for compatibility.
 func (a *Array) RebuildParallel(stripes int64, workers int, disks ...int) error {
-	if len(disks) > a.code.FaultTolerance() {
-		return fmt.Errorf("%w: %d disks", ErrTooManyFailures, len(disks))
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if int64(workers) > stripes {
-		workers = int(stripes)
-	}
-	if workers <= 1 {
-		return a.Rebuild(stripes, disks...)
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int64
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= stripes {
-					mu.Unlock()
-					return
-				}
-				st := next
-				next++
-				mu.Unlock()
-				if err := a.rebuildStripe(st, disks); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return a.RebuildContext(context.Background(), stripes, disks, parallel.WithWorkers(workers))
 }
 
 // rebuildStripe reconstructs the given disks' cells of one stripe.

@@ -1,0 +1,91 @@
+package raid6
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"code56/internal/parallel"
+	"code56/internal/telemetry"
+)
+
+// This file holds the array's context-aware bulk entry points. Stripes are
+// independent — each occupies a disjoint block-address range on every disk —
+// so bulk encode, scrub and rebuild fan per-stripe work out over
+// internal/parallel's bounded pool. The pre-existing serial signatures
+// (EncodeStripe per stripe, Scrub, Rebuild, RebuildParallel) remain as thin
+// wrappers, so nothing that compiled against them changes.
+
+// EncodeStripesContext recomputes and writes the parities of every stripe
+// in [0, stripes) — bulk full-stripe parity generation, e.g. after loading
+// raw data onto an array. Work is spread over the pool per
+// parallel.WithWorkers; the first failing stripe (or ctx cancellation)
+// stops the operation.
+func (a *Array) EncodeStripesContext(ctx context.Context, stripes int64, opts ...parallel.Option) error {
+	sp := a.tel.tr.StartSpan("raid6.encode_stripes", telemetry.A("stripes", stripes))
+	err := parallel.ForEach(ctx, stripes, func(st int64) error {
+		return a.EncodeStripe(st)
+	}, opts...)
+	if err != nil {
+		sp.End(telemetry.A("error", err.Error()))
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+// RebuildContext reconstructs the contents of the given replaced disks
+// across stripes [0, stripes), spreading independent stripes over the pool.
+// The disks must have been Replace()d (accepting I/O, contents lost) before
+// the call. The first failing stripe (or ctx cancellation) stops the
+// rebuild; already-rebuilt stripes keep their restored contents, so a
+// stopped rebuild can simply be re-run.
+func (a *Array) RebuildContext(ctx context.Context, stripes int64, disks []int, opts ...parallel.Option) error {
+	if len(disks) > a.code.FaultTolerance() {
+		return fmt.Errorf("%w: %d disks", ErrTooManyFailures, len(disks))
+	}
+	sp := a.tel.tr.StartSpan("raid6.rebuild",
+		telemetry.A("disks", fmt.Sprint(disks)), telemetry.A("stripes", stripes))
+	err := parallel.ForEach(ctx, stripes, func(st int64) error {
+		if err := a.rebuildStripe(st, disks); err != nil {
+			return err
+		}
+		a.tel.rebuilt.Add(int64(len(disks) * a.geom.Rows))
+		return nil
+	}, opts...)
+	if err != nil {
+		sp.End(telemetry.A("error", err.Error()))
+		return err
+	}
+	sp.End(telemetry.A("blocks", stripes*int64(len(disks)*a.geom.Rows)))
+	return nil
+}
+
+// ScrubContext verifies every stripe in [0, stripes) like Scrub, spreading
+// independent stripes over the pool. The report's counters aggregate across
+// stripes and Unrecoverable is sorted, so the result is identical to a
+// serial scrub regardless of worker count. A disk-level I/O failure (or ctx
+// cancellation) stops the pass and returns the partial report.
+func (a *Array) ScrubContext(ctx context.Context, stripes int64, opts ...parallel.Option) (ScrubReport, error) {
+	rep := ScrubReport{Stripes: stripes}
+	var mu sync.Mutex
+	err := parallel.ForEach(ctx, stripes, func(st int64) error {
+		latent, corrupt, unrecoverable, err := a.scrubStripe(st)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		rep.LatentRepaired += latent
+		rep.CorruptRepaired += corrupt
+		if unrecoverable {
+			rep.Unrecoverable = append(rep.Unrecoverable, st)
+		}
+		mu.Unlock()
+		return nil
+	}, opts...)
+	sort.Slice(rep.Unrecoverable, func(i, j int) bool {
+		return rep.Unrecoverable[i] < rep.Unrecoverable[j]
+	})
+	return rep, err
+}

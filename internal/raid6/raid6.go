@@ -6,10 +6,12 @@
 package raid6
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"code56/internal/layout"
+	"code56/internal/parallel"
 	"code56/internal/telemetry"
 	"code56/internal/vdisk"
 	"code56/internal/xorblk"
@@ -355,19 +357,7 @@ func (a *Array) VerifyStripe(stripe int64) (bool, error) {
 // stripes [0, stripes). The disks must have been Replace()d (accepting I/O,
 // contents lost) before the call. Disk indices are physical; with rotation
 // enabled each disk serves a different logical column per stripe.
+// RebuildContext is the concurrent, cancelable form.
 func (a *Array) Rebuild(stripes int64, disks ...int) error {
-	if len(disks) > a.code.FaultTolerance() {
-		return fmt.Errorf("%w: %d disks", ErrTooManyFailures, len(disks))
-	}
-	sp := a.tel.tr.StartSpan("raid6.rebuild",
-		telemetry.A("disks", fmt.Sprint(disks)), telemetry.A("stripes", stripes))
-	for st := int64(0); st < stripes; st++ {
-		if err := a.rebuildStripe(st, disks); err != nil {
-			sp.End(telemetry.A("error", err.Error()))
-			return err
-		}
-		a.tel.rebuilt.Add(int64(len(disks) * a.geom.Rows))
-	}
-	sp.End(telemetry.A("blocks", stripes*int64(len(disks)*a.geom.Rows)))
-	return nil
+	return a.RebuildContext(context.Background(), stripes, disks, parallel.WithWorkers(1))
 }

@@ -57,70 +57,84 @@ type ScrubReport struct {
 // are located by intersecting the failing parity chains and repaired. A
 // stripe whose corruption cannot be pinned to one block is reported
 // unrecoverable (RAID-6 syndromes cannot always distinguish multi-block
-// corruption).
+// corruption). ScrubContext is the concurrent, cancelable form.
 func (a *Array) Scrub(stripes int64) (ScrubReport, error) {
 	rep := ScrubReport{Stripes: stripes}
 	for st := int64(0); st < stripes; st++ {
-		// Load with latent-error healing.
-		s := layout.NewStripe(a.geom, a.blockSize)
-		var latent []layout.Coord
-		for r := 0; r < a.geom.Rows; r++ {
-			for j := 0; j < a.geom.Cols; j++ {
-				c := layout.Coord{Row: r, Col: j}
-				err := a.diskFor(st, c.Col).Read(a.blockAddr(st, c), s.Block(c))
-				switch {
-				case err == nil:
-				case errors.Is(err, vdisk.ErrLatent):
-					s.Zero(c)
-					latent = append(latent, c)
-				default:
-					return rep, err
-				}
-			}
-		}
-		if len(latent) > 0 {
-			es := make(layout.ErasureSet, len(latent))
-			for _, c := range latent {
-				es[c] = true
-			}
-			if _, err := layout.Reconstruct(a.code, s, es); err != nil {
-				rep.Unrecoverable = append(rep.Unrecoverable, st)
-				continue
-			}
-			for _, c := range latent {
-				if err := a.diskFor(st, c.Col).Write(a.blockAddr(st, c), s.Block(c)); err != nil {
-					return rep, err
-				}
-				rep.LatentRepaired++
-			}
-		}
-
-		// Syndrome check for silent corruption.
-		if layout.Verify(a.code, s) {
-			continue
-		}
-		cell, ok := locateCorruption(a.code, s)
-		if !ok {
+		latent, corrupt, unrecoverable, err := a.scrubStripe(st)
+		rep.LatentRepaired += latent
+		rep.CorruptRepaired += corrupt
+		if unrecoverable {
 			rep.Unrecoverable = append(rep.Unrecoverable, st)
-			continue
 		}
-		es := layout.ErasureSet{cell: true}
-		s.Zero(cell)
-		if _, err := layout.Reconstruct(a.code, s, es); err != nil {
-			rep.Unrecoverable = append(rep.Unrecoverable, st)
-			continue
-		}
-		if err := a.diskFor(st, cell.Col).Write(a.blockAddr(st, cell), s.Block(cell)); err != nil {
+		if err != nil {
 			return rep, err
-		}
-		rep.CorruptRepaired++
-		if !layout.Verify(a.code, s) {
-			// Repairing the located block did not restore consistency:
-			// more than one block was corrupt after all.
-			rep.Unrecoverable = append(rep.Unrecoverable, st)
 		}
 	}
 	return rep, nil
+}
+
+// scrubStripe runs one stripe's scrub pass: latent-error healing, then a
+// parity-syndrome check locating and repairing silent single-block
+// corruption. It touches only stripe st's block range, so distinct stripes
+// may be scrubbed concurrently.
+func (a *Array) scrubStripe(st int64) (latentRepaired, corruptRepaired int, unrecoverable bool, _ error) {
+	// Load with latent-error healing.
+	s := layout.NewStripe(a.geom, a.blockSize)
+	var latent []layout.Coord
+	for r := 0; r < a.geom.Rows; r++ {
+		for j := 0; j < a.geom.Cols; j++ {
+			c := layout.Coord{Row: r, Col: j}
+			err := a.diskFor(st, c.Col).Read(a.blockAddr(st, c), s.Block(c))
+			switch {
+			case err == nil:
+			case errors.Is(err, vdisk.ErrLatent):
+				s.Zero(c)
+				latent = append(latent, c)
+			default:
+				return latentRepaired, corruptRepaired, false, err
+			}
+		}
+	}
+	if len(latent) > 0 {
+		es := make(layout.ErasureSet, len(latent))
+		for _, c := range latent {
+			es[c] = true
+		}
+		if _, err := layout.Reconstruct(a.code, s, es); err != nil {
+			return latentRepaired, corruptRepaired, true, nil
+		}
+		for _, c := range latent {
+			if err := a.diskFor(st, c.Col).Write(a.blockAddr(st, c), s.Block(c)); err != nil {
+				return latentRepaired, corruptRepaired, false, err
+			}
+			latentRepaired++
+		}
+	}
+
+	// Syndrome check for silent corruption.
+	if layout.Verify(a.code, s) {
+		return latentRepaired, corruptRepaired, false, nil
+	}
+	cell, ok := locateCorruption(a.code, s)
+	if !ok {
+		return latentRepaired, corruptRepaired, true, nil
+	}
+	es := layout.ErasureSet{cell: true}
+	s.Zero(cell)
+	if _, err := layout.Reconstruct(a.code, s, es); err != nil {
+		return latentRepaired, corruptRepaired, true, nil
+	}
+	if err := a.diskFor(st, cell.Col).Write(a.blockAddr(st, cell), s.Block(cell)); err != nil {
+		return latentRepaired, corruptRepaired, false, err
+	}
+	corruptRepaired++
+	if !layout.Verify(a.code, s) {
+		// Repairing the located block did not restore consistency:
+		// more than one block was corrupt after all.
+		return latentRepaired, corruptRepaired, true, nil
+	}
+	return latentRepaired, corruptRepaired, false, nil
 }
 
 // locateCorruption finds the unique cell whose membership pattern matches

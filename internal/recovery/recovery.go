@@ -12,10 +12,13 @@
 package recovery
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"code56/internal/layout"
+	"code56/internal/parallel"
 	"code56/internal/telemetry"
 )
 
@@ -220,4 +223,33 @@ func (p Plan) ExecuteObserved(code layout.Code, s *layout.Stripe, reg *telemetry
 	}
 	sp.End(telemetry.A("reads", st.BlocksRead), telemetry.A("xors", st.XORs))
 	return st, nil
+}
+
+// ExecuteStripes rebuilds the plan's failed column across many stripes of
+// one array concurrently: the plan is computed once per code (chain choices
+// do not depend on block contents), and each stripe's rebuild touches only
+// that stripe's blocks, so stripes fan out over internal/parallel's pool
+// per parallel.WithWorkers. Every stripe's failed-column blocks are assumed
+// zeroed, as for Execute. It returns the aggregated DecodeStats (sums over
+// stripes) and stops at the first failing stripe or ctx cancellation.
+// Telemetry counters are bumped per stripe exactly as ExecuteObserved does;
+// pass nil reg/tr for the process-wide defaults.
+func (p Plan) ExecuteStripes(ctx context.Context, code layout.Code, stripes []*layout.Stripe, reg *telemetry.Registry, tr *telemetry.Tracer, opts ...parallel.Option) (layout.DecodeStats, error) {
+	var (
+		mu    sync.Mutex
+		total layout.DecodeStats
+	)
+	err := parallel.ForEach(ctx, int64(len(stripes)), func(i int64) error {
+		st, err := p.ExecuteObserved(code, stripes[i], reg, tr)
+		if err != nil {
+			return fmt.Errorf("recovery: stripe %d: %w", i, err)
+		}
+		mu.Lock()
+		total.XORs += st.XORs
+		total.BlocksRead += st.BlocksRead
+		total.Recovered += st.Recovered
+		mu.Unlock()
+		return nil
+	}, opts...)
+	return total, err
 }

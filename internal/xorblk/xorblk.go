@@ -7,20 +7,36 @@
 // iteration when both slices are suitably sized, and a portable byte path.
 // The word path works on the byte level through encoding/binary and is
 // endianness-agnostic because XOR commutes with any byte permutation.
+//
+// For parity generation over many sources, XorMulti folds up to four source
+// streams per pass over dst (2/3/4-way unrolled inner loops), which cuts the
+// number of times dst is pulled through the cache compared with folding one
+// source at a time. XorMultiRange is the chunked variant: it applies the same
+// kernel to a sub-range [lo, hi) of every block, so a large block can be
+// split across goroutines (see internal/parallel.XorMulti).
 package xorblk
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // wordSize is the stride of the fast path in bytes.
 const wordSize = 8
 
-// Xor sets dst[i] ^= src[i] for all i. dst and src must have equal length;
-// it panics otherwise, since a length mismatch is always a programming error
-// in stripe handling (blocks within a stripe share one block size).
-func Xor(dst, src []byte) {
+// checkLen panics when dst and src lengths differ, naming both lengths —
+// a mismatch is always a programming error in stripe handling (blocks within
+// a stripe share one block size), and the lengths identify the culprit.
+func checkLen(dst, src []byte) {
 	if len(dst) != len(src) {
-		panic("xorblk: length mismatch")
+		panic(fmt.Sprintf("xorblk: length mismatch: dst %d bytes, src %d bytes", len(dst), len(src)))
 	}
+}
+
+// Xor sets dst[i] ^= src[i] for all i. dst and src must have equal length;
+// it panics otherwise.
+func Xor(dst, src []byte) {
+	checkLen(dst, src)
 	n := len(dst) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
 		d := binary.LittleEndian.Uint64(dst[i:])
@@ -36,9 +52,7 @@ func Xor(dst, src []byte) {
 // benchmarks can compare it against the word-wise path; library code should
 // call Xor.
 func XorBytes(dst, src []byte) {
-	if len(dst) != len(src) {
-		panic("xorblk: length mismatch")
-	}
+	checkLen(dst, src)
 	for i := range dst {
 		dst[i] ^= src[i]
 	}
@@ -47,9 +61,8 @@ func XorBytes(dst, src []byte) {
 // XorInto computes dst = a ^ b without reading dst's prior contents.
 // All three slices must have equal length.
 func XorInto(dst, a, b []byte) {
-	if len(dst) != len(a) || len(dst) != len(b) {
-		panic("xorblk: length mismatch")
-	}
+	checkLen(dst, a)
+	checkLen(dst, b)
 	n := len(dst) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
 		x := binary.LittleEndian.Uint64(a[i:])
@@ -61,15 +74,114 @@ func XorInto(dst, a, b []byte) {
 	}
 }
 
+// fold2 sets dst[i] ^= a[i] ^ b[i] in one pass over dst (2 source streams).
+func fold2(dst, a, b []byte) {
+	n := len(dst) &^ (wordSize - 1)
+	for i := 0; i < n; i += wordSize {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		x := binary.LittleEndian.Uint64(a[i:])
+		y := binary.LittleEndian.Uint64(b[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^x^y)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= a[i] ^ b[i]
+	}
+}
+
+// fold3 sets dst[i] ^= a[i] ^ b[i] ^ c[i] in one pass over dst (3 source
+// streams).
+func fold3(dst, a, b, c []byte) {
+	n := len(dst) &^ (wordSize - 1)
+	for i := 0; i < n; i += wordSize {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		x := binary.LittleEndian.Uint64(a[i:])
+		y := binary.LittleEndian.Uint64(b[i:])
+		z := binary.LittleEndian.Uint64(c[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^x^y^z)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= a[i] ^ b[i] ^ c[i]
+	}
+}
+
+// fold4 sets dst[i] ^= a[i] ^ b[i] ^ c[i] ^ e[i] in one pass over dst
+// (4 source streams).
+func fold4(dst, a, b, c, e []byte) {
+	n := len(dst) &^ (wordSize - 1)
+	for i := 0; i < n; i += wordSize {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		x := binary.LittleEndian.Uint64(a[i:])
+		y := binary.LittleEndian.Uint64(b[i:])
+		z := binary.LittleEndian.Uint64(c[i:])
+		w := binary.LittleEndian.Uint64(e[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^x^y^z^w)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= a[i] ^ b[i] ^ c[i] ^ e[i]
+	}
+}
+
+// foldAll XORs every source into dst, consuming sources four, three and two
+// at a time so each pass over dst folds as many streams as possible.
+func foldAll(dst []byte, srcs [][]byte) {
+	for len(srcs) >= 4 {
+		fold4(dst, srcs[0], srcs[1], srcs[2], srcs[3])
+		srcs = srcs[4:]
+	}
+	switch len(srcs) {
+	case 3:
+		fold3(dst, srcs[0], srcs[1], srcs[2])
+	case 2:
+		fold2(dst, srcs[0], srcs[1])
+	case 1:
+		Xor(dst, srcs[0])
+	}
+}
+
 // XorMulti sets dst to the XOR of all srcs. If srcs is empty, dst is zeroed.
-// Every source must have the same length as dst.
-func XorMulti(dst []byte, srcs ...[]byte) {
-	for i := range dst {
-		dst[i] = 0
+// Every source must have the same length as dst. It returns the number of
+// block XOR operations performed — len(srcs)-1 for a non-empty source list
+// (the first source is copied, not XORed), the cost model's unit of
+// computation. Folding k sources therefore never exceeds the k block XORs
+// of k sequential Xor calls into a zeroed dst.
+func XorMulti(dst []byte, srcs ...[]byte) int {
+	for _, s := range srcs {
+		checkLen(dst, s)
+	}
+	if len(srcs) == 0 {
+		clear(dst)
+		return 0
+	}
+	copy(dst, srcs[0])
+	foldAll(dst, srcs[1:])
+	return len(srcs) - 1
+}
+
+// XorMultiRange is the chunked variant of XorMulti: it sets dst[lo:hi] to
+// the XOR of srcs[i][lo:hi], leaving the rest of dst untouched. Disjoint
+// ranges of the same dst may be computed concurrently from different
+// goroutines — internal/parallel uses this to split one large block across
+// workers. Panics if the range is out of bounds or any source's length
+// differs from dst's. Like XorMulti it returns the source fold count
+// (len(srcs)-1, or 0 when srcs is empty).
+func XorMultiRange(dst []byte, lo, hi int, srcs ...[]byte) int {
+	if lo < 0 || hi > len(dst) || lo > hi {
+		panic(fmt.Sprintf("xorblk: range [%d,%d) outside block of %d bytes", lo, hi, len(dst)))
 	}
 	for _, s := range srcs {
-		Xor(dst, s)
+		checkLen(dst, s)
 	}
+	if len(srcs) == 0 {
+		clear(dst[lo:hi])
+		return 0
+	}
+	copy(dst[lo:hi], srcs[0][lo:hi])
+	sub := make([][]byte, len(srcs)-1)
+	for i, s := range srcs[1:] {
+		sub[i] = s[lo:hi]
+	}
+	foldAll(dst[lo:hi], sub)
+	return len(srcs) - 1
 }
 
 // AccumulateMulti XORs every source into dst, preserving dst's existing
@@ -77,8 +189,9 @@ func XorMulti(dst []byte, srcs ...[]byte) {
 // the migration cost model uses to count computation work.
 func AccumulateMulti(dst []byte, srcs ...[]byte) int {
 	for _, s := range srcs {
-		Xor(dst, s)
+		checkLen(dst, s)
 	}
+	foldAll(dst, srcs)
 	return len(srcs)
 }
 

@@ -2,7 +2,9 @@ package xorblk
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -157,14 +159,41 @@ func TestEqual(t *testing.T) {
 
 func TestXorPanicsOnMismatch(t *testing.T) {
 	for name, f := range map[string]func(){
-		"Xor":      func() { Xor(make([]byte, 3), make([]byte, 4)) },
-		"XorBytes": func() { XorBytes(make([]byte, 3), make([]byte, 4)) },
-		"XorInto":  func() { XorInto(make([]byte, 3), make([]byte, 3), make([]byte, 4)) },
+		"Xor":           func() { Xor(make([]byte, 3), make([]byte, 4)) },
+		"XorBytes":      func() { XorBytes(make([]byte, 3), make([]byte, 4)) },
+		"XorInto":       func() { XorInto(make([]byte, 3), make([]byte, 3), make([]byte, 4)) },
+		"XorMulti":      func() { XorMulti(make([]byte, 3), make([]byte, 3), make([]byte, 4)) },
+		"XorMultiRange": func() { XorMultiRange(make([]byte, 3), 0, 3, make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s: expected panic on length mismatch", name)
+					return
+				}
+				// The message must name both lengths so the culprit block
+				// is identifiable from the panic alone.
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "3") || !strings.Contains(msg, "4") {
+					t.Errorf("%s: panic message %q does not include both lengths", name, msg)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestXorMultiRangePanicsOutOfBounds(t *testing.T) {
+	for name, f := range map[string]func(){
+		"lo<0":  func() { XorMultiRange(make([]byte, 8), -1, 4) },
+		"hi>n":  func() { XorMultiRange(make([]byte, 8), 0, 9) },
+		"lo>hi": func() { XorMultiRange(make([]byte, 8), 5, 4) },
 	} {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("%s: expected panic on length mismatch", name)
+					t.Errorf("%s: expected panic on bad range", name)
 				}
 			}()
 			f()

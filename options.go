@@ -1,0 +1,188 @@
+package code56
+
+import (
+	"context"
+	"time"
+
+	"code56/internal/parallel"
+	"code56/internal/raid5"
+	"code56/internal/raid6"
+)
+
+// Settings collects every knob the facade constructors and context entry
+// points accept. Zero values mean "use the default"; apply options with the
+// With* helpers rather than building a Settings by hand.
+type Settings struct {
+	// Workers bounds the goroutines a parallel entry point may use.
+	// 0 means GOMAXPROCS; 1 forces the serial in-order path.
+	Workers int
+	// ChunkSize is the per-goroutine split (bytes) for chunked multi-source
+	// XOR. 0 means the engine default (64 KiB).
+	ChunkSize int
+	// BlockSize is the simulated block size in bytes (default 4096).
+	BlockSize int
+	// Orientation selects the Code 5-6 parity rotation (default Left).
+	Orientation Orientation
+	// Layout selects the RAID-5 parity rotation (default LeftAsymmetric).
+	Layout RAID5Layout
+	// Seed seeds the random data an Executor populates its disks with.
+	Seed int64
+	// Throttle inserts a pause after each stripe an OnlineMigrator
+	// converts (0 = full speed).
+	Throttle time.Duration
+}
+
+// Option adjusts one Settings field. All facade constructors and context
+// entry points take a trailing ...Option; irrelevant options are ignored,
+// so a single option list can be shared across calls.
+type Option func(*Settings)
+
+// WithWorkers bounds the worker goroutines of a parallel entry point.
+// n <= 0 restores the default (GOMAXPROCS); n == 1 forces serial execution.
+func WithWorkers(n int) Option { return func(s *Settings) { s.Workers = n } }
+
+// WithChunkSize sets the per-goroutine block split, in bytes, for chunked
+// multi-source XOR. b <= 0 restores the engine default.
+func WithChunkSize(b int) Option { return func(s *Settings) { s.ChunkSize = b } }
+
+// WithBlockSize sets the simulated block size in bytes.
+func WithBlockSize(b int) Option { return func(s *Settings) { s.BlockSize = b } }
+
+// WithOrientation selects the Code 5-6 parity rotation.
+func WithOrientation(o Orientation) Option { return func(s *Settings) { s.Orientation = o } }
+
+// WithLayout selects the RAID-5 parity rotation.
+func WithLayout(l RAID5Layout) Option { return func(s *Settings) { s.Layout = l } }
+
+// WithSeed seeds an Executor's random disk contents.
+func WithSeed(seed int64) Option { return func(s *Settings) { s.Seed = seed } }
+
+// WithThrottle paces an online migration: the converter sleeps d after each
+// stripe, bounding its interference with application I/O.
+func WithThrottle(d time.Duration) Option { return func(s *Settings) { s.Throttle = d } }
+
+// ApplyOptions folds opts over the package defaults and returns the result.
+// Useful for callers that route one option list to several entry points.
+func ApplyOptions(opts ...Option) Settings {
+	s := Settings{
+		BlockSize:   4096,
+		Orientation: Left,
+		Layout:      LeftAsymmetric,
+	}
+	for _, o := range opts {
+		if o != nil {
+			o(&s)
+		}
+	}
+	return s
+}
+
+// engineOpts translates facade settings to the stripe engine's options.
+func (s Settings) engineOpts() []parallel.Option {
+	var out []parallel.Option
+	if s.Workers > 0 {
+		out = append(out, parallel.WithWorkers(s.Workers))
+	}
+	if s.ChunkSize > 0 {
+		out = append(out, parallel.WithChunkSize(s.ChunkSize))
+	}
+	return out
+}
+
+// NewCode returns Code 5-6 for p disks (p prime), honoring WithOrientation.
+// It is the option-based form of New / NewOriented.
+func NewCode(p int, opts ...Option) (*Code56, error) {
+	return NewOriented(p, ApplyOptions(opts...).Orientation)
+}
+
+// NewRAID5Array creates a RAID-5 array of m fresh simulated disks, honoring
+// WithBlockSize and WithLayout. It is the option-based form of NewRAID5.
+func NewRAID5Array(m int, opts ...Option) (*RAID5, error) {
+	s := ApplyOptions(opts...)
+	return raid5.New(m, s.BlockSize, s.Layout)
+}
+
+// NewRAID6Array creates a RAID-6 array over fresh simulated disks, honoring
+// WithBlockSize. It is the option-based form of NewRAID6.
+func NewRAID6Array(code Code, opts ...Option) *RAID6 {
+	return raid6.New(code, ApplyOptions(opts...).BlockSize)
+}
+
+// NewMigrator prepares an online RAID-5 → Code 5-6 migration, honoring
+// WithWorkers (conversion parallelism) and WithThrottle. It is the
+// option-based form of NewOnlineMigrator.
+func NewMigrator(a *RAID5, rows int64, opts ...Option) (*OnlineMigrator, error) {
+	s := ApplyOptions(opts...)
+	m, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		return nil, err
+	}
+	if s.Workers > 0 {
+		if err := m.SetParallelism(s.Workers); err != nil {
+			return nil, err
+		}
+	}
+	if s.Throttle > 0 {
+		m.SetThrottle(s.Throttle)
+	}
+	return m, nil
+}
+
+// NewPlanExecutor sets up an Executor for a conversion plan, honoring
+// WithBlockSize and WithSeed. It is the option-based form of NewExecutor.
+func NewPlanExecutor(plan *Plan, opts ...Option) *Executor {
+	s := ApplyOptions(opts...)
+	return NewExecutor(plan, s.BlockSize, s.Seed)
+}
+
+// RunPlan executes a conversion plan under ctx with the plan's independent
+// stripes spread across WithWorkers goroutines. Equivalent to
+// Executor.RunContext; Executor.Run remains the serial form.
+func RunPlan(ctx context.Context, ex *Executor, opts ...Option) error {
+	return ex.RunContext(ctx, ApplyOptions(opts...).engineOpts()...)
+}
+
+// StartMigration starts an online migration bound to ctx: cancelling ctx
+// stops the conversion at the next stripe boundary, leaving the array
+// consistent and resumable (see OnlineMigrator.StartContext). WithWorkers
+// and WithThrottle are applied before starting.
+func StartMigration(ctx context.Context, m *OnlineMigrator, opts ...Option) error {
+	s := ApplyOptions(opts...)
+	if s.Workers > 0 {
+		if err := m.SetParallelism(s.Workers); err != nil {
+			return err
+		}
+	}
+	if s.Throttle > 0 {
+		m.SetThrottle(s.Throttle)
+	}
+	return m.StartContext(ctx)
+}
+
+// EncodeArrayStripes (re)computes all parities of stripes 0..stripes-1 of a
+// RAID-6 array, fanning stripes out over WithWorkers goroutines.
+func EncodeArrayStripes(ctx context.Context, a *RAID6, stripes int64, opts ...Option) error {
+	return a.EncodeStripesContext(ctx, stripes, ApplyOptions(opts...).engineOpts()...)
+}
+
+// RebuildArray rebuilds the given replaced disks of a RAID-6 array across
+// stripes 0..stripes-1 in parallel. Equivalent to Array.RebuildContext;
+// Array.Rebuild remains the serial form.
+func RebuildArray(ctx context.Context, a *RAID6, stripes int64, disks []int, opts ...Option) error {
+	return a.RebuildContext(ctx, stripes, disks, ApplyOptions(opts...).engineOpts()...)
+}
+
+// ScrubArray scans stripes 0..stripes-1 of a RAID-6 array for latent sector
+// errors and silent corruption, repairing what it can, with stripes spread
+// over WithWorkers goroutines. Equivalent to Array.ScrubContext;
+// Array.Scrub remains the serial form.
+func ScrubArray(ctx context.Context, a *RAID6, stripes int64, opts ...Option) (ScrubReport, error) {
+	return a.ScrubContext(ctx, stripes, ApplyOptions(opts...).engineOpts()...)
+}
+
+// RecoverStripes rebuilds a failed column across many stripes concurrently
+// using a column-recovery plan. Equivalent to ColumnRecoveryPlan's
+// ExecuteStripes with the facade's options.
+func RecoverStripes(ctx context.Context, plan ColumnRecoveryPlan, code Code, stripes []*Stripe, opts ...Option) (DecodeStats, error) {
+	return plan.ExecuteStripes(ctx, code, stripes, nil, nil, ApplyOptions(opts...).engineOpts()...)
+}

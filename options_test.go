@@ -1,0 +1,196 @@
+package code56
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestOptionDefaultsAndOverrides pins ApplyOptions' defaults and that each
+// With* helper lands on its field.
+func TestOptionDefaultsAndOverrides(t *testing.T) {
+	s := ApplyOptions()
+	if s.BlockSize != 4096 || s.Workers != 0 || s.ChunkSize != 0 ||
+		s.Orientation != Left || s.Layout != LeftAsymmetric || s.Throttle != 0 {
+		t.Fatalf("unexpected defaults: %+v", s)
+	}
+	s = ApplyOptions(
+		WithWorkers(8), WithChunkSize(1<<20), WithBlockSize(64),
+		WithOrientation(Right), WithLayout(RightSymmetric),
+		WithSeed(7), WithThrottle(time.Millisecond), nil,
+	)
+	if s.Workers != 8 || s.ChunkSize != 1<<20 || s.BlockSize != 64 ||
+		s.Orientation != Right || s.Layout != RightSymmetric ||
+		s.Seed != 7 || s.Throttle != time.Millisecond {
+		t.Fatalf("options not applied: %+v", s)
+	}
+}
+
+// TestOptionConstructorsMatchPositional: the option-based constructors must
+// be behaviorally identical to the positional forms they wrap.
+func TestOptionConstructorsMatchPositional(t *testing.T) {
+	c1, err := NewCode(5, WithOrientation(Right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewOriented(5, Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Name() != c2.Name() || c1.Geometry() != c2.Geometry() {
+		t.Fatal("NewCode diverges from NewOriented")
+	}
+
+	r5, err := NewRAID5Array(4, WithBlockSize(32), WithLayout(LeftSymmetric))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.M() != 4 || r5.Layout() != LeftSymmetric {
+		t.Fatal("NewRAID5Array options ignored")
+	}
+
+	a := NewRAID6Array(c2, WithBlockSize(128))
+	if a.Disks().Disk(0).BlockSize() != 128 {
+		t.Fatal("NewRAID6Array block size ignored")
+	}
+}
+
+// TestFacadeParallelLifecycle drives encode → scrub → fail → rebuild →
+// recover through the option-based context entry points.
+func TestFacadeParallelLifecycle(t *testing.T) {
+	ctx := context.Background()
+	code, err := NewCode(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewRAID6Array(code, WithBlockSize(64))
+	const stripes = 16
+	r := rand.New(rand.NewSource(9))
+	want := map[int64][]byte{}
+	for L := int64(0); L < int64(a.DataPerStripe()*stripes); L++ {
+		b := make([]byte, 64)
+		r.Read(b)
+		want[L] = b
+		if err := a.WriteBlock(L, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := EncodeArrayStripes(ctx, a, stripes, WithWorkers(4)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ScrubArray(ctx, a, stripes, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stripes != stripes || rep.LatentRepaired != 0 || rep.CorruptRepaired != 0 {
+		t.Fatalf("unexpected scrub report %+v", rep)
+	}
+
+	a.Disks().Disk(2).Fail()
+	a.Disks().Disk(2).Replace()
+	if err := RebuildArray(ctx, a, stripes, []int{2}, WithWorkers(4)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	for L, w := range want {
+		if err := a.ReadBlock(L, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, w) {
+			t.Fatalf("block %d wrong after parallel rebuild", L)
+		}
+	}
+
+	// Stripe-level recovery through the facade.
+	plan, err := PlanColumnRecovery(code, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := code.Geometry()
+	orig := NewStripe(g, 32)
+	orig.FillRandom(code, r)
+	Encode(code, orig)
+	lost := []*Stripe{orig.Clone(), orig.Clone()}
+	for _, s := range lost {
+		s.ZeroColumn(1)
+	}
+	st, err := RecoverStripes(ctx, plan, code, lost, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksRead != 2*plan.Reads {
+		t.Fatalf("aggregated reads %d, want %d", st.BlocksRead, 2*plan.Reads)
+	}
+	for i, s := range lost {
+		if !s.Equal(orig) {
+			t.Fatalf("stripe %d rebuilt wrong", i)
+		}
+	}
+}
+
+// TestFacadeMigrationOptions: NewMigrator and StartMigration honor
+// WithWorkers/WithThrottle, run a full conversion, and propagate ctx
+// cancellation through RunPlan.
+func TestFacadeMigrationOptions(t *testing.T) {
+	r5, err := NewRAID5Array(4, WithBlockSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 16
+	r := rand.New(rand.NewSource(10))
+	want := map[int64][]byte{}
+	for L := int64(0); L < rows*3; L++ {
+		b := make([]byte, 32)
+		r.Read(b)
+		want[L] = b
+		if err := r5.WriteBlock(L, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mig, err := NewMigrator(r5, rows, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := StartMigration(context.Background(), mig); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	r6, err := mig.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	for L, w := range want {
+		if err := r6.ReadBlock(L, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, w) {
+			t.Fatalf("block %d wrong after migration", L)
+		}
+	}
+
+	// RunPlan under a cancelled context stops before any work.
+	plan, err := NewVirtualPlan(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewPlanExecutor(plan, WithBlockSize(32), WithSeed(11))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := RunPlan(ctx, ex, WithWorkers(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// And a fresh run completes and verifies.
+	ex = NewPlanExecutor(plan, WithBlockSize(32), WithSeed(11))
+	if err := RunPlan(context.Background(), ex, WithWorkers(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.VerifyResult(); err != nil {
+		t.Fatal(err)
+	}
+}
