@@ -145,7 +145,10 @@ func runParallel(out string, block, p int, stripes int64, minTime time.Duration)
 	if err != nil {
 		return err
 	}
-	a := code56.NewRAID6Array(code, code56.WithBlockSize(block))
+	a, err := code56.NewRAID6Array(code, code56.WithBlockSize(block))
+	if err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(2))
 	blocks := int64(a.DataPerStripe()) * stripes
 	b := make([]byte, block)

@@ -42,15 +42,28 @@ func main() {
 		metrics  = flag.String("metrics", "", "dump final telemetry counters to this file ('-' for stdout, '.json' suffix for JSON)")
 		traceOut = flag.String("trace", "", "write a JSON-lines span/event trace to this file ('-' for stderr)")
 		progress = flag.Bool("progress", true, "show a live progress line on stderr during online migration")
+
+		latent    = flag.Float64("latent", 0, "per-read probability of discovering a latent sector error (online mode; above ~0.005 double faults within a row become likely, which genuinely exceeds the RAID-5 phase's tolerance)")
+		transient = flag.Float64("transient-prob", 0, "per-I/O probability of a transient error (online mode)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector")
+		retry     = flag.Int("retry", 0, "retries for transient I/O errors")
+		retryBase = flag.Duration("retry-base", 0, "backoff base between retries (doubles each attempt)")
 	)
 	flag.Parse()
 	if *workers == 0 {
 		*workers = *parallel
 	}
+	faults := faultOpts{
+		latent:    *latent,
+		transient: *transient,
+		seed:      *faultSeed,
+		retry:     *retry,
+		retryBase: *retryBase,
+	}
 	closeTrace, err := telemetry.AttachTraceFile(telemetry.DefaultTracer(), *traceOut)
 	if err == nil {
 		if *online {
-			err = runOnline(*disks, *stripes, *block, *workload, *ops, *seed, *throttle, *snapshot, *workers, *progress)
+			err = runOnline(*disks, *stripes, *block, *workload, *ops, *seed, *throttle, *snapshot, *workers, *progress, faults)
 		} else {
 			err = runOffline(*disks, *block, *seed, *workers)
 		}
@@ -67,7 +80,17 @@ func main() {
 	}
 }
 
-func runOnline(disks, stripes, block int, workload string, nops int, seed int64, throttle time.Duration, snapshot string, workers int, progress bool) error {
+// faultOpts carries the -latent/-transient-prob/-retry flags.
+type faultOpts struct {
+	latent, transient float64
+	seed              int64
+	retry             int
+	retryBase         time.Duration
+}
+
+func (f faultOpts) armed() bool { return f.latent > 0 || f.transient > 0 }
+
+func runOnline(disks, stripes, block int, workload string, nops int, seed int64, throttle time.Duration, snapshot string, workers int, progress bool, faults faultOpts) error {
 	p := disks + 1
 	rows := int64(stripes) * int64(p-1)
 	blocks := rows * int64(disks-1)
@@ -86,6 +109,25 @@ func runOnline(disks, stripes, block int, workload string, nops int, seed int64,
 		if err := r5.WriteBlock(L, b); err != nil {
 			return err
 		}
+	}
+
+	if faults.retry > 0 || faults.retryBase > 0 {
+		if err := r5.Disks().SetRetry(faults.retry, faults.retryBase); err != nil {
+			return err
+		}
+	}
+	if faults.armed() {
+		err := r5.Disks().SetFaults(code56.FaultConfig{
+			Seed:               faults.seed,
+			ReadTransientProb:  faults.transient,
+			WriteTransientProb: faults.transient,
+			LatentProb:         faults.latent,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fault injector armed: latent %.3g, transient %.3g, seed %d, retry %d @ %v\n",
+			faults.latent, faults.transient, faults.seed, faults.retry, faults.retryBase)
 	}
 
 	mig, err := code56.NewOnlineMigrator(r5, rows)
@@ -187,6 +229,23 @@ func runOnline(disks, stripes, block int, workload string, nops int, seed int64,
 	r6, err := mig.Result()
 	if err != nil {
 		return err
+	}
+	if faults.armed() {
+		// Quiesce the injector, then scrub-repair whatever latent errors the
+		// workload discovered but the conversion didn't walk over, so the
+		// verification below checks data integrity rather than injector luck.
+		if err := r5.Disks().SetFaults(code56.FaultConfig{}); err != nil {
+			return err
+		}
+		rep, err := r6.Scrub(int64(stripes))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("faults: %d bad blocks repaired during conversion, %d latent repaired by scrub, %d silent corruptions, %d unrecoverable stripes\n",
+			st.FaultsRepaired, rep.LatentRepaired, rep.CorruptRepaired, len(rep.Unrecoverable))
+		if len(rep.Unrecoverable) > 0 {
+			return fmt.Errorf("scrub left unrecoverable stripes: %v", rep.Unrecoverable)
+		}
 	}
 	for st := int64(0); st < int64(stripes); st++ {
 		ok, err := r6.VerifyStripe(st)

@@ -7,21 +7,28 @@ import (
 
 func TestRunWorkloads(t *testing.T) {
 	for _, w := range []string{"random", "sequential", "write-heavy", "zipf", "none"} {
-		if err := runOnline(4, 4, 512, w, 50, 1, 0, "", 1, false); err != nil {
+		if err := runOnline(4, 4, 512, w, 50, 1, 0, "", 1, false, faultOpts{}); err != nil {
 			t.Fatalf("%s: %v", w, err)
 		}
 	}
-	if err := runOnline(4, 4, 512, "nonesuch", 10, 1, 0, "", 1, false); err == nil {
+	if err := runOnline(4, 4, 512, "nonesuch", 10, 1, 0, "", 1, false, faultOpts{}); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := runOnline(5, 4, 512, "none", 0, 1, 0, "", 1, false); err == nil {
+	if err := runOnline(5, 4, 512, "none", 0, 1, 0, "", 1, false, faultOpts{}); err == nil {
 		t.Error("non-prime-plus-one disk count accepted")
 	}
 }
 
 func TestRunSnapshot(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "arr.snap")
-	if err := runOnline(4, 2, 512, "none", 0, 1, 0, path, 4, false); err != nil {
+	if err := runOnline(4, 2, 512, "none", 0, 1, 0, path, 4, false, faultOpts{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnlineWithFaults(t *testing.T) {
+	f := faultOpts{latent: 0.01, transient: 0.02, seed: 3, retry: 4}
+	if err := runOnline(4, 8, 512, "random", 100, 1, 0, "", 1, false, f); err != nil {
 		t.Fatal(err)
 	}
 }

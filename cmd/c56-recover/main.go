@@ -14,6 +14,7 @@
 //	c56-recover -hybrid -p 5
 //	c56-recover -all -p 7
 //	c56-recover -rebuild -p 13 -fail 2,5 -stripes 128 -workers 4
+//	c56-recover -scrub -p 5 -stripes 64
 package main
 
 import (
@@ -40,10 +41,19 @@ func main() {
 		all      = flag.Bool("all", false, "run double-failure recovery for every code")
 		block    = flag.Int("block", 4096, "block size in bytes")
 		rebuild  = flag.Bool("rebuild", false, "rebuild failed+replaced disks of a whole array in parallel")
-		stripes  = flag.Int64("stripes", 64, "stripes in the array (-rebuild mode)")
-		workers  = flag.Int("workers", 1, "worker goroutines for the rebuild (-rebuild mode)")
+		stripes  = flag.Int64("stripes", 64, "stripes in the array (-rebuild/-scrub modes)")
+		workers  = flag.Int("workers", 1, "worker goroutines for the rebuild or scrub")
+		scrub    = flag.Bool("scrub", false, "plant latent errors and silent corruption in an array, then check and repair it by scrubbing")
+		seed     = flag.Int64("seed", 23, "seed for planted faults (-scrub mode)")
 	)
 	flag.Parse()
+	if *scrub {
+		if err := runScrub(*codeName, *p, *block, *stripes, *workers, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "c56-recover:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *rebuild {
 		if err := runRebuild(*codeName, *p, *failSpec, *block, *stripes, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "c56-recover:", err)
@@ -147,6 +157,93 @@ func demo(name string, p int, fails []int, block int) error {
 	return nil
 }
 
+// runScrub populates a RAID-6 array, plants latent sector errors and silent
+// single-block corruptions, surveys the damage with a check-only scrub,
+// repairs it with a repairing scrub, and proves the array clean with a
+// final check pass plus a full data read-back.
+func runScrub(codeName string, p, block int, stripes int64, workers int, seed int64) error {
+	code, err := makeCode(codeName, p)
+	if err != nil {
+		return err
+	}
+	g := code.Geometry()
+	a, err := code56.NewRAID6Array(code, code56.WithBlockSize(block))
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	blocks := int64(a.DataPerStripe()) * stripes
+	want := make([][]byte, blocks)
+	for L := int64(0); L < blocks; L++ {
+		b := make([]byte, block)
+		rng.Read(b)
+		want[L] = b
+		if err := a.WriteBlock(L, b); err != nil {
+			return err
+		}
+	}
+
+	// Plant faults on disjoint stripes so each stripe has a single,
+	// locatable problem: latent errors on stripes ≡ 0 (mod 4), silent
+	// corruptions on stripes ≡ 2 (mod 4).
+	var nLatent, nCorrupt int
+	garbage := make([]byte, block)
+	for st := int64(0); st < stripes; st++ {
+		r := int64(rng.Intn(g.Rows))
+		d := rng.Intn(g.Cols)
+		switch st % 4 {
+		case 0:
+			a.Disks().Disk(d).InjectLatentError(st*int64(g.Rows) + r)
+			nLatent++
+		case 2:
+			rng.Read(garbage)
+			if err := a.Disks().Disk(d).Write(st*int64(g.Rows)+r, garbage); err != nil {
+				return err
+			}
+			nCorrupt++
+		}
+	}
+	fmt.Printf("%s p=%d: planted %d latent sector errors and %d silent corruptions across %d stripes\n",
+		code.Name(), p, nLatent, nCorrupt, stripes)
+
+	ctx := context.Background()
+	check, err := code56.ScrubArrayMode(ctx, a, stripes, code56.ScrubCheck, code56.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("check pass:  %d latent found, %d corruptions located, %d unrecoverable (nothing written)\n",
+		check.LatentFound, check.CorruptFound, len(check.Unrecoverable))
+	if check.LatentRepaired != 0 || check.CorruptRepaired != 0 {
+		return fmt.Errorf("check-mode scrub wrote to the array")
+	}
+
+	rep, err := code56.ScrubArrayMode(ctx, a, stripes, code56.ScrubRepair, code56.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repair pass: %d latent repaired, %d corruptions rewritten\n",
+		rep.LatentRepaired, rep.CorruptRepaired)
+
+	final, err := code56.ScrubArrayMode(ctx, a, stripes, code56.ScrubCheck, code56.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	if !final.Clean() {
+		return fmt.Errorf("array still dirty after repair scrub: %+v", final)
+	}
+	buf := make([]byte, block)
+	for L := int64(0); L < blocks; L++ {
+		if err := a.ReadBlock(L, buf); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want[L]) {
+			return fmt.Errorf("block %d wrong after scrub repair", L)
+		}
+	}
+	fmt.Printf("verified: array clean, all %d data blocks intact\n", blocks)
+	return nil
+}
+
 // runRebuild populates a RAID-6 array, fails and replaces the given disks,
 // rebuilds every stripe through the parallel stripe engine, and verifies
 // both parity consistency and data integrity.
@@ -167,7 +264,10 @@ func runRebuild(codeName string, p int, failSpec string, block int, stripes int6
 		}
 		fails = append(fails, v)
 	}
-	a := code56.NewRAID6Array(code, code56.WithBlockSize(block))
+	a, err := code56.NewRAID6Array(code, code56.WithBlockSize(block))
+	if err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(7))
 	blocks := int64(a.DataPerStripe()) * stripes
 	want := make([][]byte, blocks)

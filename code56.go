@@ -145,6 +145,25 @@ type (
 	DiskArray = vdisk.Array
 	// DiskStats counts a disk's I/O.
 	DiskStats = vdisk.Stats
+	// FaultConfig is a deterministic, seeded fault-injection scenario:
+	// transient read/write errors, latent-sector-error discovery, and a
+	// scheduled whole-disk failure. Arm it with DiskArray.SetFaults or the
+	// WithFaults option; replaying the same config against the same I/O
+	// sequence reproduces the same faults.
+	FaultConfig = vdisk.FaultConfig
+)
+
+// Disk-fault sentinels, matchable with errors.Is through every layer.
+var (
+	// ErrDiskFailed marks I/O against a fail-stopped disk (Fail or a
+	// scheduled FaultConfig failure); cleared by Replace.
+	ErrDiskFailed = vdisk.ErrFailed
+	// ErrLatentSector marks a read of a block with a latent sector error;
+	// rewriting the block clears it (sector remap semantics).
+	ErrLatentSector = vdisk.ErrLatent
+	// ErrTransientIO marks a transiently failed I/O; retrying may succeed
+	// (see WithRetry / DiskArray.SetRetry).
+	ErrTransientIO = vdisk.ErrTransient
 )
 
 // RAID layers.

@@ -12,6 +12,7 @@ import (
 	"code56/internal/raid5"
 	"code56/internal/raid6"
 	"code56/internal/telemetry"
+	"code56/internal/vdisk"
 	"code56/internal/xorblk"
 )
 
@@ -62,6 +63,10 @@ type OnlineMigrator struct {
 	finished      bool
 	err           error
 	done          chan struct{}
+	// wake is closed (and replaced) by interruptLocked to cut short any
+	// worker sleeping in its throttle interval when the migration must
+	// react now: cancellation, a conversion error, or Pause.
+	wake chan struct{}
 
 	// throttle, if positive, is slept between stripes to bound the
 	// conversion's interference with foreground I/O.
@@ -81,14 +86,15 @@ type OnlineMigrator struct {
 // onlineTel holds the migrator's bound telemetry instruments (see README
 // "Telemetry" for the metric reference).
 type onlineTel struct {
-	tr         *telemetry.Tracer
-	converted  *telemetry.Counter // stripes converted (incl. redone)
-	redone     *telemetry.Counter // stripes reconverted after a racing write
-	interrupts *telemetry.Counter // app writes that interrupted the conversion
-	diagUpd    *telemetry.Counter // write-redirect hits on converted stripes
-	appReads   *telemetry.Counter // application reads served
-	appWrites  *telemetry.Counter // application writes served
-	xors       *telemetry.Counter // conversion XORs (Equation 2 evaluations)
+	tr           *telemetry.Tracer
+	converted    *telemetry.Counter // stripes converted (incl. redone)
+	redone       *telemetry.Counter // stripes reconverted after a racing write
+	interrupts   *telemetry.Counter // app writes that interrupted the conversion
+	diagUpd      *telemetry.Counter // write-redirect hits on converted stripes
+	appReads     *telemetry.Counter // application reads served
+	appWrites    *telemetry.Counter // application writes served
+	faultRepairs *telemetry.Counter // faulty blocks healed by the conversion
+	xors         *telemetry.Counter // conversion XORs (Equation 2 evaluations)
 	// redirectXORs counts the extra XORs write redirects spend updating
 	// already-converted diagonal parities (kept separate so xors matches
 	// the plan's conversion-only accounting).
@@ -105,6 +111,7 @@ func bindOnlineTel(reg *telemetry.Registry, tr *telemetry.Tracer) onlineTel {
 		diagUpd:      reg.Counter("migrate.diagonal_updates"),
 		appReads:     reg.Counter("migrate.app_reads"),
 		appWrites:    reg.Counter("migrate.app_writes"),
+		faultRepairs: reg.Counter("migrate.fault_repairs"),
 		xors:         reg.Counter("migrate.conversion_xors"),
 		redirectXORs: reg.Counter("migrate.redirect_xors"),
 		progress:     reg.Gauge("migrate.progress_stripes"),
@@ -126,6 +133,10 @@ type MigrationStats struct {
 	// DiagonalUpdates counts writes that also updated an
 	// already-converted stripe's diagonal parity.
 	DiagonalUpdates int64
+	// FaultsRepaired counts blocks the conversion found unreadable (latent
+	// or persistent-transient errors), reconstructed from RAID-5
+	// redundancy, and rewrote in place.
+	FaultsRepaired int64
 }
 
 // NewOnlineMigrator prepares a migration of the given RAID-5 array to a
@@ -161,6 +172,7 @@ func NewOnlineMigrator(a *raid5.Array, rows int64) (*OnlineMigrator, error) {
 		dirtySet:    make(map[int64]bool),
 		doneSet:     make(map[int64]bool),
 		done:        make(chan struct{}),
+		wake:        make(chan struct{}),
 		tel:         bindOnlineTel(nil, nil),
 	}
 	m.cond = sync.NewCond(&m.mu)
@@ -230,6 +242,14 @@ func (m *OnlineMigrator) ResumeFrom(stripe int64) error {
 	return nil
 }
 
+// interruptLocked wakes any worker sleeping in its throttle interval: the
+// current wake channel is closed (a closed channel stays readable, so no
+// wakeup is ever missed) and replaced for future sleeps. Caller holds m.mu.
+func (m *OnlineMigrator) interruptLocked() {
+	close(m.wake)
+	m.wake = make(chan struct{})
+}
+
 // Pause blocks the conversion at the next stripe boundaries and returns
 // once every conversion worker is parked (or the conversion finished).
 // Application I/O continues; Resume restarts the conversion.
@@ -237,6 +257,7 @@ func (m *OnlineMigrator) Pause() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.userPaused = true
+	m.interruptLocked()
 	m.span.Event("migrate.pause", telemetry.A("at_stripe", m.cursor))
 	m.cond.Broadcast()
 	for m.started && !m.finished && m.parked < m.workers {
@@ -285,6 +306,7 @@ func (m *OnlineMigrator) StartContext(ctx context.Context) error {
 					m.err = ctx.Err()
 					m.span.Event("migrate.cancelled", telemetry.A("at_stripe", m.cursor))
 				}
+				m.interruptLocked()
 				m.cond.Broadcast()
 				m.mu.Unlock()
 			case <-m.done:
@@ -471,6 +493,7 @@ func (m *OnlineMigrator) worker() {
 					m.err = err
 				}
 				delete(m.inProgress, st)
+				m.interruptLocked()
 				m.cond.Broadcast()
 				m.mu.Unlock()
 				return
@@ -506,6 +529,10 @@ func (m *OnlineMigrator) worker() {
 		progress, total := m.cursor, m.stripes
 		fn := m.onProgress
 		throttle := m.throttle
+		wake := m.wake // captured under the same lock as throttle
+		if m.err != nil || m.userPaused {
+			throttle = 0 // don't sleep into a state we must react to
+		}
 		m.cond.Broadcast()
 		m.mu.Unlock()
 
@@ -513,7 +540,15 @@ func (m *OnlineMigrator) worker() {
 			fn(progress, total)
 		}
 		if throttle > 0 {
-			time.Sleep(throttle)
+			// Interruptible throttle: cancellation, errors and Pause close
+			// wake, so a worker never holds up Wait (or Pause) for a full
+			// throttle interval.
+			t := time.NewTimer(throttle)
+			select {
+			case <-t.C:
+			case <-wake:
+				t.Stop()
+			}
 		}
 	}
 }
@@ -552,8 +587,8 @@ func (m *OnlineMigrator) convertStripe(st int64) error {
 			if j > 0 {
 				dst = buf
 			}
-			if err := m.r5.Disks().Disk(c.Col).Read(base+int64(c.Row), dst); err != nil {
-				return err
+			if err := m.readOrRepair(base+int64(c.Row), c.Col, dst); err != nil {
+				return fmt.Errorf("migrate: converting stripe %d: %w", st, err)
 			}
 			if j > 0 {
 				xorblk.Xor(parity, buf)
@@ -561,9 +596,41 @@ func (m *OnlineMigrator) convertStripe(st int64) error {
 			}
 		}
 		if err := newDisk.Write(base+int64(ch.Parity.Row), parity); err != nil {
-			return err
+			return fmt.Errorf("migrate: converting stripe %d: %w", st, err)
 		}
 	}
+	return nil
+}
+
+// readOrRepair reads one RAID-5 cell for the conversion. A latent sector
+// error (or a transient that survived the disk's retry policy) is served
+// by RAID-5 reconstruction and the block is rewritten in place — healing
+// the medium, so the conversion leaves the array healthier than it found
+// it. A fail-stopped disk cannot be repaired in place: the error
+// propagates, stopping the conversion at its contiguous watermark; after
+// Replace and Rebuild a new migrator resumes from there with ResumeFrom.
+func (m *OnlineMigrator) readOrRepair(row int64, disk int, buf []byte) error {
+	err := m.r5.Disks().Disk(disk).Read(row, buf)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, vdisk.ErrLatent) || errors.Is(err, vdisk.ErrTransient):
+	default:
+		return err
+	}
+	if rerr := m.r5.ReconstructBlock(row, disk, buf); rerr != nil {
+		return fmt.Errorf("reconstructing after %v: %w", err, rerr)
+	}
+	// Rewriting clears the latent error (writes remap the sector).
+	if werr := m.r5.Disks().Disk(disk).Write(row, buf); werr != nil {
+		return werr
+	}
+	m.mu.Lock()
+	m.stats.FaultsRepaired++
+	m.mu.Unlock()
+	m.tel.faultRepairs.Inc()
+	m.span.Event("migrate.fault_repaired",
+		telemetry.A("row", row), telemetry.A("disk", disk))
 	return nil
 }
 
@@ -620,7 +687,16 @@ func (m *OnlineMigrator) writeLocked(logical, row int64, disk int, data []byte, 
 	blockSize := m.r5.BlockSize()
 	old := make([]byte, blockSize)
 	if err := m.r5.Disks().Disk(disk).Read(row, old); err != nil {
-		return err
+		// Serve the old value degraded: read-modify-write must go on even
+		// when the block's disk failed or the sector is bad — the RAID-5
+		// write path below handles the actual update.
+		if !errors.Is(err, vdisk.ErrFailed) && !errors.Is(err, vdisk.ErrLatent) &&
+			!errors.Is(err, vdisk.ErrTransient) {
+			return err
+		}
+		if rerr := m.r5.ReconstructBlock(row, disk, old); rerr != nil {
+			return fmt.Errorf("migrate: degraded old-value read: %w", rerr)
+		}
 	}
 	if err := m.r5.WriteBlock(logical, data); err != nil {
 		return err

@@ -1,0 +1,283 @@
+package migrate
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"code56/internal/vdisk"
+)
+
+// TestThrottleCancellationReturnsQuickly: a cancelled migration must not
+// sleep out its throttle interval. With a 1-second throttle and a
+// cancellation after the first stripe, Wait has to return in milliseconds
+// (the throttle sleep used to be a bare time.Sleep).
+func TestThrottleCancellationReturnsQuickly(t *testing.T) {
+	const rows = 64
+	a, _ := newLoadedRAID5(t, 4, rows, 71)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig.SetThrottle(time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mig.SetProgressFunc(func(converted, total int64) {
+		if converted >= 1 {
+			cancel()
+		}
+	})
+	if err := mig.StartContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = mig.Wait()
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("Wait took %v with a 1s throttle; the cancelled sleep was not interrupted", elapsed)
+	}
+}
+
+// TestPauseInterruptsThrottleSleep: Pause must park a worker sleeping in
+// its throttle interval instead of waiting the interval out.
+func TestPauseInterruptsThrottleSleep(t *testing.T) {
+	const rows = 64
+	a, _ := newLoadedRAID5(t, 4, rows, 72)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig.SetThrottle(time.Second)
+	converted := make(chan struct{}, rows)
+	mig.SetProgressFunc(func(c, total int64) {
+		select {
+		case converted <- struct{}{}:
+		default:
+		}
+	})
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-converted // the worker is now in (or about to enter) its throttle sleep
+	start := time.Now()
+	mig.Pause()
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("Pause took %v; the throttle sleep was not interrupted", elapsed)
+	}
+	mig.SetThrottle(0) // let the rest of the conversion finish promptly
+	mig.Resume()
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConversionHealsLatentErrors: latent sector errors in stripes the
+// conversion walks are reconstructed from RAID-5 redundancy and rewritten,
+// counted in FaultsRepaired, and gone afterwards.
+func TestConversionHealsLatentErrors(t *testing.T) {
+	const rows = 16
+	a, want := newLoadedRAID5(t, 4, rows, 73)
+	// Two latent errors on data cells (Locate only maps data blocks), on
+	// distinct disks and rows — RAID-5 reconstructs at most one per row.
+	type loc struct {
+		row  int64
+		disk int
+	}
+	var bad []loc
+	seenDisk := map[int]bool{}
+	seenRow := map[int64]bool{}
+	for L := int64(0); L < rows*3 && len(bad) < 2; L++ {
+		row, disk := a.Locate(L)
+		if seenDisk[disk] || seenRow[row] {
+			continue
+		}
+		seenDisk[disk] = true
+		seenRow[row] = true
+		a.Disks().Disk(disk).InjectLatentError(row)
+		bad = append(bad, loc{row, disk})
+	}
+
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mig.Stats().FaultsRepaired; got != 2 {
+		t.Fatalf("FaultsRepaired = %d, want 2", got)
+	}
+	// The medium is healed: direct reads succeed again.
+	buf := make([]byte, 32)
+	for _, b := range bad {
+		if err := a.Disks().Disk(b.disk).Read(b.row, buf); err != nil {
+			t.Fatalf("latent block (disk %d, row %d) not rewritten: %v", b.disk, b.row, err)
+		}
+	}
+	verifyConverted(t, mig, want, rows/4, "latent-heal")
+}
+
+// TestConversionSurvivesTransientErrors: transient faults beyond the retry
+// budget are served by reconstruction; the conversion completes and the
+// result verifies.
+func TestConversionSurvivesTransientErrors(t *testing.T) {
+	const rows = 32
+	a, want := newLoadedRAID5(t, 4, rows, 74)
+	if err := a.Disks().SetRetry(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Disks().SetFaults(vdisk.FaultConfig{Seed: 8, ReadTransientProb: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Disks().SetFaults(vdisk.FaultConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	verifyConverted(t, mig, want, rows/4, "transient-survive")
+}
+
+// TestWriteServesDegradedOldValue: an application write whose old-value
+// read hits a latent sector error reconstructs the old data, keeps the
+// diagonal parity coherent, and clears the error by rewriting.
+func TestWriteServesDegradedOldValue(t *testing.T) {
+	const rows = 16
+	a, want := newLoadedRAID5(t, 4, rows, 75)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage a block after conversion, then overwrite it through the
+	// migrator: the read-modify-write must reconstruct the old value to
+	// compute parity deltas.
+	const logical = 7
+	row, disk := a.Locate(logical)
+	a.Disks().Disk(disk).InjectLatentError(row)
+	data := bytes.Repeat([]byte{0xAB}, 32)
+	if err := mig.Write(logical, data); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	want[logical] = data
+	verifyConverted(t, mig, want, rows/4, "degraded-write")
+}
+
+// TestKillAndResumeSurvivesDiskFailure is the acceptance scenario: latent
+// errors on two disks plus a whole-disk failure mid-conversion. The
+// conversion heals the latent errors, parks at its watermark when the disk
+// dies, serves reads degraded, and after Replace + rebuild a second
+// migrator resumes from the watermark. A final scrub and full read-back
+// prove zero data loss.
+func TestKillAndResumeSurvivesDiskFailure(t *testing.T) {
+	const (
+		m       = 4
+		rows    = 32 // 8 Code 5-6 stripes
+		stripes = rows / m
+	)
+	a, want := newLoadedRAID5(t, m, rows, 76)
+
+	// Latent errors on two data cells in stripes 0-1 (the conversion walks
+	// every data cell there before the disk dies), on distinct disks and
+	// rows — RAID-5 reconstructs at most one lost block per row.
+	planted := 0
+	seenDisk := map[int]bool{}
+	seenRow := map[int64]bool{}
+	for L := int64(0); L < rows*(m-1) && planted < 2; L++ {
+		row, disk := a.Locate(L)
+		if row >= 2*m || seenDisk[disk] || seenRow[row] {
+			continue
+		}
+		seenDisk[disk] = true
+		seenRow[row] = true
+		a.Disks().Disk(disk).InjectLatentError(row)
+		planted++
+	}
+	if planted != 2 {
+		t.Fatalf("planted %d latent errors, want 2", planted)
+	}
+	// Disk 2 fail-stops at its 14th I/O after arming — mid-conversion.
+	if err := a.Disks().Disk(2).SetFaults(vdisk.FaultConfig{Seed: 5, FailAtIO: 14}); err != nil {
+		t.Fatal(err)
+	}
+
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	err = mig.Wait()
+	if !errors.Is(err, vdisk.ErrFailed) {
+		t.Fatalf("Wait = %v, want the scheduled disk failure", err)
+	}
+	watermark, total := mig.Progress()
+	if watermark == 0 || watermark >= total {
+		t.Fatalf("watermark %d of %d; the failure should hit mid-conversion", watermark, total)
+	}
+	if got := mig.Stats().FaultsRepaired; got != 2 {
+		t.Fatalf("FaultsRepaired = %d, want both latent errors healed before the disk died", got)
+	}
+
+	// Degraded service: every block still readable with disk 2 down.
+	buf := make([]byte, 32)
+	for L, w := range want {
+		if err := a.ReadBlock(L, buf); err != nil {
+			t.Fatalf("degraded read %d: %v", L, err)
+		}
+		if !bytes.Equal(buf, w) {
+			t.Fatalf("degraded read %d wrong", L)
+		}
+	}
+
+	// Hot-swap and rebuild, then resume from the watermark.
+	a.Disks().Disk(2).Replace()
+	if err := a.Rebuild(2, rows); err != nil {
+		t.Fatal(err)
+	}
+	mig2, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig2.ResumeFrom(watermark); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig2.Wait(); err != nil {
+		t.Fatalf("resumed conversion: %v", err)
+	}
+
+	r6 := verifyConverted(t, mig2, want, stripes, "kill-and-resume")
+	rep, err := r6.ScrubWithMode(stripes, 1 /* ScrubCheck */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("final scrub found damage: %+v", rep)
+	}
+}

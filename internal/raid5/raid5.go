@@ -178,7 +178,7 @@ func (a *Array) failedDisks() []int {
 }
 
 // ReadBlock reads logical data block L, reconstructing from parity if the
-// holding disk has failed (degraded read).
+// holding disk has failed or the block is unreadable (degraded read).
 func (a *Array) ReadBlock(logical int64, buf []byte) error {
 	a.tel.blockReads.Inc()
 	row, disk := a.Locate(logical)
@@ -186,8 +186,31 @@ func (a *Array) ReadBlock(logical int64, buf []byte) error {
 	if err == nil {
 		return nil
 	}
-	if !errors.Is(err, vdisk.ErrFailed) && !errors.Is(err, vdisk.ErrLatent) {
+	if !isDegradable(err) {
 		return err
+	}
+	a.tel.degradedReads.Inc()
+	return a.reconstructInto(row, disk, buf)
+}
+
+// isDegradable reports whether a read error can be served by
+// reconstruction: fail-stopped disks, latent sector errors, and transient
+// faults that survived the disk's retry policy.
+func isDegradable(err error) bool {
+	return errors.Is(err, vdisk.ErrFailed) || errors.Is(err, vdisk.ErrLatent) ||
+		errors.Is(err, vdisk.ErrTransient)
+}
+
+// ReconstructBlock rebuilds the physical block at (row, disk) — data or
+// parity — from the other columns of the row into buf: a degraded read of
+// an arbitrary cell. The online migrator uses it to survive latent errors
+// in stripes it is converting.
+func (a *Array) ReconstructBlock(row int64, disk int, buf []byte) error {
+	if disk < 0 || disk >= a.m {
+		return fmt.Errorf("raid5: disk %d outside 0..%d", disk, a.m-1)
+	}
+	if len(buf) != a.blockSize {
+		return fmt.Errorf("raid5: reconstruct into %d bytes, want %d", len(buf), a.blockSize)
 	}
 	a.tel.degradedReads.Inc()
 	return a.reconstructInto(row, disk, buf)
@@ -207,7 +230,9 @@ func (a *Array) reconstructInto(row int64, disk int, buf []byte) error {
 			if errors.Is(err, vdisk.ErrFailed) {
 				return fmt.Errorf("%w: disks %d and %d", ErrDoubleFailure, disk, i)
 			}
-			return err
+			// A latent or transient error on a peer is a second fault in
+			// this row — beyond single-parity tolerance.
+			return fmt.Errorf("raid5: reconstructing (row %d, disk %d) needs disk %d: %w", row, disk, i, err)
 		}
 		xorblk.Xor(buf, tmp)
 		a.tel.xors.Inc()
@@ -233,11 +258,21 @@ func (a *Array) WriteBlock(logical int64, data []byte) error {
 	case !dataDisk.Failed() && !parityDisk.Failed():
 		old := make([]byte, a.blockSize)
 		if err := dataDisk.Read(row, old); err != nil {
-			return err
+			if !isDegradable(err) {
+				return err
+			}
+			// The old data is unreadable (latent/transient): fall back to
+			// reconstruct-write, which never needs it. Writing the new
+			// data clears any latent error on the block.
+			return a.reconstructWrite(row, disk, pd, data, true)
 		}
 		parity := make([]byte, a.blockSize)
 		if err := parityDisk.Read(row, parity); err != nil {
-			return err
+			if !isDegradable(err) {
+				return err
+			}
+			// The old parity is unreadable: recompute it from scratch.
+			return a.reconstructWrite(row, disk, pd, data, true)
 		}
 		// parity ^= old ^ new
 		xorblk.Xor(parity, old)
@@ -250,31 +285,43 @@ func (a *Array) WriteBlock(logical int64, data []byte) error {
 		return parityDisk.Write(row, parity)
 
 	case dataDisk.Failed():
-		// Reconstruct-write: parity = XOR of new data and all surviving
-		// data blocks of the row.
-		parity := append([]byte(nil), data...)
-		tmp := make([]byte, a.blockSize)
-		for i := 0; i < a.m; i++ {
-			if i == disk || i == pd {
-				continue
-			}
-			if err := a.disks.Disk(i).Read(row, tmp); err != nil {
-				if errors.Is(err, vdisk.ErrFailed) {
-					return fmt.Errorf("%w: disks %d and %d", ErrDoubleFailure, disk, i)
-				}
-				return err
-			}
-			xorblk.Xor(parity, tmp)
-			a.tel.xors.Inc()
-		}
-		a.tel.parityUpdates.Inc()
-		return parityDisk.Write(row, parity)
+		return a.reconstructWrite(row, disk, pd, data, false)
 
 	default:
 		// Parity disk failed: just write the data; parity is lost until
 		// rebuild.
 		return dataDisk.Write(row, data)
 	}
+}
+
+// reconstructWrite writes logical data by full-row reconstruction: the new
+// parity is the XOR of the new data and the row's other data blocks, so
+// neither the old data nor the old parity is read. writeData is false when
+// the data disk itself is failed (only the parity is written; the data is
+// restored at rebuild time).
+func (a *Array) reconstructWrite(row int64, disk, pd int, data []byte, writeData bool) error {
+	parity := append([]byte(nil), data...)
+	tmp := make([]byte, a.blockSize)
+	for i := 0; i < a.m; i++ {
+		if i == disk || i == pd {
+			continue
+		}
+		if err := a.disks.Disk(i).Read(row, tmp); err != nil {
+			if errors.Is(err, vdisk.ErrFailed) {
+				return fmt.Errorf("%w: disks %d and %d", ErrDoubleFailure, disk, i)
+			}
+			return fmt.Errorf("raid5: reconstruct-write (row %d, disk %d) needs disk %d: %w", row, disk, i, err)
+		}
+		xorblk.Xor(parity, tmp)
+		a.tel.xors.Inc()
+	}
+	if writeData {
+		if err := a.disks.Disk(disk).Write(row, data); err != nil {
+			return err
+		}
+	}
+	a.tel.parityUpdates.Inc()
+	return a.disks.Disk(pd).Write(row, parity)
 }
 
 // WriteParity recomputes and writes the parity of a row from its data

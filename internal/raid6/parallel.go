@@ -68,19 +68,20 @@ func (a *Array) RebuildContext(ctx context.Context, stripes int64, disks []int, 
 // serial scrub regardless of worker count. A disk-level I/O failure (or ctx
 // cancellation) stops the pass and returns the partial report.
 func (a *Array) ScrubContext(ctx context.Context, stripes int64, opts ...parallel.Option) (ScrubReport, error) {
+	return a.ScrubContextMode(ctx, stripes, ScrubRepair, opts...)
+}
+
+// ScrubContextMode is ScrubContext with an explicit repair/check mode.
+func (a *Array) ScrubContextMode(ctx context.Context, stripes int64, mode ScrubMode, opts ...parallel.Option) (ScrubReport, error) {
 	rep := ScrubReport{Stripes: stripes}
 	var mu sync.Mutex
 	err := parallel.ForEach(ctx, stripes, func(st int64) error {
-		latent, corrupt, unrecoverable, err := a.scrubStripe(st)
+		res, err := a.scrubStripe(st, mode == ScrubRepair)
 		if err != nil {
 			return err
 		}
 		mu.Lock()
-		rep.LatentRepaired += latent
-		rep.CorruptRepaired += corrupt
-		if unrecoverable {
-			rep.Unrecoverable = append(rep.Unrecoverable, st)
-		}
+		rep.add(st, res)
 		mu.Unlock()
 		return nil
 	}, opts...)

@@ -44,10 +44,12 @@ type tel struct {
 	blockReads    *telemetry.Counter // ReadBlock/ReadCell calls served
 	blockWrites   *telemetry.Counter // WriteBlock calls served
 	degradedReads *telemetry.Counter // reads answered by reconstruction
+	degradedFast  *telemetry.Counter // degraded reads served by one chain
 	parityUpdates *telemetry.Counter // parity cells written
 	xors          *telemetry.Counter // block XOR operations
 	stripeEncodes *telemetry.Counter // full-stripe parity generations
 	rebuilt       *telemetry.Counter // blocks rebuilt onto replaced disks
+	scrubRepairs  *telemetry.Counter // blocks rewritten by scrub repair
 }
 
 func bindTel(reg *telemetry.Registry, tr *telemetry.Tracer) tel {
@@ -56,10 +58,12 @@ func bindTel(reg *telemetry.Registry, tr *telemetry.Tracer) tel {
 		blockReads:    reg.Counter("raid6.block_reads"),
 		blockWrites:   reg.Counter("raid6.block_writes"),
 		degradedReads: reg.Counter("raid6.degraded_reads"),
+		degradedFast:  reg.Counter("raid6.degraded_fast_path"),
 		parityUpdates: reg.Counter("raid6.parity_updates"),
 		xors:          reg.Counter("raid6.xors"),
 		stripeEncodes: reg.Counter("raid6.stripe_encodes"),
 		rebuilt:       reg.Counter("raid6.blocks_rebuilt"),
+		scrubRepairs:  reg.Counter("raid6.scrub_repairs"),
 	}
 }
 
@@ -170,7 +174,7 @@ func (a *Array) loadStripe(stripe int64) (*layout.Stripe, layout.ErasureSet, err
 			err := a.readCell(stripe, c, s.Block(c))
 			switch {
 			case err == nil:
-			case errors.Is(err, vdisk.ErrFailed), errors.Is(err, vdisk.ErrLatent):
+			case isDegradable(err):
 				s.Zero(c)
 				es[c] = true
 			default:
@@ -181,8 +185,18 @@ func (a *Array) loadStripe(stripe int64) (*layout.Stripe, layout.ErasureSet, err
 	return s, es, nil
 }
 
-// ReadBlock reads logical data block L, reconstructing the stripe if the
-// holding disk (or a needed block) is unavailable.
+// isDegradable reports whether a read error can be served by
+// reconstruction: fail-stopped disks, latent sector errors, and transient
+// faults that survived the disk's retry policy.
+func isDegradable(err error) bool {
+	return errors.Is(err, vdisk.ErrFailed) || errors.Is(err, vdisk.ErrLatent) ||
+		errors.Is(err, vdisk.ErrTransient)
+}
+
+// ReadBlock reads logical data block L, reconstructing if the holding disk
+// (or a needed block) is unavailable. A single unreadable cell is rebuilt
+// through one parity chain — horizontal first (see degradedRead); wider
+// damage falls back to whole-stripe reconstruction.
 func (a *Array) ReadBlock(logical int64, buf []byte) error {
 	a.tel.blockReads.Inc()
 	stripe, cell := a.Locate(logical)
@@ -190,10 +204,40 @@ func (a *Array) ReadBlock(logical int64, buf []byte) error {
 	if err == nil {
 		return nil
 	}
-	if !errors.Is(err, vdisk.ErrFailed) && !errors.Is(err, vdisk.ErrLatent) {
+	if !isDegradable(err) {
 		return err
 	}
+	return a.degradedRead(stripe, cell, buf)
+}
+
+// ReadCell reads an arbitrary stripe cell (data or parity), reconstructing
+// if the cell's disk is unavailable. Migration tooling uses it to serve
+// RAID-5-addressed blocks through the RAID-6 redundancy.
+func (a *Array) ReadCell(stripe int64, cell layout.Coord, buf []byte) error {
+	a.tel.blockReads.Inc()
+	err := a.readCell(stripe, cell, buf)
+	if err == nil {
+		return nil
+	}
+	if !isDegradable(err) {
+		return err
+	}
+	return a.degradedRead(stripe, cell, buf)
+}
+
+// degradedRead serves a read whose direct cell access failed. It first
+// tries to rebuild the single cell through one parity chain, preferring
+// horizontal chains — a horizontal rebuild costs p-3 XORs and p-2 reads in
+// Code 5-6, the paper's single-block decode bound, and never touches the
+// diagonal-parity disk. If no single chain has all its other members
+// readable (multiple failures intersecting every chain), it falls back to
+// loading the whole stripe and running the full decoder.
+func (a *Array) degradedRead(stripe int64, cell layout.Coord, buf []byte) error {
 	a.tel.degradedReads.Inc()
+	if a.reconstructCell(stripe, cell, buf) {
+		a.tel.degradedFast.Inc()
+		return nil
+	}
 	s, es, err := a.loadStripe(stripe)
 	if err != nil {
 		return err
@@ -205,28 +249,55 @@ func (a *Array) ReadBlock(logical int64, buf []byte) error {
 	return nil
 }
 
-// ReadCell reads an arbitrary stripe cell (data or parity), reconstructing
-// the stripe if the cell's disk is unavailable. Migration tooling uses it
-// to serve RAID-5-addressed blocks through the RAID-6 redundancy.
-func (a *Array) ReadCell(stripe int64, cell layout.Coord, buf []byte) error {
-	a.tel.blockReads.Inc()
-	err := a.readCell(stripe, cell, buf)
-	if err == nil {
-		return nil
+// reconstructCell tries to rebuild one cell from a single parity chain,
+// horizontal chains first. It reports whether any chain succeeded; on
+// success buf holds the cell's contents.
+func (a *Array) reconstructCell(stripe int64, cell layout.Coord, buf []byte) bool {
+	chains := a.code.Chains()
+	for _, horizontal := range []bool{true, false} {
+		for _, ch := range chains {
+			if (ch.Kind == layout.ParityH) != horizontal || !chainContains(ch, cell) {
+				continue
+			}
+			if a.xorChainInto(stripe, ch, cell, buf) {
+				return true
+			}
+		}
 	}
-	if !errors.Is(err, vdisk.ErrFailed) && !errors.Is(err, vdisk.ErrLatent) {
-		return err
+	return false
+}
+
+// chainContains reports whether cell is a member (parity or cover) of ch.
+func chainContains(ch layout.Chain, cell layout.Coord) bool {
+	if ch.Parity == cell {
+		return true
 	}
-	a.tel.degradedReads.Inc()
-	s, es, err := a.loadStripe(stripe)
-	if err != nil {
-		return err
+	for _, m := range ch.Covers {
+		if m == cell {
+			return true
+		}
 	}
-	if _, err := layout.Reconstruct(a.code, s, es); err != nil {
-		return fmt.Errorf("%w: %v", ErrTooManyFailures, err)
+	return false
+}
+
+// xorChainInto XORs every member of ch except cell into buf. It reports
+// false (leaving buf dirty) if any member read fails.
+func (a *Array) xorChainInto(stripe int64, ch layout.Chain, cell layout.Coord, buf []byte) bool {
+	for i := range buf {
+		buf[i] = 0
 	}
-	copy(buf, s.Block(cell))
-	return nil
+	tmp := make([]byte, a.blockSize)
+	for _, m := range ch.Members() {
+		if m == cell {
+			continue
+		}
+		if err := a.readCell(stripe, m, tmp); err != nil {
+			return false
+		}
+		xorblk.Xor(buf, tmp)
+		a.tel.xors.Inc()
+	}
+	return true
 }
 
 // WriteBlock writes logical data block L. In a healthy array it performs

@@ -36,20 +36,42 @@ func (a *Array) colOnDisk(stripe int64, d int) int {
 	return d
 }
 
+// ScrubMode selects what a scrub pass does with the problems it finds.
+type ScrubMode int
+
+const (
+	// ScrubRepair (the zero value, and the historical behavior) rebuilds
+	// and rewrites bad blocks: latent sector errors are reconstructed from
+	// redundancy, located silent corruptions are overwritten.
+	ScrubRepair ScrubMode = iota
+	// ScrubCheck only detects and counts problems, leaving disks untouched.
+	ScrubCheck
+)
+
 // ScrubReport summarizes a scrub pass (the defense against the latent
 // sector errors and undetected disk errors motivating the paper's §I).
 type ScrubReport struct {
 	// Stripes is the number of stripes checked.
 	Stripes int64
-	// LatentRepaired counts blocks that returned latent sector errors and
-	// were rebuilt and rewritten.
+	// LatentFound counts blocks that returned latent sector errors.
+	LatentFound int
+	// LatentRepaired counts latent blocks rebuilt and rewritten (always 0
+	// in ScrubCheck mode).
 	LatentRepaired int
-	// CorruptRepaired counts silently corrupted blocks located by parity
-	// syndrome intersection and rewritten.
+	// CorruptFound counts silently corrupted blocks located by parity
+	// syndrome intersection.
+	CorruptFound int
+	// CorruptRepaired counts located corruptions rewritten (always 0 in
+	// ScrubCheck mode).
 	CorruptRepaired int
 	// Unrecoverable lists stripes whose inconsistency could not be
 	// attributed to a single block.
 	Unrecoverable []int64
+}
+
+// Clean reports whether the pass found nothing wrong.
+func (r ScrubReport) Clean() bool {
+	return r.LatentFound == 0 && r.CorruptFound == 0 && len(r.Unrecoverable) == 0
 }
 
 // Scrub verifies every stripe in [0, stripes): latent sector errors are
@@ -57,16 +79,18 @@ type ScrubReport struct {
 // are located by intersecting the failing parity chains and repaired. A
 // stripe whose corruption cannot be pinned to one block is reported
 // unrecoverable (RAID-6 syndromes cannot always distinguish multi-block
-// corruption). ScrubContext is the concurrent, cancelable form.
+// corruption). ScrubContext is the concurrent, cancelable form, and
+// ScrubWithMode the detect-only variant.
 func (a *Array) Scrub(stripes int64) (ScrubReport, error) {
+	return a.ScrubWithMode(stripes, ScrubRepair)
+}
+
+// ScrubWithMode is Scrub with an explicit repair/check mode.
+func (a *Array) ScrubWithMode(stripes int64, mode ScrubMode) (ScrubReport, error) {
 	rep := ScrubReport{Stripes: stripes}
 	for st := int64(0); st < stripes; st++ {
-		latent, corrupt, unrecoverable, err := a.scrubStripe(st)
-		rep.LatentRepaired += latent
-		rep.CorruptRepaired += corrupt
-		if unrecoverable {
-			rep.Unrecoverable = append(rep.Unrecoverable, st)
-		}
+		res, err := a.scrubStripe(st, mode == ScrubRepair)
+		rep.add(st, res)
 		if err != nil {
 			return rep, err
 		}
@@ -74,11 +98,29 @@ func (a *Array) Scrub(stripes int64) (ScrubReport, error) {
 	return rep, nil
 }
 
+// scrubResult is one stripe's scrub outcome.
+type scrubResult struct {
+	latentFound, latentRepaired   int
+	corruptFound, corruptRepaired int
+	unrecoverable                 bool
+}
+
+// add folds one stripe's result into the report.
+func (r *ScrubReport) add(st int64, res scrubResult) {
+	r.LatentFound += res.latentFound
+	r.LatentRepaired += res.latentRepaired
+	r.CorruptFound += res.corruptFound
+	r.CorruptRepaired += res.corruptRepaired
+	if res.unrecoverable {
+		r.Unrecoverable = append(r.Unrecoverable, st)
+	}
+}
+
 // scrubStripe runs one stripe's scrub pass: latent-error healing, then a
 // parity-syndrome check locating and repairing silent single-block
-// corruption. It touches only stripe st's block range, so distinct stripes
-// may be scrubbed concurrently.
-func (a *Array) scrubStripe(st int64) (latentRepaired, corruptRepaired int, unrecoverable bool, _ error) {
+// corruption. With repair false it only detects. It touches only stripe
+// st's block range, so distinct stripes may be scrubbed concurrently.
+func (a *Array) scrubStripe(st int64, repair bool) (res scrubResult, _ error) {
 	// Load with latent-error healing.
 	s := layout.NewStripe(a.geom, a.blockSize)
 	var latent []layout.Coord
@@ -92,49 +134,61 @@ func (a *Array) scrubStripe(st int64) (latentRepaired, corruptRepaired int, unre
 				s.Zero(c)
 				latent = append(latent, c)
 			default:
-				return latentRepaired, corruptRepaired, false, err
+				return res, err
 			}
 		}
 	}
+	res.latentFound = len(latent)
 	if len(latent) > 0 {
 		es := make(layout.ErasureSet, len(latent))
 		for _, c := range latent {
 			es[c] = true
 		}
 		if _, err := layout.Reconstruct(a.code, s, es); err != nil {
-			return latentRepaired, corruptRepaired, true, nil
+			res.unrecoverable = true
+			return res, nil
 		}
-		for _, c := range latent {
-			if err := a.diskFor(st, c.Col).Write(a.blockAddr(st, c), s.Block(c)); err != nil {
-				return latentRepaired, corruptRepaired, false, err
+		if repair {
+			for _, c := range latent {
+				if err := a.diskFor(st, c.Col).Write(a.blockAddr(st, c), s.Block(c)); err != nil {
+					return res, err
+				}
+				res.latentRepaired++
+				a.tel.scrubRepairs.Inc()
 			}
-			latentRepaired++
 		}
 	}
 
 	// Syndrome check for silent corruption.
 	if layout.Verify(a.code, s) {
-		return latentRepaired, corruptRepaired, false, nil
+		return res, nil
 	}
 	cell, ok := locateCorruption(a.code, s)
 	if !ok {
-		return latentRepaired, corruptRepaired, true, nil
+		res.unrecoverable = true
+		return res, nil
 	}
 	es := layout.ErasureSet{cell: true}
 	s.Zero(cell)
 	if _, err := layout.Reconstruct(a.code, s, es); err != nil {
-		return latentRepaired, corruptRepaired, true, nil
+		res.unrecoverable = true
+		return res, nil
 	}
-	if err := a.diskFor(st, cell.Col).Write(a.blockAddr(st, cell), s.Block(cell)); err != nil {
-		return latentRepaired, corruptRepaired, false, err
-	}
-	corruptRepaired++
+	res.corruptFound++
 	if !layout.Verify(a.code, s) {
-		// Repairing the located block did not restore consistency:
+		// Reconstructing the located block did not restore consistency:
 		// more than one block was corrupt after all.
-		return latentRepaired, corruptRepaired, true, nil
+		res.unrecoverable = true
+		return res, nil
 	}
-	return latentRepaired, corruptRepaired, false, nil
+	if repair {
+		if err := a.diskFor(st, cell.Col).Write(a.blockAddr(st, cell), s.Block(cell)); err != nil {
+			return res, err
+		}
+		res.corruptRepaired++
+		a.tel.scrubRepairs.Inc()
+	}
+	return res, nil
 }
 
 // locateCorruption finds the unique cell whose membership pattern matches

@@ -98,8 +98,16 @@ func (m Manifest) Validate() error {
 	if m.Stripes < 0 {
 		return fmt.Errorf("%w: negative stripes", ErrBadManifest)
 	}
-	_, err := BuildCode(m)
-	return err
+	if _, err := BuildCode(m); err != nil {
+		if errors.Is(err, ErrBadManifest) {
+			return err
+		}
+		// A code constructor rejecting the parameters (e.g. non-prime P)
+		// means the manifest itself is bad; keep the rejection uniformly
+		// detectable via errors.Is(err, ErrBadManifest).
+		return fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	return nil
 }
 
 var streamMagic = [8]byte{'C', '5', '6', 'A', 'R', 'R', 'Y', '1'}

@@ -2,6 +2,8 @@ package superblock
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"math/rand"
 	"testing"
@@ -124,6 +126,120 @@ func TestLoadArrayRejectsGarbage(t *testing.T) {
 	mangled := bytes.Replace(good.Bytes(), []byte(`"block_size":64`), []byte(`"block_size":32`), 1)
 	if _, _, err := LoadArray(bytes.NewBuffer(mangled)); !errors.Is(err, ErrBadManifest) {
 		t.Errorf("block-size mismatch accepted: %v", err)
+	}
+}
+
+// rebuildStream assembles a superblock stream from an arbitrary manifest
+// and a pre-serialized disk snapshot, bypassing SaveArray's validation so
+// tests can produce streams a buggy or hostile writer might.
+func rebuildStream(t *testing.T, m Manifest, snapshot []byte) []byte {
+	t.Helper()
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.Write(streamMagic[:])
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(blob))); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(blob)
+	buf.Write(snapshot)
+	return buf.Bytes()
+}
+
+// TestLoadArrayFuzzTable drives LoadArray with truncated, corrupted, and
+// inconsistent streams. Every case must fail with a descriptive error —
+// never panic, never hand back a half-assembled array.
+func TestLoadArrayFuzzTable(t *testing.T) {
+	code := core.MustNew(5)
+	a := raid6.New(code, 64)
+	if err := a.WriteBlock(0, bytes.Repeat([]byte{0x5A}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	var goodBuf bytes.Buffer
+	if err := SaveArray(&goodBuf, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	good := goodBuf.Bytes()
+
+	// Locate the snapshot so corrupted manifests can keep a valid tail.
+	manifestLen := binary.LittleEndian.Uint32(good[8:12])
+	snapshot := good[12+int(manifestLen):]
+	okManifest := Manifest{Version: ManifestVersion, CodeName: "code56", P: 5, BlockSize: 64, Stripes: 1}
+
+	// Sanity: the reassembled baseline loads.
+	if _, _, err := LoadArray(bytes.NewReader(rebuildStream(t, okManifest, snapshot))); err != nil {
+		t.Fatalf("baseline stream rejected: %v", err)
+	}
+
+	manifest := func(mut func(*Manifest)) []byte {
+		m := okManifest
+		mut(&m)
+		return rebuildStream(t, m, snapshot)
+	}
+	cases := []struct {
+		name        string
+		stream      []byte
+		badManifest bool // must map to ErrBadManifest, not just any error
+	}{
+		{"empty", nil, true},
+		{"bad magic", append([]byte("C56ARRY2"), good[8:]...), true},
+		{"zero manifest length", append(append([]byte{}, good[:8]...), 0, 0, 0, 0), true},
+		{"oversized manifest length", append(append([]byte{}, good[:8]...), 0xFF, 0xFF, 0xFF, 0x7F), true},
+		{"manifest length past end", func() []byte {
+			s := append([]byte{}, good...)
+			binary.LittleEndian.PutUint32(s[8:12], uint32(len(s)))
+			return s
+		}(), true},
+		{"manifest not JSON", rebuildStream(t, okManifest, snapshot)[:12+int(manifestLen)/2], true},
+		{"wrong version", manifest(func(m *Manifest) { m.Version = 99 }), true},
+		{"zero block size", manifest(func(m *Manifest) { m.BlockSize = 0 }), true},
+		{"negative stripes", manifest(func(m *Manifest) { m.Stripes = -1 }), true},
+		{"unknown code", manifest(func(m *Manifest) { m.CodeName = "nonesuch" }), true},
+		{"non-prime p", manifest(func(m *Manifest) { m.P = 6 }), true},
+		{"block size disagrees with snapshot", manifest(func(m *Manifest) { m.BlockSize = 32 }), true},
+		{"snapshot truncated", good[:len(good)-len(snapshot)/2], false},
+		{"snapshot missing", good[:12+int(manifestLen)], false},
+	}
+	for _, tc := range cases {
+		arr, _, err := LoadArray(bytes.NewReader(tc.stream))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if arr != nil {
+			t.Errorf("%s: returned an array alongside error %v", tc.name, err)
+		}
+		if tc.badManifest && !errors.Is(err, ErrBadManifest) {
+			t.Errorf("%s: error %v does not wrap ErrBadManifest", tc.name, err)
+		}
+	}
+
+	// Fuzz-style sweep: every possible truncation of a valid stream must
+	// fail cleanly, and no single corrupted header byte may crash the
+	// loader or smuggle through an array with the wrong identity.
+	for n := 0; n < len(good); n++ {
+		if arr, _, err := LoadArray(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("truncation at %d of %d bytes accepted (array %v)", n, len(good), arr != nil)
+		}
+	}
+	header := 12 + int(manifestLen)
+	for i := 0; i < header; i++ {
+		mut := append([]byte{}, good...)
+		mut[i] ^= 0xFF
+		arr, m, err := LoadArray(bytes.NewReader(mut))
+		if err != nil {
+			continue // rejected: fine
+		}
+		// A flip the JSON decoder tolerates must still yield a validated
+		// manifest and a usable array.
+		if arr == nil {
+			t.Fatalf("byte %d flip: nil array with nil error", i)
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("byte %d flip: loaded with invalid manifest %+v: %v", i, m, verr)
+		}
 	}
 }
 

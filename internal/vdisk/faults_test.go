@@ -1,0 +1,308 @@
+package vdisk
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFaultConfigValidate pins the config's range checks.
+func TestFaultConfigValidate(t *testing.T) {
+	bad := []FaultConfig{
+		{ReadTransientProb: -0.1},
+		{ReadTransientProb: 1.1},
+		{WriteTransientProb: 2},
+		{LatentProb: -1},
+		{FailAtIO: -1},
+	}
+	for _, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+		d := NewDisk(0, 64)
+		if d.SetFaults(cfg) == nil {
+			t.Errorf("Disk.SetFaults accepted %+v", cfg)
+		}
+		a := NewArray(2, 64)
+		if a.SetFaults(cfg) == nil {
+			t.Errorf("Array.SetFaults accepted %+v", cfg)
+		}
+	}
+	if err := (FaultConfig{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+// TestFaultInjectionDeterminism: the same config against the same I/O
+// sequence must produce the same faults, and a different seed a different
+// pattern.
+func TestFaultInjectionDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		d := NewDisk(0, 16)
+		buf := make([]byte, 16)
+		for b := int64(0); b < 64; b++ {
+			if err := d.Write(b, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.SetFaults(FaultConfig{Seed: seed, ReadTransientProb: 0.3}); err != nil {
+			t.Fatal(err)
+		}
+		var pattern []bool
+		for b := int64(0); b < 64; b++ {
+			pattern = append(pattern, errors.Is(d.Read(b, buf), ErrTransient))
+		}
+		return pattern
+	}
+	a, b := run(5), run(5)
+	same := true
+	anyFault := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] {
+			anyFault = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different fault patterns")
+	}
+	if !anyFault {
+		t.Fatal("ReadTransientProb 0.3 over 64 reads injected nothing")
+	}
+	c := run(6)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical fault patterns")
+	}
+}
+
+// TestScheduledFailure: FailAtIO fail-stops the disk at exactly the Nth
+// I/O attempt, the failure persists, and Replace (which disarms the
+// injector) restores service without re-tripping it.
+func TestScheduledFailure(t *testing.T) {
+	d := NewDisk(3, 16)
+	buf := make([]byte, 16)
+	for b := int64(0); b < 8; b++ {
+		if err := d.Write(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.SetFaults(FaultConfig{Seed: 1, FailAtIO: 5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := d.Read(0, buf); err != nil {
+			t.Fatalf("I/O %d failed early: %v", i, err)
+		}
+	}
+	if err := d.Read(0, buf); !errors.Is(err, ErrFailed) {
+		t.Fatalf("I/O 5 = %v, want ErrFailed", err)
+	}
+	if !d.Failed() {
+		t.Fatal("disk not marked failed")
+	}
+	if err := d.Write(0, buf); !errors.Is(err, ErrFailed) {
+		t.Fatalf("write after failure = %v, want ErrFailed", err)
+	}
+	d.Replace()
+	if err := d.Write(0, buf); err != nil {
+		t.Fatalf("write after Replace: %v", err)
+	}
+	// Replace disarmed the scenario: the replacement drive must not
+	// immediately re-trip the scheduled failure.
+	for i := 0; i < 20; i++ {
+		if err := d.Read(0, buf); err != nil {
+			t.Fatalf("replacement disk faulted: %v", err)
+		}
+	}
+}
+
+// TestRetryAbsorbsTransients: with a retry budget larger than the longest
+// transient streak, every I/O eventually succeeds; with none, transients
+// surface.
+func TestRetryAbsorbsTransients(t *testing.T) {
+	d := NewDisk(0, 16)
+	buf := make([]byte, 16)
+	for b := int64(0); b < 32; b++ {
+		if err := d.Write(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.SetFaults(FaultConfig{Seed: 9, ReadTransientProb: 0.4, WriteTransientProb: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// No retry policy: some of these must fail transiently.
+	failed := 0
+	for b := int64(0); b < 32; b++ {
+		if errors.Is(d.Read(b, buf), ErrTransient) {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("prob 0.4 over 32 reads produced no transient errors")
+	}
+
+	// Generous retries: everything succeeds. (0.4^21 is ~4e-9 per op; with
+	// a fixed seed the outcome is deterministic anyway.)
+	if err := d.SetRetry(20, 0); err != nil {
+		t.Fatal(err)
+	}
+	for b := int64(0); b < 32; b++ {
+		if err := d.Read(b, buf); err != nil {
+			t.Fatalf("read %d not absorbed by retries: %v", b, err)
+		}
+		if err := d.Write(b, buf); err != nil {
+			t.Fatalf("write %d not absorbed by retries: %v", b, err)
+		}
+	}
+}
+
+// TestRetryExhaustion: a retry budget smaller than the transient streak
+// surfaces ErrTransient, and fail-stop/latent errors are never retried.
+func TestRetryExhaustion(t *testing.T) {
+	d := NewDisk(0, 16)
+	buf := make([]byte, 16)
+	if err := d.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetRetry(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetFaults(FaultConfig{Seed: 3, ReadTransientProb: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(0, buf); !errors.Is(err, ErrTransient) {
+		t.Fatalf("read = %v, want ErrTransient after retry exhaustion", err)
+	}
+
+	// Latent errors must not burn retry time: a retried latent read fails
+	// just as fast.
+	if err := d.SetFaults(FaultConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectLatentError(0)
+	if err := d.SetRetry(1000, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := d.Read(0, buf); !errors.Is(err, ErrLatent) {
+		t.Fatalf("latent read = %v, want ErrLatent", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("latent error was retried (slept on backoff)")
+	}
+}
+
+// TestRetryValidation pins the policy's range checks and that invalid
+// policies leave state untouched.
+func TestRetryValidation(t *testing.T) {
+	d := NewDisk(0, 16)
+	if err := d.SetRetry(-1, 0); err == nil {
+		t.Fatal("negative retry count accepted")
+	}
+	if err := d.SetRetry(1, -time.Second); err == nil {
+		t.Fatal("negative backoff accepted")
+	}
+	a := NewArray(2, 16)
+	if err := a.SetRetry(-1, 0); err == nil {
+		t.Fatal("Array.SetRetry accepted negative count")
+	}
+}
+
+// TestLatentDiscoveryPersistsUntilWrite: a latent error discovered by the
+// injector keeps failing reads until the block is rewritten.
+func TestLatentDiscoveryPersistsUntilWrite(t *testing.T) {
+	d := NewDisk(0, 16)
+	buf := make([]byte, 16)
+	for b := int64(0); b < 16; b++ {
+		if err := d.Write(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.SetFaults(FaultConfig{Seed: 11, LatentProb: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	var bad int64 = -1
+	for b := int64(0); b < 16; b++ {
+		if errors.Is(d.Read(b, buf), ErrLatent) {
+			bad = b
+			break
+		}
+	}
+	if bad < 0 {
+		t.Fatal("LatentProb 0.5 over 16 reads discovered nothing")
+	}
+	// Disarm so the re-read cannot be masked by a fresh injection.
+	if err := d.SetFaults(FaultConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(bad, buf); !errors.Is(err, ErrLatent) {
+		t.Fatalf("re-read of latent block = %v, want ErrLatent", err)
+	}
+	if err := d.Write(bad, buf); err != nil {
+		t.Fatalf("rewrite of latent block: %v", err)
+	}
+	if err := d.Read(bad, buf); err != nil {
+		t.Fatalf("read after rewrite = %v, want success", err)
+	}
+}
+
+// TestArrayFaultsDeriveDistinctSeeds: arming a whole array gives each disk
+// an independent fault stream, and disks attached later join the scenario.
+func TestArrayFaultsDeriveDistinctSeeds(t *testing.T) {
+	a := NewArray(2, 16)
+	buf := make([]byte, 16)
+	for i := 0; i < a.Len(); i++ {
+		for b := int64(0); b < 64; b++ {
+			if err := a.Disk(i).Write(b, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := a.SetFaults(FaultConfig{Seed: 21, ReadTransientProb: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	pattern := func(i int) []bool {
+		var out []bool
+		for b := int64(0); b < 64; b++ {
+			out = append(out, errors.Is(a.Disk(i).Read(b, buf), ErrTransient))
+		}
+		return out
+	}
+	p0, p1 := pattern(0), pattern(1)
+	same := true
+	for i := range p0 {
+		if p0[i] != p1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("disks 0 and 1 share a fault stream; per-disk seeds not derived")
+	}
+
+	// A disk added later inherits the armed scenario.
+	d := a.Add()
+	if err := d.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	for i := 0; i < 64; i++ {
+		if errors.Is(d.Read(0, buf), ErrTransient) {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		t.Fatal("disk attached after SetFaults never faults")
+	}
+}

@@ -9,17 +9,19 @@ import (
 // Telemetry metric names (see README "Telemetry" for the full reference):
 //
 //	vdisk.reads / vdisk.writes           counters, monotonic, all disks
-//	vdisk.read_errors                    counter, failed/latent reads
-//	vdisk.write_errors                   counter, writes to failed disks
+//	vdisk.read_errors                    counter, failed/latent/transient reads
+//	vdisk.write_errors                   counter, failed/transient writes
 //	vdisk.latent_errors                  counter, latent-sector read hits
+//	vdisk.transient_errors               counter, injector transient faults
+//	vdisk.retries                        counter, transient retry attempts
 //	vdisk.failures / vdisk.replacements  counters, Fail()/Replace() calls
 //	vdisk.io_bytes                       histogram, bytes per served I/O
 //	vdisk.disk.<id>.reads / .writes      gauges, mirror Stats (resettable)
 //	vdisk.disk.<id>.read_latency_us      histogram, per-disk read latency
 //	vdisk.disk.<id>.write_latency_us     histogram, per-disk write latency
 //
-// Trace events: vdisk.fail, vdisk.replace, vdisk.latent_injected,
-// vdisk.latent_hit — each with a "disk" attribute.
+// Trace events: vdisk.fail, vdisk.replace, vdisk.scheduled_fail,
+// vdisk.latent_injected, vdisk.latent_hit — each with a "disk" attribute.
 
 // latencyBucketsUS covers the sub-microsecond map hit through a slow
 // multi-millisecond contended access.
@@ -32,19 +34,24 @@ var sizeBuckets = []float64{512, 1024, 2048, 4096, 8192, 16384, 65536}
 // diskTel holds one disk's bound instruments. All fields are resolved at
 // bind time so the hot path performs no registry lookups.
 type diskTel struct {
-	tr        *telemetry.Tracer
-	reads     *telemetry.Gauge // mirrors Stats.Reads; zeroed by ResetStats
-	writes    *telemetry.Gauge // mirrors Stats.Writes; zeroed by ResetStats
-	readLat   *telemetry.Histogram
-	writeLat  *telemetry.Histogram
-	ioBytes   *telemetry.Histogram
-	allReads  *telemetry.Counter // monotonic, shared across disks
-	allWrites *telemetry.Counter
-	readErrs  *telemetry.Counter
-	writeErrs *telemetry.Counter
-	latent    *telemetry.Counter
-	fails     *telemetry.Counter
-	replaces  *telemetry.Counter
+	tr     *telemetry.Tracer
+	reads  *telemetry.Gauge // mirrors Stats.Reads; zeroed by ResetStats
+	writes *telemetry.Gauge // mirrors Stats.Writes; zeroed by ResetStats
+	// readLat/writeLat measure device service time only: the clock starts
+	// after the disk's lock is acquired, so queueing behind concurrent
+	// callers (lock contention) never inflates the histograms.
+	readLat    *telemetry.Histogram
+	writeLat   *telemetry.Histogram
+	ioBytes    *telemetry.Histogram
+	allReads   *telemetry.Counter // monotonic, shared across disks
+	allWrites  *telemetry.Counter
+	readErrs   *telemetry.Counter
+	writeErrs  *telemetry.Counter
+	latent     *telemetry.Counter
+	transients *telemetry.Counter // injector-produced transient faults
+	retries    *telemetry.Counter // retry attempts after transient faults
+	fails      *telemetry.Counter
+	replaces   *telemetry.Counter
 }
 
 // bindTelemetry (re)binds the disk's instruments to a registry and tracer.
@@ -54,19 +61,21 @@ func (d *Disk) bindTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	defer d.mu.Unlock()
 	prefix := fmt.Sprintf("vdisk.disk.%d", d.id)
 	d.tel = diskTel{
-		tr:        tr,
-		reads:     reg.Gauge(prefix + ".reads"),
-		writes:    reg.Gauge(prefix + ".writes"),
-		readLat:   reg.Histogram(prefix+".read_latency_us", latencyBucketsUS),
-		writeLat:  reg.Histogram(prefix+".write_latency_us", latencyBucketsUS),
-		ioBytes:   reg.Histogram("vdisk.io_bytes", sizeBuckets),
-		allReads:  reg.Counter("vdisk.reads"),
-		allWrites: reg.Counter("vdisk.writes"),
-		readErrs:  reg.Counter("vdisk.read_errors"),
-		writeErrs: reg.Counter("vdisk.write_errors"),
-		latent:    reg.Counter("vdisk.latent_errors"),
-		fails:     reg.Counter("vdisk.failures"),
-		replaces:  reg.Counter("vdisk.replacements"),
+		tr:         tr,
+		reads:      reg.Gauge(prefix + ".reads"),
+		writes:     reg.Gauge(prefix + ".writes"),
+		readLat:    reg.Histogram(prefix+".read_latency_us", latencyBucketsUS),
+		writeLat:   reg.Histogram(prefix+".write_latency_us", latencyBucketsUS),
+		ioBytes:    reg.Histogram("vdisk.io_bytes", sizeBuckets),
+		allReads:   reg.Counter("vdisk.reads"),
+		allWrites:  reg.Counter("vdisk.writes"),
+		readErrs:   reg.Counter("vdisk.read_errors"),
+		writeErrs:  reg.Counter("vdisk.write_errors"),
+		latent:     reg.Counter("vdisk.latent_errors"),
+		transients: reg.Counter("vdisk.transient_errors"),
+		retries:    reg.Counter("vdisk.retries"),
+		fails:      reg.Counter("vdisk.failures"),
+		replaces:   reg.Counter("vdisk.replacements"),
 	}
 	d.tel.reads.Set(d.stats.Reads)
 	d.tel.writes.Set(d.stats.Writes)

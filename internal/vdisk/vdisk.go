@@ -25,6 +25,10 @@ var (
 	// ErrLatent is returned when reading a block with an injected latent
 	// sector error; writes clear the error (sector remap semantics).
 	ErrLatent = errors.New("vdisk: latent sector error")
+	// ErrTransient is returned when the fault injector makes an I/O fail
+	// transiently; the same operation may succeed when retried (see
+	// SetRetry for the built-in retry-with-backoff policy).
+	ErrTransient = errors.New("vdisk: transient I/O error")
 	// ErrBadBlock is returned for negative block addresses or size
 	// mismatches.
 	ErrBadBlock = errors.New("vdisk: bad block request")
@@ -62,6 +66,13 @@ type Disk struct {
 	latent map[int64]bool
 	stats  Stats
 	tel    diskTel
+
+	// faults, when non-nil, is the armed fault injector (see faults.go).
+	faults *faultState
+	// retryMax/retryBase are the transient-error retry policy: up to
+	// retryMax retries with exponential backoff starting at retryBase.
+	retryMax  int
+	retryBase time.Duration
 }
 
 // NewDisk returns an empty disk with the given id and block size, bound to
@@ -87,16 +98,33 @@ func (d *Disk) ID() int { return d.id }
 func (d *Disk) BlockSize() int { return d.blockSize }
 
 // Read copies block b into buf. buf must be exactly one block long.
+// Transient faults from the injector are retried per the SetRetry policy
+// before the error is surfaced.
 func (d *Disk) Read(b int64, buf []byte) error {
 	if b < 0 || len(buf) != d.blockSize {
 		return fmt.Errorf("%w: read block %d, buf %d", ErrBadBlock, b, len(buf))
 	}
-	start := time.Now()
+	max, base := d.retryPolicy()
+	for attempt := 0; ; attempt++ {
+		err := d.readAttempt(b, buf)
+		if err == nil || !errors.Is(err, ErrTransient) || attempt >= max {
+			return err
+		}
+		d.tel.retries.Inc()
+		time.Sleep(backoff(base, attempt+1))
+	}
+}
+
+func (d *Disk) readAttempt(b int64, buf []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.failed {
+	// The latency clock starts after the lock is acquired: the histograms
+	// measure device service time only, excluding queueing behind other
+	// callers (see diskTel).
+	start := time.Now()
+	if err := d.faultCheck(b, false); err != nil {
 		d.tel.readErrs.Inc()
-		return fmt.Errorf("%w: disk %d", ErrFailed, d.id)
+		return err
 	}
 	if d.latent[b] {
 		d.tel.readErrs.Inc()
@@ -119,18 +147,63 @@ func (d *Disk) Read(b int64, buf []byte) error {
 	return nil
 }
 
+// faultCheck runs the fail-stop state and the armed injector against one
+// I/O attempt. Caller holds d.mu.
+func (d *Disk) faultCheck(b int64, write bool) error {
+	if d.failed {
+		return fmt.Errorf("%w: disk %d", ErrFailed, d.id)
+	}
+	f := d.faults
+	if f == nil {
+		return nil
+	}
+	f.ios++
+	if f.cfg.FailAtIO > 0 && f.ios >= f.cfg.FailAtIO {
+		d.failed = true
+		d.tel.fails.Inc()
+		d.tel.tr.Event("vdisk.scheduled_fail", telemetry.A("disk", d.id), telemetry.A("at_io", f.ios))
+		return fmt.Errorf("%w: disk %d (scheduled failure at I/O %d)", ErrFailed, d.id, f.ios)
+	}
+	prob := f.cfg.ReadTransientProb
+	if write {
+		prob = f.cfg.WriteTransientProb
+	}
+	if prob > 0 && f.rng.Float64() < prob {
+		d.tel.transients.Inc()
+		return fmt.Errorf("%w: disk %d block %d", ErrTransient, d.id, b)
+	}
+	if !write && f.cfg.LatentProb > 0 && !d.latent[b] && f.rng.Float64() < f.cfg.LatentProb {
+		d.latent[b] = true
+		d.tel.tr.Event("vdisk.latent_injected", telemetry.A("disk", d.id), telemetry.A("block", b))
+	}
+	return nil
+}
+
 // Write stores data as block b. data must be exactly one block long.
-// Writing clears any latent error on the block.
+// Writing clears any latent error on the block. Transient faults from the
+// injector are retried per the SetRetry policy.
 func (d *Disk) Write(b int64, data []byte) error {
 	if b < 0 || len(data) != d.blockSize {
 		return fmt.Errorf("%w: write block %d, data %d", ErrBadBlock, b, len(data))
 	}
-	start := time.Now()
+	max, base := d.retryPolicy()
+	for attempt := 0; ; attempt++ {
+		err := d.writeAttempt(b, data)
+		if err == nil || !errors.Is(err, ErrTransient) || attempt >= max {
+			return err
+		}
+		d.tel.retries.Inc()
+		time.Sleep(backoff(base, attempt+1))
+	}
+}
+
+func (d *Disk) writeAttempt(b int64, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.failed {
+	start := time.Now() // after the lock: service time only, see diskTel
+	if err := d.faultCheck(b, true); err != nil {
 		d.tel.writeErrs.Inc()
-		return fmt.Errorf("%w: disk %d", ErrFailed, d.id)
+		return err
 	}
 	dst, ok := d.blocks[b]
 	if !ok {
@@ -175,15 +248,19 @@ func (d *Disk) Failed() bool {
 	return d.failed
 }
 
-// Replace swaps in a fresh drive: contents and latent errors are discarded
-// and the disk accepts I/O again. Stats are preserved (they describe the
-// slot, which is how the migration cost accounting uses them).
+// Replace swaps in a fresh drive: contents, latent errors and any armed
+// fault injector are discarded (new hardware does not inherit the old
+// drive's fault scenario — re-arm with SetFaults if desired) and the disk
+// accepts I/O again. Stats are preserved (they describe the slot, which is
+// how the migration cost accounting uses them), as is the retry policy
+// (it describes the controller, not the drive).
 func (d *Disk) Replace() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.failed = false
 	d.blocks = make(map[int64][]byte)
 	d.latent = make(map[int64]bool)
+	d.faults = nil
 	d.tel.replaces.Inc()
 	d.tel.tr.Event("vdisk.replace", telemetry.A("disk", d.id))
 }
@@ -231,6 +308,12 @@ type Array struct {
 	nextID    int
 	reg       *telemetry.Registry
 	tr        *telemetry.Tracer
+
+	// faults/retryMax/retryBase remember the array-wide fault scenario and
+	// retry policy so disks attached later with Add() join them.
+	faults    *FaultConfig
+	retryMax  int
+	retryBase time.Duration
 }
 
 // NewArray returns an array of n fresh disks.
@@ -268,6 +351,14 @@ func (a *Array) Add() *Disk {
 	d := NewDisk(a.nextID, a.blockSize)
 	if a.reg != nil || a.tr != nil {
 		d.bindTelemetry(a.reg, a.tr)
+	}
+	if a.faults != nil {
+		cfg := *a.faults
+		cfg.Seed = derivedSeed(a.faults.Seed, d.id)
+		_ = d.SetFaults(cfg) // cfg was validated when the array armed it
+	}
+	if a.retryMax > 0 || a.retryBase > 0 {
+		_ = d.SetRetry(a.retryMax, a.retryBase)
 	}
 	a.nextID++
 	a.disks = append(a.disks, d)

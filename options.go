@@ -2,6 +2,7 @@ package code56
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"code56/internal/parallel"
@@ -30,23 +31,75 @@ type Settings struct {
 	// Throttle inserts a pause after each stripe an OnlineMigrator
 	// converts (0 = full speed).
 	Throttle time.Duration
+	// RetryMax and RetryBase describe the disks' transient-error retry
+	// policy (see WithRetry). Zero means no retries.
+	RetryMax  int
+	RetryBase time.Duration
+	// Faults, when non-nil, arms the constructed disks' deterministic
+	// fault injector with this scenario (see WithFaults).
+	Faults *FaultConfig
+
+	// err records the first invalid option value; see Err.
+	err error
+}
+
+// Err returns the first error produced while applying options (an option
+// given an out-of-range value), or nil. Every facade entry point checks it
+// before doing any work, so invalid values surface as errors rather than
+// being silently replaced by defaults.
+func (s *Settings) Err() error { return s.err }
+
+// setErr keeps the first option error.
+func (s *Settings) setErr(err error) {
+	if s.err == nil {
+		s.err = err
+	}
 }
 
 // Option adjusts one Settings field. All facade constructors and context
 // entry points take a trailing ...Option; irrelevant options are ignored,
-// so a single option list can be shared across calls.
+// so a single option list can be shared across calls. An option given an
+// invalid value records an error that the receiving entry point returns
+// (see Settings.Err).
 type Option func(*Settings)
 
 // WithWorkers bounds the worker goroutines of a parallel entry point.
-// n <= 0 restores the default (GOMAXPROCS); n == 1 forces serial execution.
-func WithWorkers(n int) Option { return func(s *Settings) { s.Workers = n } }
+// n == 0 selects the default (GOMAXPROCS); n == 1 forces serial execution.
+// Negative values are an error.
+func WithWorkers(n int) Option {
+	return func(s *Settings) {
+		if n < 0 {
+			s.setErr(fmt.Errorf("code56: WithWorkers(%d): worker count cannot be negative (0 selects GOMAXPROCS)", n))
+			return
+		}
+		s.Workers = n
+	}
+}
 
 // WithChunkSize sets the per-goroutine block split, in bytes, for chunked
-// multi-source XOR. b <= 0 restores the engine default.
-func WithChunkSize(b int) Option { return func(s *Settings) { s.ChunkSize = b } }
+// multi-source XOR. Non-positive sizes are an error (omit the option for
+// the engine default).
+func WithChunkSize(b int) Option {
+	return func(s *Settings) {
+		if b <= 0 {
+			s.setErr(fmt.Errorf("code56: WithChunkSize(%d): chunk size must be positive (omit the option for the default)", b))
+			return
+		}
+		s.ChunkSize = b
+	}
+}
 
-// WithBlockSize sets the simulated block size in bytes.
-func WithBlockSize(b int) Option { return func(s *Settings) { s.BlockSize = b } }
+// WithBlockSize sets the simulated block size in bytes. Non-positive sizes
+// are an error (omit the option for the 4096-byte default).
+func WithBlockSize(b int) Option {
+	return func(s *Settings) {
+		if b <= 0 {
+			s.setErr(fmt.Errorf("code56: WithBlockSize(%d): block size must be positive (omit the option for the default)", b))
+			return
+		}
+		s.BlockSize = b
+	}
+}
 
 // WithOrientation selects the Code 5-6 parity rotation.
 func WithOrientation(o Orientation) Option { return func(s *Settings) { s.Orientation = o } }
@@ -58,11 +111,49 @@ func WithLayout(l RAID5Layout) Option { return func(s *Settings) { s.Layout = l 
 func WithSeed(seed int64) Option { return func(s *Settings) { s.Seed = seed } }
 
 // WithThrottle paces an online migration: the converter sleeps d after each
-// stripe, bounding its interference with application I/O.
-func WithThrottle(d time.Duration) Option { return func(s *Settings) { s.Throttle = d } }
+// stripe, bounding its interference with application I/O. Negative
+// durations are an error.
+func WithThrottle(d time.Duration) Option {
+	return func(s *Settings) {
+		if d < 0 {
+			s.setErr(fmt.Errorf("code56: WithThrottle(%v): throttle cannot be negative", d))
+			return
+		}
+		s.Throttle = d
+	}
+}
+
+// WithRetry installs a transient-error retry policy on the disks an array
+// constructor creates: a transiently failing I/O is retried up to n times,
+// sleeping base, 2*base, 4*base, … between attempts. Negative values are an
+// error; n == 0 disables retries.
+func WithRetry(n int, base time.Duration) Option {
+	return func(s *Settings) {
+		if n < 0 || base < 0 {
+			s.setErr(fmt.Errorf("code56: WithRetry(%d, %v): retry count and backoff base cannot be negative", n, base))
+			return
+		}
+		s.RetryMax, s.RetryBase = n, base
+	}
+}
+
+// WithFaults arms the deterministic fault injector on the disks an array
+// constructor creates (see FaultConfig). An out-of-range config is an
+// error.
+func WithFaults(cfg FaultConfig) Option {
+	return func(s *Settings) {
+		if err := cfg.Validate(); err != nil {
+			s.setErr(fmt.Errorf("code56: WithFaults: %w", err))
+			return
+		}
+		c := cfg
+		s.Faults = &c
+	}
+}
 
 // ApplyOptions folds opts over the package defaults and returns the result.
-// Useful for callers that route one option list to several entry points.
+// Useful for callers that route one option list to several entry points;
+// check Err before using the result.
 func ApplyOptions(opts ...Option) Settings {
 	s := Settings{
 		BlockSize:   4096,
@@ -75,6 +166,22 @@ func ApplyOptions(opts ...Option) Settings {
 		}
 	}
 	return s
+}
+
+// applyDiskPolicies arms WithFaults / WithRetry on a constructed array's
+// disks.
+func (s *Settings) applyDiskPolicies(disks *DiskArray) error {
+	if s.Faults != nil {
+		if err := disks.SetFaults(*s.Faults); err != nil {
+			return err
+		}
+	}
+	if s.RetryMax > 0 || s.RetryBase > 0 {
+		if err := disks.SetRetry(s.RetryMax, s.RetryBase); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // engineOpts translates facade settings to the stripe engine's options.
@@ -92,20 +199,44 @@ func (s Settings) engineOpts() []parallel.Option {
 // NewCode returns Code 5-6 for p disks (p prime), honoring WithOrientation.
 // It is the option-based form of New / NewOriented.
 func NewCode(p int, opts ...Option) (*Code56, error) {
-	return NewOriented(p, ApplyOptions(opts...).Orientation)
+	s := ApplyOptions(opts...)
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return NewOriented(p, s.Orientation)
 }
 
 // NewRAID5Array creates a RAID-5 array of m fresh simulated disks, honoring
-// WithBlockSize and WithLayout. It is the option-based form of NewRAID5.
+// WithBlockSize, WithLayout, WithFaults and WithRetry. It is the
+// option-based form of NewRAID5.
 func NewRAID5Array(m int, opts ...Option) (*RAID5, error) {
 	s := ApplyOptions(opts...)
-	return raid5.New(m, s.BlockSize, s.Layout)
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	a, err := raid5.New(m, s.BlockSize, s.Layout)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.applyDiskPolicies(a.Disks()); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 // NewRAID6Array creates a RAID-6 array over fresh simulated disks, honoring
-// WithBlockSize. It is the option-based form of NewRAID6.
-func NewRAID6Array(code Code, opts ...Option) *RAID6 {
-	return raid6.New(code, ApplyOptions(opts...).BlockSize)
+// WithBlockSize, WithFaults and WithRetry. It is the option-based form of
+// NewRAID6.
+func NewRAID6Array(code Code, opts ...Option) (*RAID6, error) {
+	s := ApplyOptions(opts...)
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	a := raid6.New(code, s.BlockSize)
+	if err := s.applyDiskPolicies(a.Disks()); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 // NewMigrator prepares an online RAID-5 → Code 5-6 migration, honoring
@@ -113,6 +244,9 @@ func NewRAID6Array(code Code, opts ...Option) *RAID6 {
 // option-based form of NewOnlineMigrator.
 func NewMigrator(a *RAID5, rows int64, opts ...Option) (*OnlineMigrator, error) {
 	s := ApplyOptions(opts...)
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
 	m, err := NewOnlineMigrator(a, rows)
 	if err != nil {
 		return nil, err
@@ -130,16 +264,23 @@ func NewMigrator(a *RAID5, rows int64, opts ...Option) (*OnlineMigrator, error) 
 
 // NewPlanExecutor sets up an Executor for a conversion plan, honoring
 // WithBlockSize and WithSeed. It is the option-based form of NewExecutor.
-func NewPlanExecutor(plan *Plan, opts ...Option) *Executor {
+func NewPlanExecutor(plan *Plan, opts ...Option) (*Executor, error) {
 	s := ApplyOptions(opts...)
-	return NewExecutor(plan, s.BlockSize, s.Seed)
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return NewExecutor(plan, s.BlockSize, s.Seed), nil
 }
 
 // RunPlan executes a conversion plan under ctx with the plan's independent
 // stripes spread across WithWorkers goroutines. Equivalent to
 // Executor.RunContext; Executor.Run remains the serial form.
 func RunPlan(ctx context.Context, ex *Executor, opts ...Option) error {
-	return ex.RunContext(ctx, ApplyOptions(opts...).engineOpts()...)
+	s := ApplyOptions(opts...)
+	if err := s.Err(); err != nil {
+		return err
+	}
+	return ex.RunContext(ctx, s.engineOpts()...)
 }
 
 // StartMigration starts an online migration bound to ctx: cancelling ctx
@@ -148,6 +289,9 @@ func RunPlan(ctx context.Context, ex *Executor, opts ...Option) error {
 // and WithThrottle are applied before starting.
 func StartMigration(ctx context.Context, m *OnlineMigrator, opts ...Option) error {
 	s := ApplyOptions(opts...)
+	if err := s.Err(); err != nil {
+		return err
+	}
 	if s.Workers > 0 {
 		if err := m.SetParallelism(s.Workers); err != nil {
 			return err
@@ -162,14 +306,22 @@ func StartMigration(ctx context.Context, m *OnlineMigrator, opts ...Option) erro
 // EncodeArrayStripes (re)computes all parities of stripes 0..stripes-1 of a
 // RAID-6 array, fanning stripes out over WithWorkers goroutines.
 func EncodeArrayStripes(ctx context.Context, a *RAID6, stripes int64, opts ...Option) error {
-	return a.EncodeStripesContext(ctx, stripes, ApplyOptions(opts...).engineOpts()...)
+	s := ApplyOptions(opts...)
+	if err := s.Err(); err != nil {
+		return err
+	}
+	return a.EncodeStripesContext(ctx, stripes, s.engineOpts()...)
 }
 
 // RebuildArray rebuilds the given replaced disks of a RAID-6 array across
 // stripes 0..stripes-1 in parallel. Equivalent to Array.RebuildContext;
 // Array.Rebuild remains the serial form.
 func RebuildArray(ctx context.Context, a *RAID6, stripes int64, disks []int, opts ...Option) error {
-	return a.RebuildContext(ctx, stripes, disks, ApplyOptions(opts...).engineOpts()...)
+	s := ApplyOptions(opts...)
+	if err := s.Err(); err != nil {
+		return err
+	}
+	return a.RebuildContext(ctx, stripes, disks, s.engineOpts()...)
 }
 
 // ScrubArray scans stripes 0..stripes-1 of a RAID-6 array for latent sector
@@ -177,12 +329,26 @@ func RebuildArray(ctx context.Context, a *RAID6, stripes int64, disks []int, opt
 // over WithWorkers goroutines. Equivalent to Array.ScrubContext;
 // Array.Scrub remains the serial form.
 func ScrubArray(ctx context.Context, a *RAID6, stripes int64, opts ...Option) (ScrubReport, error) {
-	return a.ScrubContext(ctx, stripes, ApplyOptions(opts...).engineOpts()...)
+	return ScrubArrayMode(ctx, a, stripes, ScrubRepair, opts...)
+}
+
+// ScrubArrayMode is ScrubArray with an explicit repair/check mode:
+// ScrubRepair rewrites what it can; ScrubCheck only detects and counts.
+func ScrubArrayMode(ctx context.Context, a *RAID6, stripes int64, mode ScrubMode, opts ...Option) (ScrubReport, error) {
+	s := ApplyOptions(opts...)
+	if err := s.Err(); err != nil {
+		return ScrubReport{}, err
+	}
+	return a.ScrubContextMode(ctx, stripes, mode, s.engineOpts()...)
 }
 
 // RecoverStripes rebuilds a failed column across many stripes concurrently
 // using a column-recovery plan. Equivalent to ColumnRecoveryPlan's
 // ExecuteStripes with the facade's options.
 func RecoverStripes(ctx context.Context, plan ColumnRecoveryPlan, code Code, stripes []*Stripe, opts ...Option) (DecodeStats, error) {
-	return plan.ExecuteStripes(ctx, code, stripes, nil, nil, ApplyOptions(opts...).engineOpts()...)
+	s := ApplyOptions(opts...)
+	if err := s.Err(); err != nil {
+		return DecodeStats{}, err
+	}
+	return plan.ExecuteStripes(ctx, code, stripes, nil, nil, s.engineOpts()...)
 }

@@ -29,6 +29,106 @@ func TestOptionDefaultsAndOverrides(t *testing.T) {
 	}
 }
 
+// TestOptionValidation: invalid option values must produce descriptive
+// errors from every option-based entry point rather than being silently
+// replaced by defaults (they used to be dropped by `> 0` guards).
+func TestOptionValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		opt  Option
+	}{
+		{"WithWorkers(-3)", WithWorkers(-3)},
+		{"WithChunkSize(0)", WithChunkSize(0)},
+		{"WithChunkSize(-1)", WithChunkSize(-1)},
+		{"WithBlockSize(0)", WithBlockSize(0)},
+		{"WithBlockSize(-1)", WithBlockSize(-1)},
+		{"WithThrottle(-1ms)", WithThrottle(-time.Millisecond)},
+		{"WithRetry(-1, 0)", WithRetry(-1, 0)},
+		{"WithRetry(2, -1ms)", WithRetry(2, -time.Millisecond)},
+		{"WithFaults(prob 2)", WithFaults(FaultConfig{ReadTransientProb: 2})},
+		{"WithFaults(FailAtIO -1)", WithFaults(FaultConfig{FailAtIO: -1})},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			s := ApplyOptions(tc.opt)
+			if s.Err() == nil {
+				t.Fatalf("%s accepted silently", tc.name)
+			}
+
+			if _, err := NewCode(5, tc.opt); err == nil {
+				t.Errorf("NewCode swallowed %s", tc.name)
+			}
+			if _, err := NewRAID5Array(4, tc.opt); err == nil {
+				t.Errorf("NewRAID5Array swallowed %s", tc.name)
+			}
+			code, err := NewCode(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := NewRAID6Array(code, tc.opt); err == nil {
+				t.Errorf("NewRAID6Array swallowed %s", tc.name)
+			}
+			r5, err := NewRAID5Array(4, WithBlockSize(32))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := NewMigrator(r5, 4, tc.opt); err == nil {
+				t.Errorf("NewMigrator swallowed %s", tc.name)
+			}
+			plan, err := NewVirtualPlan(4, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := NewPlanExecutor(plan, tc.opt); err == nil {
+				t.Errorf("NewPlanExecutor swallowed %s", tc.name)
+			}
+			a, err := NewRAID6Array(code, WithBlockSize(32))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			if err := EncodeArrayStripes(ctx, a, 1, tc.opt); err == nil {
+				t.Errorf("EncodeArrayStripes swallowed %s", tc.name)
+			}
+			if _, err := ScrubArray(ctx, a, 1, tc.opt); err == nil {
+				t.Errorf("ScrubArray swallowed %s", tc.name)
+			}
+			if err := RebuildArray(ctx, a, 1, nil, tc.opt); err == nil {
+				t.Errorf("RebuildArray swallowed %s", tc.name)
+			}
+		})
+	}
+
+	// The first error wins and survives later valid options.
+	s := ApplyOptions(WithBlockSize(-1), WithBlockSize(64), WithWorkers(2))
+	if s.Err() == nil {
+		t.Fatal("option error dropped by later valid options")
+	}
+
+	// Edge values that remain valid: 0 workers (GOMAXPROCS), 0 throttle,
+	// 0 retries.
+	s = ApplyOptions(WithWorkers(0), WithThrottle(0), WithRetry(0, 0))
+	if s.Err() != nil {
+		t.Fatalf("valid edge values rejected: %v", s.Err())
+	}
+}
+
+// TestOptionFaultsAndRetryApply: WithFaults / WithRetry reach the disks the
+// constructors create.
+func TestOptionFaultsAndRetryApply(t *testing.T) {
+	r5, err := NewRAID5Array(4, WithBlockSize(32),
+		WithFaults(FaultConfig{Seed: 42, FailAtIO: 1}),
+		WithRetry(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first I/O against any disk must trip the scheduled failure.
+	buf := make([]byte, 32)
+	if err := r5.Disks().Disk(0).Read(0, buf); !errors.Is(err, ErrDiskFailed) {
+		t.Fatalf("scheduled failure not armed via options: %v", err)
+	}
+}
+
 // TestOptionConstructorsMatchPositional: the option-based constructors must
 // be behaviorally identical to the positional forms they wrap.
 func TestOptionConstructorsMatchPositional(t *testing.T) {
@@ -52,7 +152,10 @@ func TestOptionConstructorsMatchPositional(t *testing.T) {
 		t.Fatal("NewRAID5Array options ignored")
 	}
 
-	a := NewRAID6Array(c2, WithBlockSize(128))
+	a, err := NewRAID6Array(c2, WithBlockSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Disks().Disk(0).BlockSize() != 128 {
 		t.Fatal("NewRAID6Array block size ignored")
 	}
@@ -66,7 +169,10 @@ func TestFacadeParallelLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := NewRAID6Array(code, WithBlockSize(64))
+	a, err := NewRAID6Array(code, WithBlockSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
 	const stripes = 16
 	r := rand.New(rand.NewSource(9))
 	want := map[int64][]byte{}
@@ -179,14 +285,20 @@ func TestFacadeMigrationOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex := NewPlanExecutor(plan, WithBlockSize(32), WithSeed(11))
+	ex, err := NewPlanExecutor(plan, WithBlockSize(32), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if err := RunPlan(ctx, ex, WithWorkers(2)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	// And a fresh run completes and verifies.
-	ex = NewPlanExecutor(plan, WithBlockSize(32), WithSeed(11))
+	ex, err = NewPlanExecutor(plan, WithBlockSize(32), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := RunPlan(context.Background(), ex, WithWorkers(2)); err != nil {
 		t.Fatal(err)
 	}

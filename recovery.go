@@ -14,6 +14,15 @@ type (
 	// ScrubReport summarizes a RAID-6 scrub pass: latent-sector-error
 	// repairs, located silent corruptions, unrecoverable stripes.
 	ScrubReport = raid6.ScrubReport
+	// ScrubMode selects whether a scrub pass repairs what it finds
+	// (ScrubRepair) or only detects and counts (ScrubCheck).
+	ScrubMode = raid6.ScrubMode
+)
+
+// Scrub modes.
+const (
+	ScrubRepair = raid6.ScrubRepair
+	ScrubCheck  = raid6.ScrubCheck
 )
 
 // PlanColumnRecovery computes a read-minimizing plan for rebuilding one
