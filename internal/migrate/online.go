@@ -618,6 +618,26 @@ func (m *OnlineMigrator) readOrRepair(row int64, disk int, buf []byte) error {
 	default:
 		return err
 	}
+	// The in-place heal must not interleave with an application write to the
+	// same block: conversion I/O runs while Write() proceeds (that is the
+	// dirtySet/redo design), and a write landing between ReconstructBlock and
+	// the rewrite below would be silently overwritten with the stale
+	// reconstructed value while the RAID-5 parity — already updated for the
+	// new data — stays inconsistent with it. writeMu serializes the heal with
+	// the write path; the stripe redo only recomputes diagonal parity and
+	// could not undo either.
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	// Re-check under the lock: a racing write may already have rewritten the
+	// block (clearing the latent error), in which case its current content is
+	// the value to convert and there is nothing to heal.
+	switch rerr := m.r5.Disks().Disk(disk).Read(row, buf); {
+	case rerr == nil:
+		return nil
+	case errors.Is(rerr, vdisk.ErrLatent) || errors.Is(rerr, vdisk.ErrTransient):
+	default:
+		return rerr
+	}
 	if rerr := m.r5.ReconstructBlock(row, disk, buf); rerr != nil {
 		return fmt.Errorf("reconstructing after %v: %w", err, rerr)
 	}

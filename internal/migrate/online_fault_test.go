@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -183,6 +184,57 @@ func TestWriteServesDegradedOldValue(t *testing.T) {
 	}
 	want[logical] = data
 	verifyConverted(t, mig, want, rows/4, "degraded-write")
+}
+
+// TestHealDoesNotClobberConcurrentWrites races application writes against
+// the conversion's latent-block heals: every data row carries a latent
+// error, and the foreground overwrites each such block while the conversion
+// is reconstructing and rewriting it. The heal must never overwrite a
+// racing write's fresh data with the stale reconstructed old value (which
+// would also leave the RAID-5 parity, already updated for the new data,
+// inconsistent with the block).
+func TestHealDoesNotClobberConcurrentWrites(t *testing.T) {
+	const rows = 64 // 16 stripes at p=5
+	a, want := newLoadedRAID5(t, 4, rows, 77)
+	// One latent data cell per row (RAID-5 reconstructs at most one lost
+	// block per row), so nearly every stripe's conversion takes the heal
+	// path while the writes below race it.
+	type loc struct {
+		logical int64
+		row     int64
+		disk    int
+	}
+	var bad []loc
+	seenRow := map[int64]bool{}
+	for L := int64(0); L < rows*3; L++ {
+		row, disk := a.Locate(L)
+		if seenRow[row] {
+			continue
+		}
+		seenRow[row] = true
+		a.Disks().Disk(disk).InjectLatentError(row)
+		bad = append(bad, loc{L, row, disk})
+	}
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(78))
+	for _, b := range bad {
+		data := make([]byte, 32)
+		r.Read(data)
+		if err := mig.Write(b.logical, data); err != nil {
+			t.Fatalf("racing write %d: %v", b.logical, err)
+		}
+		want[b.logical] = data
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	verifyConverted(t, mig, want, rows/4, "heal-vs-write")
 }
 
 // TestKillAndResumeSurvivesDiskFailure is the acceptance scenario: latent

@@ -98,9 +98,24 @@ func TestOnlineMigrationUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Pause before Start so the workers park before converting anything:
+	// the write below then provably lands while the conversion is live,
+	// making the WriteInterrupts assertion deterministic (on a fast machine
+	// the 8-stripe conversion can otherwise finish before any writer
+	// goroutine is scheduled).
+	mig.Pause()
 	if err := mig.Start(); err != nil {
 		t.Fatal(err)
 	}
+	guaranteed := make([]byte, 32)
+	for i := range guaranteed {
+		guaranteed[i] = 0x5A
+	}
+	if err := mig.Write(0, guaranteed); err != nil {
+		t.Fatal(err)
+	}
+	want[0] = guaranteed
+	mig.Resume()
 
 	var mu sync.Mutex // guards want
 	var wg sync.WaitGroup

@@ -174,13 +174,14 @@ func (a *Array) scrubStripe(st int64, repair bool) (res scrubResult, _ error) {
 		res.unrecoverable = true
 		return res, nil
 	}
-	res.corruptFound++
 	if !layout.Verify(a.code, s) {
 		// Reconstructing the located block did not restore consistency:
-		// more than one block was corrupt after all.
+		// more than one block was corrupt after all — the located cell was
+		// not a genuine single corruption, so it does not count as found.
 		res.unrecoverable = true
 		return res, nil
 	}
+	res.corruptFound++
 	if repair {
 		if err := a.diskFor(st, cell.Col).Write(a.blockAddr(st, cell), s.Block(cell)); err != nil {
 			return res, err
