@@ -3,14 +3,17 @@
 // the machine-readable companion to the paper's Fig. 13 computation-cost
 // comparison.
 //
-// It also sweeps the parallel stripe engine: full-array encodes at
-// 1, 2, 4 and 8 workers, written to BENCH_parallel.json together with the
-// host's core count (scaling beyond 1× needs GOMAXPROCS > 1).
+// It also measures the XOR kernel hierarchy (wide / word / byte paths of
+// internal/xorblk, written to BENCH_xor.json) and sweeps the parallel
+// stripe engine: full-array encodes at 1, 2, 4 and 8 workers, each worker
+// count sampled several times with the median reported, written to
+// BENCH_parallel.json together with the host's core count (scaling beyond
+// 1× needs GOMAXPROCS > 1).
 //
 // Usage:
 //
-//	c56-bench                        # writes BENCH_encode.json + BENCH_parallel.json
-//	c56-bench -out - -p 7 -block 8192 -parallel-out ''
+//	c56-bench          # writes BENCH_encode.json + BENCH_xor.json + BENCH_parallel.json
+//	c56-bench -out - -p 7 -block 8192 -xor-out '' -parallel-out ''
 package main
 
 import (
@@ -21,10 +24,12 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	code56 "code56"
 	"code56/internal/layout"
+	"code56/internal/xorblk"
 )
 
 // Result is one code's encoding measurement.
@@ -50,11 +55,16 @@ type Report struct {
 }
 
 // ParallelResult is one worker count's full-array encode measurement.
+// MBPerSec is the median of Samples independent measurement windows;
+// AllocsPerStripe is heap allocations per stripe encode across all windows
+// (the zero-allocation hot path keeps it near 0 in steady state).
 type ParallelResult struct {
-	Workers    int     `json:"workers"`
-	MBPerSec   float64 `json:"mb_per_s"`
-	Speedup    float64 `json:"speedup_vs_1"`
-	Iterations int     `json:"iterations"`
+	Workers         int     `json:"workers"`
+	MBPerSec        float64 `json:"mb_per_s"`
+	Speedup         float64 `json:"speedup_vs_1"`
+	Iterations      int     `json:"iterations"`
+	Samples         int     `json:"samples"`
+	AllocsPerStripe float64 `json:"allocs_per_stripe"`
 }
 
 // ParallelReport is BENCH_parallel.json's top-level object. GOMAXPROCS and
@@ -76,22 +86,127 @@ func main() {
 		block    = flag.Int("block", 4096, "block size in bytes")
 		p        = flag.Int("p", 5, "prime parameter")
 		minTime  = flag.Duration("mintime", 200*time.Millisecond, "minimum measurement time per code")
+		xorOut   = flag.String("xor-out", "BENCH_xor.json", "XOR kernel sweep output file ('-' for stdout, '' to skip)")
 		parOut   = flag.String("parallel-out", "BENCH_parallel.json", "parallel sweep output file ('-' for stdout, '' to skip)")
 		parP     = flag.Int("parallel-p", 13, "prime parameter for the parallel sweep")
 		parBlock = flag.Int("parallel-block", 16384, "block size for the parallel sweep")
 		stripes  = flag.Int64("parallel-stripes", 64, "stripes per full-array encode in the parallel sweep")
+		reps     = flag.Int("parallel-reps", 5, "measurement windows per worker count (median reported, min 3)")
+		maxprocs = flag.Int("maxprocs", 0, "GOMAXPROCS for the sweeps (0 = all CPUs)")
 	)
 	flag.Parse()
+	// Pin GOMAXPROCS explicitly so the recorded value reflects the sweep's
+	// real parallelism even when the environment (cgroup limits, an
+	// inherited GOMAXPROCS env var) would silently cap it.
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	} else {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+	}
 	if err := run(*out, *block, *p, *minTime); err != nil {
 		fmt.Fprintln(os.Stderr, "c56-bench:", err)
 		os.Exit(1)
 	}
-	if *parOut != "" {
-		if err := runParallel(*parOut, *parBlock, *parP, *stripes, *minTime); err != nil {
+	if *xorOut != "" {
+		if err := runXor(*xorOut, *minTime); err != nil {
 			fmt.Fprintln(os.Stderr, "c56-bench:", err)
 			os.Exit(1)
 		}
 	}
+	if *parOut != "" {
+		if err := runParallel(*parOut, *parBlock, *parP, *stripes, *minTime, *reps); err != nil {
+			fmt.Fprintln(os.Stderr, "c56-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// XorResult is one (path, size) throughput sample of the XOR kernel sweep.
+type XorResult struct {
+	// Path names the kernel: the compiled fast path (xorblk.KernelName,
+	// "wide" unless built with -tags purego), "word", or "byte".
+	Path string `json:"path"`
+	Size int    `json:"size"`
+	// MBPerSec counts destination bytes processed (one read+xor+write pass).
+	MBPerSec float64 `json:"mb_per_s"`
+	// SpeedupVsWord is this path's throughput over the word path's at the
+	// same size (the acceptance metric for the wide kernel).
+	SpeedupVsWord float64 `json:"speedup_vs_word"`
+	Iterations    int     `json:"iterations"`
+}
+
+// XorReport is BENCH_xor.json's top-level object.
+type XorReport struct {
+	// Kernel is the fast path compiled into this binary.
+	Kernel  string      `json:"kernel"`
+	Results []XorResult `json:"results"`
+}
+
+// runXor measures dst ^= src throughput for each kernel path across block
+// sizes and writes BENCH_xor.json.
+func runXor(out string, minTime time.Duration) error {
+	rep := XorReport{Kernel: xorblk.KernelName}
+	paths := []struct {
+		name string
+		fn   func(dst, src []byte)
+	}{
+		{xorblk.KernelName, xorblk.Xor},
+		{"word", xorblk.XorWords},
+		{"byte", xorblk.XorBytes},
+	}
+	for _, size := range []int{1024, 4096, 16384, 65536} {
+		rng := rand.New(rand.NewSource(3))
+		dst := make([]byte, size)
+		src := make([]byte, size)
+		rng.Read(dst)
+		rng.Read(src)
+		var wordMB float64
+		base := len(rep.Results)
+		for _, p := range paths {
+			p.fn(dst, src) // warm-up
+			iters := 0
+			start := time.Now()
+			for time.Since(start) < minTime {
+				p.fn(dst, src)
+				iters++
+			}
+			elapsed := time.Since(start)
+			mb := float64(iters) * float64(size) / 1e6 / elapsed.Seconds()
+			if p.name == "word" {
+				wordMB = mb
+			}
+			rep.Results = append(rep.Results, XorResult{
+				Path: p.name, Size: size, MBPerSec: mb, Iterations: iters,
+			})
+		}
+		for i := base; i < len(rep.Results); i++ {
+			rep.Results[i].SpeedupVsWord = rep.Results[i].MBPerSec / wordMB
+		}
+	}
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Printf("wrote XOR kernel sweep (%s fast path, %d results) to %s\n",
+			rep.Kernel, len(rep.Results), out)
+	}
+	return nil
+}
+
+// writeJSON writes v indented to path ('-' for stdout).
+func writeJSON(path string, v any) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 func run(out string, block, p int, minTime time.Duration) error {
@@ -140,7 +255,13 @@ func run(out string, block, p int, minTime time.Duration) error {
 
 // runParallel measures full-array Code 5-6 encodes through the parallel
 // stripe engine at 1, 2, 4 and 8 workers and writes BENCH_parallel.json.
-func runParallel(out string, block, p int, stripes int64, minTime time.Duration) error {
+// Each worker count runs reps independent measurement windows (each at
+// least minTime long) and reports the median throughput, plus heap
+// allocations per stripe encode taken from runtime.MemStats.
+func runParallel(out string, block, p int, stripes int64, minTime time.Duration, reps int) error {
+	if reps < 3 {
+		reps = 3
+	}
 	code, err := code56.NewCode(p)
 	if err != nil {
 		return err
@@ -169,23 +290,43 @@ func runParallel(out string, block, p int, stripes int64, minTime time.Duration)
 	ctx := context.Background()
 	dataBytes := float64(blocks) * float64(block)
 	for _, w := range []int{1, 2, 4, 8} {
-		// Warm-up pass, then measure until minTime has elapsed.
-		if err := code56.EncodeArrayStripes(ctx, a, stripes, code56.WithWorkers(w)); err != nil {
+		encode := func() error {
+			return code56.EncodeArrayStripes(ctx, a, stripes, code56.WithWorkers(w))
+		}
+		// Warm-up pass primes the buffer pools so the measured windows see
+		// steady state, then reps independent windows of at least minTime.
+		if err := encode(); err != nil {
 			return err
 		}
-		iters := 0
-		start := time.Now()
-		for time.Since(start) < minTime {
-			if err := code56.EncodeArrayStripes(ctx, a, stripes, code56.WithWorkers(w)); err != nil {
-				return err
+		var (
+			samples     []float64
+			totalIters  int
+			totalAllocs uint64
+			ms          runtime.MemStats
+		)
+		for win := 0; win < reps; win++ {
+			runtime.ReadMemStats(&ms)
+			allocsBefore := ms.Mallocs
+			iters := 0
+			start := time.Now()
+			for iters == 0 || time.Since(start) < minTime {
+				if err := encode(); err != nil {
+					return err
+				}
+				iters++
 			}
-			iters++
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms)
+			samples = append(samples, float64(iters)*dataBytes/1e6/elapsed.Seconds())
+			totalIters += iters
+			totalAllocs += ms.Mallocs - allocsBefore
 		}
-		elapsed := time.Since(start)
 		r := ParallelResult{
-			Workers:    w,
-			MBPerSec:   float64(iters) * dataBytes / 1e6 / elapsed.Seconds(),
-			Iterations: iters,
+			Workers:         w,
+			MBPerSec:        median(samples),
+			Iterations:      totalIters,
+			Samples:         reps,
+			AllocsPerStripe: float64(totalAllocs) / float64(int64(totalIters)*stripes),
 		}
 		if len(rep.Results) > 0 {
 			r.Speedup = r.MBPerSec / rep.Results[0].MBPerSec
@@ -194,25 +335,25 @@ func runParallel(out string, block, p int, stripes int64, minTime time.Duration)
 		}
 		rep.Results = append(rep.Results, r)
 	}
-	w := os.Stdout
-	if out != "-" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := writeJSON(out, rep); err != nil {
 		return err
 	}
 	if out != "-" {
-		fmt.Printf("wrote parallel sweep (%d worker counts, GOMAXPROCS=%d) to %s\n",
-			len(rep.Results), rep.GOMAXPROCS, out)
+		fmt.Printf("wrote parallel sweep (%d worker counts, %d windows each, GOMAXPROCS=%d) to %s\n",
+			len(rep.Results), reps, rep.GOMAXPROCS, out)
 	}
 	return nil
+}
+
+// median returns the middle value of s (mean of the middle two for even
+// lengths). s is sorted in place.
+func median(s []float64) float64 {
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 // measure encodes full stripes until minTime has elapsed and averages.

@@ -1,0 +1,122 @@
+// Package bufpool is the repository's block-buffer recycler: a size-classed
+// pool of []byte scratch buffers for the per-stripe hot paths (encode,
+// degraded read, rebuild, scrub, migration), so steady-state operation
+// allocates nothing and the garbage collector never sees stripe churn.
+//
+// Code 5-6's computation is pure XOR, so once the kernels run at memory
+// bandwidth the remaining throughput ceiling is allocator and GC traffic:
+// a per-stripe make([]byte, blockSize) on every encode turns a bulk encode
+// into a garbage factory. Renting scratch here instead makes the hot loops
+// allocation-free (verified by testing.AllocsPerRun regression tests in the
+// consuming packages).
+//
+// Buffers live in power-of-two size classes from 512 B to 16 MiB, each a
+// sync.Pool. Get and Put are themselves allocation-free: pooled buffers
+// travel inside reused *entry boxes (a bare []byte stored in an interface
+// would heap-allocate its slice header on every Put). Requests outside the
+// class range fall through to plain make and are dropped on Put.
+//
+// Telemetry (process-default registry):
+//
+//	bufpool.hits            Gets served from the pool
+//	bufpool.misses          Gets that had to allocate
+//	bufpool.bytes_in_flight rented bytes not yet returned (gauge)
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+
+	"code56/internal/telemetry"
+)
+
+const (
+	// minClassBits..maxClassBits bound the pooled buffer capacities:
+	// 1<<minClassBits = 512 B (smaller scratch is cheaper to allocate than
+	// to track) up to 1<<maxClassBits = 16 MiB (covers the largest block
+	// sizes the CLIs accept; anything bigger is a one-off, not stripe churn).
+	minClassBits = 9
+	maxClassBits = 24
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// entry boxes a pooled buffer. Entries themselves are pooled so that
+// Get/Put never allocate: storing a raw []byte in a sync.Pool would copy
+// its 24-byte header to the heap on every Put.
+type entry struct{ buf []byte }
+
+var (
+	classes [numClasses]sync.Pool
+	entries = sync.Pool{New: func() any { return new(entry) }}
+
+	hits     = telemetry.Default().Counter("bufpool.hits")
+	misses   = telemetry.Default().Counter("bufpool.misses")
+	inFlight = telemetry.Default().Gauge("bufpool.bytes_in_flight")
+)
+
+// classFor returns the index of the smallest class holding n bytes, or -1
+// when n is outside the pooled range.
+func classFor(n int) int {
+	if n <= 0 || n > 1<<maxClassBits {
+		return -1
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if c < minClassBits {
+		c = minClassBits
+	}
+	return c - minClassBits
+}
+
+// Get rents a buffer of length n. Its contents are unspecified (rented
+// buffers come back dirty) — callers that fill the buffer before reading it
+// (disk reads, XorInto, XorMulti) need nothing more; accumulators that XOR
+// into it must use GetZero. Return the buffer with Put when done.
+func Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		if n <= 0 {
+			return nil
+		}
+		misses.Inc()
+		return make([]byte, n)
+	}
+	if e, _ := classes[c].Get().(*entry); e != nil {
+		b := e.buf[:n]
+		e.buf = nil
+		entries.Put(e)
+		hits.Inc()
+		inFlight.Add(int64(cap(b)))
+		return b
+	}
+	misses.Inc()
+	b := make([]byte, n, 1<<(c+minClassBits))
+	inFlight.Add(int64(cap(b)))
+	return b
+}
+
+// GetZero rents a zeroed buffer of length n — for XOR accumulators and
+// other read-before-fully-written uses.
+func GetZero(n int) []byte {
+	b := Get(n)
+	clear(b)
+	return b
+}
+
+// Put returns a rented buffer to its size class. Buffers whose capacity is
+// not an exact pooled class size (including every buffer Get had to
+// allocate beyond the class range) are dropped for the GC; nil is ignored.
+// The caller must not retain any reference to b after Put.
+func Put(b []byte) {
+	c := cap(b)
+	if c < 1<<minClassBits || c > 1<<maxClassBits || c&(c-1) != 0 {
+		return
+	}
+	inFlight.Add(int64(-c))
+	e := entries.Get().(*entry)
+	e.buf = b[:c]
+	classes[bits.Len(uint(c-1))-minClassBits].Put(e)
+}
+
+// InFlight returns the rented bytes not yet returned — the live value of
+// the bufpool.bytes_in_flight gauge, exposed for leak assertions in tests.
+func InFlight() int64 { return inFlight.Value() }

@@ -3,6 +3,7 @@ package layout
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"code56/internal/xorblk"
 )
@@ -27,6 +28,41 @@ func NewStripe(g Geometry, blockSize int) *Stripe {
 		s.blocks[i], backing = backing[:blockSize:blockSize], backing[blockSize:]
 	}
 	return s
+}
+
+// StripePool recycles stripes of one geometry and block size so per-stripe
+// hot loops (encode, scrub, rebuild, degraded reads) reuse the same backing
+// memory instead of allocating a fresh stripe each time. A pooled stripe
+// comes back with unspecified contents — every consumer in this repository
+// fills all cells (from disk reads or SetBlock) before reading them.
+// Safe for concurrent use.
+type StripePool struct {
+	geom      Geometry
+	blockSize int
+	pool      sync.Pool
+}
+
+// NewStripePool returns a pool producing stripes of the given shape.
+func NewStripePool(g Geometry, blockSize int) *StripePool {
+	return &StripePool{geom: g, blockSize: blockSize}
+}
+
+// Get returns a stripe, reusing a returned one when available. Contents are
+// unspecified.
+func (p *StripePool) Get() *Stripe {
+	if s, _ := p.pool.Get().(*Stripe); s != nil {
+		return s
+	}
+	return NewStripe(p.geom, p.blockSize)
+}
+
+// Put returns a stripe for reuse. The caller must not retain any reference
+// to the stripe or its blocks. Stripes of a different shape are dropped.
+func (p *StripePool) Put(s *Stripe) {
+	if s == nil || s.Geom != p.geom || s.BlockSize != p.blockSize {
+		return
+	}
+	p.pool.Put(s)
 }
 
 // Block returns the block at coordinate c. The returned slice aliases the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"code56/internal/bufpool"
 	"code56/internal/layout"
 	"code56/internal/parallel"
 	"code56/internal/telemetry"
@@ -159,7 +160,10 @@ func (e *Executor) RunContext(ctx context.Context, opts ...parallel.Option) erro
 			telemetry.A("phase", pg.phase),
 			telemetry.A("name", e.plan.PhaseNames[pg.phase]),
 			telemetry.A("conversion", e.plan.Conv.Label()))
-		err := parallel.ForEach(ctx, int64(len(pg.stripes)), func(i int64) error {
+		// One stripe group's working set spans the stripe's rows on every
+		// real disk; batch claims to that footprint (parallel.ForEachBatch).
+		stripeBytes := int64(e.geom.Rows) * int64(e.disks.Len()) * int64(e.blockSize)
+		err := parallel.ForEachBatch(ctx, int64(len(pg.stripes)), stripeBytes, func(i int64) error {
 			return e.runStripeOps(pg.stripes[i], reads, writes, xors)
 		}, opts...)
 		if err != nil {
@@ -172,13 +176,24 @@ func (e *Executor) RunContext(ctx context.Context, opts ...parallel.Option) erro
 }
 
 // runStripeOps executes one stripe's ops of one phase against its private
-// conversion-memory cache.
+// conversion-memory cache. Conversion-memory block buffers are rented from
+// bufpool for the duration of the stripe; the rented list (not the image
+// map) owns them, because OpMigrate stores the same buffer under two keys.
 func (e *Executor) runStripeOps(ops []Op, reads, writes, xors *telemetry.Counter) error {
-	image := make(map[imageKey][]byte)
-	zero := make([]byte, e.blockSize)
+	image := make(map[imageKey][]byte, len(ops))
+	rented := make([][]byte, 0, len(ops)+1)
+	defer func() {
+		for _, b := range rented {
+			bufpool.Put(b)
+		}
+	}()
+	zero := bufpool.GetZero(e.blockSize)
+	rented = append(rented, zero)
+	var contribs [][]byte
 	for _, op := range ops {
 		for _, c := range op.Reads {
-			buf := make([]byte, e.blockSize)
+			buf := bufpool.Get(e.blockSize)
+			rented = append(rented, buf)
 			if err := e.disk(c).Read(e.addr(op.Stripe, c), buf); err != nil {
 				return err
 			}
@@ -206,8 +221,9 @@ func (e *Executor) runStripeOps(ops []Op, reads, writes, xors *telemetry.Counter
 			image[imageKey{op.Stripe, op.Cell}] = b
 			e.disk(op.From).Trim(e.addr(op.Stripe, op.From))
 		case OpGenerate:
-			acc := make([]byte, e.blockSize)
-			contribs := make([][]byte, 0, len(op.Contribs))
+			acc := bufpool.Get(e.blockSize)
+			rented = append(rented, acc)
+			contribs = contribs[:0]
 			for _, c := range op.Contribs {
 				b, ok := image[imageKey{op.Stripe, c}]
 				if !ok {

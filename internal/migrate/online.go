@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"code56/internal/bufpool"
 	"code56/internal/core"
 	"code56/internal/layout"
 	"code56/internal/raid5"
@@ -560,8 +561,10 @@ func (m *OnlineMigrator) convertStripe(st int64) error {
 	p := m.code.P()
 	g := m.code.Geometry()
 	base := st * int64(g.Rows)
-	buf := make([]byte, m.r5.BlockSize())
-	parity := make([]byte, m.r5.BlockSize())
+	buf := bufpool.Get(m.r5.BlockSize())
+	defer bufpool.Put(buf)
+	parity := bufpool.Get(m.r5.BlockSize())
+	defer bufpool.Put(parity)
 	newDisk := m.r5.Disks().Disk(p - 1)
 	for i := 0; i < p-1; i++ {
 		// Writes may be waiting between chains; let them through. A
@@ -705,7 +708,8 @@ func (m *OnlineMigrator) Write(logical int64, data []byte) error {
 
 func (m *OnlineMigrator) writeLocked(logical, row int64, disk int, data []byte, needDiag bool) error {
 	blockSize := m.r5.BlockSize()
-	old := make([]byte, blockSize)
+	old := bufpool.Get(blockSize)
+	defer bufpool.Put(old)
 	if err := m.r5.Disks().Disk(disk).Read(row, old); err != nil {
 		// Serve the old value degraded: read-modify-write must go on even
 		// when the block's disk failed or the sector is bad — the RAID-5
@@ -725,7 +729,8 @@ func (m *OnlineMigrator) writeLocked(logical, row int64, disk int, data []byte, 
 		return nil
 	}
 	// Apply the XOR delta to the diagonal parity of the block's chain.
-	delta := make([]byte, blockSize)
+	delta := bufpool.Get(blockSize)
+	defer bufpool.Put(delta)
 	xorblk.XorInto(delta, old, data)
 	m.tel.redirectXORs.Add(2) // delta + fold into the diagonal parity
 	rows := int64(m.code.P() - 1)
@@ -733,7 +738,8 @@ func (m *OnlineMigrator) writeLocked(logical, row int64, disk int, data []byte, 
 	chainIdx := m.code.DiagonalChainOf(inRow, disk)
 	addr := (row/rows)*rows + int64(chainIdx)
 	newDisk := m.r5.Disks().Disk(m.code.P() - 1)
-	parity := make([]byte, blockSize)
+	parity := bufpool.Get(blockSize)
+	defer bufpool.Put(parity)
 	if err := newDisk.Read(addr, parity); err != nil {
 		return err
 	}

@@ -29,6 +29,74 @@ func TestResolveDefaults(t *testing.T) {
 	if c.Workers != runtime.GOMAXPROCS(0) || c.ChunkSize != DefaultChunkSize {
 		t.Errorf("non-positive options should fall back to defaults, got %+v", c)
 	}
+	if c.BatchBytes != DefaultBatchBytes {
+		t.Errorf("default BatchBytes = %d, want %d", c.BatchBytes, DefaultBatchBytes)
+	}
+	c = Resolve(WithBatchBytes(4096))
+	if c.BatchBytes != 4096 {
+		t.Errorf("WithBatchBytes(4096) = %+v", c)
+	}
+}
+
+func TestForEachBatchCoversEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct {
+		workers   int
+		itemBytes int64
+		batch     int
+	}{
+		{1, 1024, 64},         // serial, many items per batch
+		{4, 1024, 64},         // parallel, many items per batch
+		{4, 1 << 21, 1 << 20}, // item bigger than budget: per-item claims
+		{4, 0, 0},             // unknown item size: per-item claims
+		{16, 3000, 1 << 18},   // non-dividing sizes exercise the tail batch
+	} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		err := ForEachBatch(context.Background(), n, tc.itemBytes, func(i int64) error {
+			hits[i].Add(1)
+			return nil
+		}, WithWorkers(tc.workers), WithBatchBytes(tc.batch))
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("%+v: index %d ran %d times", tc, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachBatchStopsOnError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEachBatch(context.Background(), 1000, 1024, func(i int64) error {
+		ran.Add(1)
+		if i == 100 {
+			return sentinel
+		}
+		return nil
+	}, WithWorkers(1), WithBatchBytes(64*1024))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// Serial execution claims batches in order, so nothing past the failing
+	// index runs.
+	if got := ran.Load(); got != 101 {
+		t.Fatalf("ran %d items before stopping, want 101", got)
+	}
+}
+
+func TestForEachBatchHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEachBatch(ctx, 1000, 1024, func(i int64) error {
+		t.Error("fn ran under a cancelled context")
+		return nil
+	}, WithWorkers(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
 }
 
 func TestForEachCoversEveryIndexOnce(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"code56/internal/bufpool"
 	"code56/internal/telemetry"
 	"code56/internal/vdisk"
 	"code56/internal/xorblk"
@@ -221,7 +222,8 @@ func (a *Array) reconstructInto(row int64, disk int, buf []byte) error {
 	for i := range buf {
 		buf[i] = 0
 	}
-	tmp := make([]byte, a.blockSize)
+	tmp := bufpool.Get(a.blockSize)
+	defer bufpool.Put(tmp)
 	for i := 0; i < a.m; i++ {
 		if i == disk {
 			continue
@@ -256,7 +258,8 @@ func (a *Array) WriteBlock(logical int64, data []byte) error {
 
 	switch {
 	case !dataDisk.Failed() && !parityDisk.Failed():
-		old := make([]byte, a.blockSize)
+		old := bufpool.Get(a.blockSize)
+		defer bufpool.Put(old)
 		if err := dataDisk.Read(row, old); err != nil {
 			if !isDegradable(err) {
 				return err
@@ -266,7 +269,8 @@ func (a *Array) WriteBlock(logical int64, data []byte) error {
 			// data clears any latent error on the block.
 			return a.reconstructWrite(row, disk, pd, data, true)
 		}
-		parity := make([]byte, a.blockSize)
+		parity := bufpool.Get(a.blockSize)
+		defer bufpool.Put(parity)
 		if err := parityDisk.Read(row, parity); err != nil {
 			if !isDegradable(err) {
 				return err
@@ -300,8 +304,11 @@ func (a *Array) WriteBlock(logical int64, data []byte) error {
 // the data disk itself is failed (only the parity is written; the data is
 // restored at rebuild time).
 func (a *Array) reconstructWrite(row int64, disk, pd int, data []byte, writeData bool) error {
-	parity := append([]byte(nil), data...)
-	tmp := make([]byte, a.blockSize)
+	parity := bufpool.Get(a.blockSize)
+	defer bufpool.Put(parity)
+	copy(parity, data)
+	tmp := bufpool.Get(a.blockSize)
+	defer bufpool.Put(tmp)
 	for i := 0; i < a.m; i++ {
 		if i == disk || i == pd {
 			continue
@@ -328,8 +335,10 @@ func (a *Array) reconstructWrite(row int64, disk, pd int, data []byte, writeData
 // blocks (full-stripe parity generation).
 func (a *Array) WriteParity(row int64) error {
 	pd := a.ParityDisk(row)
-	parity := make([]byte, a.blockSize)
-	tmp := make([]byte, a.blockSize)
+	parity := bufpool.GetZero(a.blockSize)
+	defer bufpool.Put(parity)
+	tmp := bufpool.Get(a.blockSize)
+	defer bufpool.Put(tmp)
 	for i := 0; i < a.m; i++ {
 		if i == pd {
 			continue
@@ -352,7 +361,8 @@ func (a *Array) Rebuild(disk int, rows int64) error {
 		return fmt.Errorf("%w: cannot rebuild with failed disks present", ErrDoubleFailure)
 	}
 	sp := a.tel.tr.StartSpan("raid5.rebuild", telemetry.A("disk", disk), telemetry.A("rows", rows))
-	buf := make([]byte, a.blockSize)
+	buf := bufpool.Get(a.blockSize)
+	defer bufpool.Put(buf)
 	for row := int64(0); row < rows; row++ {
 		if err := a.reconstructInto(row, disk, buf); err != nil {
 			sp.End(telemetry.A("error", err.Error()))
@@ -370,8 +380,10 @@ func (a *Array) Rebuild(disk int, rows int64) error {
 
 // VerifyRow checks that the row's parity equals the XOR of its data blocks.
 func (a *Array) VerifyRow(row int64) (bool, error) {
-	acc := make([]byte, a.blockSize)
-	tmp := make([]byte, a.blockSize)
+	acc := bufpool.GetZero(a.blockSize)
+	defer bufpool.Put(acc)
+	tmp := bufpool.Get(a.blockSize)
+	defer bufpool.Put(tmp)
 	for i := 0; i < a.m; i++ {
 		if err := a.disks.Disk(i).Read(row, tmp); err != nil {
 			return false, err

@@ -1,0 +1,105 @@
+package raid6
+
+import (
+	"math/rand"
+	"testing"
+
+	"code56/internal/core"
+)
+
+// The steady-state hot paths must not allocate: stripes come from the
+// array's stripe pool, scratch blocks from bufpool, and the chain/covering
+// caches replace the per-call layout queries. These tests are the
+// regression guard for that property — a new make() or map literal on one
+// of these paths shows up as a non-zero AllocsPerRun.
+//
+// skipIfRace: the race detector's shadow-memory bookkeeping allocates on
+// its own, so the 0-allocs assertions only hold in uninstrumented builds.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+}
+
+// newWarmArray builds a healthy Code 5-6 array with `stripes` stripes of
+// random data and consistent parity, with every block written at least once
+// (so vdisk's backing map is fully populated and writes stop allocating).
+func newWarmArray(tb testing.TB, stripes int64) *Array {
+	tb.Helper()
+	a := New(core.MustNew(5), 4096)
+	r := rand.New(rand.NewSource(42))
+	buf := make([]byte, a.BlockSize())
+	for l := int64(0); l < stripes*int64(a.DataPerStripe()); l++ {
+		r.Read(buf)
+		if err := a.WriteBlock(l, buf); err != nil {
+			tb.Fatalf("WriteBlock(%d): %v", l, err)
+		}
+	}
+	for st := int64(0); st < stripes; st++ {
+		if err := a.EncodeStripe(st); err != nil {
+			tb.Fatalf("EncodeStripe(%d): %v", st, err)
+		}
+	}
+	return a
+}
+
+func TestEncodeStripeAllocationFree(t *testing.T) {
+	skipIfRace(t)
+	a := newWarmArray(t, 2)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := a.EncodeStripe(1); err != nil {
+			t.Fatalf("EncodeStripe: %v", err)
+		}
+	}); n != 0 {
+		t.Errorf("EncodeStripe allocates %.1f times per call, want 0", n)
+	}
+}
+
+func TestReadBlockHealthyAllocationFree(t *testing.T) {
+	skipIfRace(t)
+	a := newWarmArray(t, 2)
+	buf := make([]byte, a.BlockSize())
+	if n := testing.AllocsPerRun(100, func() {
+		if err := a.ReadBlock(3, buf); err != nil {
+			t.Fatalf("ReadBlock: %v", err)
+		}
+	}); n != 0 {
+		t.Errorf("healthy ReadBlock allocates %.1f times per call, want 0", n)
+	}
+}
+
+func TestDegradedReadAllocationFree(t *testing.T) {
+	skipIfRace(t)
+	a := newWarmArray(t, 2)
+	// Fail the disk holding logical block 0 and read it back: the read is
+	// served by single-chain reconstruction (the paper's p-3 XOR fast
+	// path), which must stay allocation-free — pooled scratch block, cached
+	// chains, and the disk's cached fail-stop error.
+	_, cell := a.Locate(0)
+	a.Disks().Disk(cell.Col).Fail()
+	buf := make([]byte, a.BlockSize())
+	if n := testing.AllocsPerRun(100, func() {
+		if err := a.ReadBlock(0, buf); err != nil {
+			t.Fatalf("degraded ReadBlock: %v", err)
+		}
+	}); n != 0 {
+		t.Errorf("single-erasure ReadBlock allocates %.1f times per call, want 0", n)
+	}
+}
+
+func TestWriteBlockRMWAllocationFree(t *testing.T) {
+	skipIfRace(t)
+	a := newWarmArray(t, 2)
+	data := make([]byte, a.BlockSize())
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := a.WriteBlock(5, data); err != nil {
+			t.Fatalf("WriteBlock: %v", err)
+		}
+	}); n != 0 {
+		t.Errorf("read-modify-write allocates %.1f times per call, want 0", n)
+	}
+}

@@ -23,6 +23,10 @@ func (a *Array) rebuildStripe(st int64, disks []int) error {
 	if err != nil {
 		return err
 	}
+	defer a.stripes.Put(s)
+	if es == nil {
+		es = make(layout.ErasureSet, len(disks)*a.geom.Rows)
+	}
 	for _, d := range disks {
 		col := a.colOnDisk(st, d)
 		for r := 0; r < a.geom.Rows; r++ {
@@ -59,14 +63,15 @@ func (a *Array) WriteStripe(stripe int64, data [][]byte) error {
 	if len(a.failedColumns()) > 0 {
 		return fmt.Errorf("%w: full-stripe write needs a healthy array", ErrTooManyFailures)
 	}
-	s := layout.NewStripe(a.geom, a.blockSize)
+	s := a.stripes.Get()
+	defer a.stripes.Put(s)
 	for i, b := range data {
 		if len(b) != a.blockSize {
 			return fmt.Errorf("raid6: block %d has %d bytes, want %d", i, len(b), a.blockSize)
 		}
 		s.SetBlock(a.dataCells[i], b)
 	}
-	layout.Encode(a.code, s)
+	a.enc.Encode(s)
 	for r := 0; r < a.geom.Rows; r++ {
 		for j := 0; j < a.geom.Cols; j++ {
 			c := layout.Coord{Row: r, Col: j}
@@ -85,6 +90,7 @@ func (a *Array) ReadStripe(stripe int64) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer a.stripes.Put(s)
 	if len(es) > 0 {
 		if _, err := layout.Reconstruct(a.code, s, es); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrTooManyFailures, err)

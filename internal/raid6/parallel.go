@@ -16,6 +16,18 @@ import (
 // internal/parallel's bounded pool. The pre-existing serial signatures
 // (EncodeStripe per stripe, Scrub, Rebuild, RebuildParallel) remain as thin
 // wrappers, so nothing that compiled against them changes.
+//
+// Fan-out is batched (parallel.ForEachBatch): workers claim runs of
+// contiguous stripes sized to the BatchBytes cache budget instead of one
+// stripe at a time, so each worker streams sequentially through disk
+// addresses and the claim counter stops being a contention point for small
+// stripes. parallel.WithBatchBytes adjusts the budget.
+
+// stripeBytes is the byte footprint of one stripe across all columns — the
+// per-item size batched bulk loops hand to parallel.ForEachBatch.
+func (a *Array) stripeBytes() int64 {
+	return int64(a.geom.Elements()) * int64(a.blockSize)
+}
 
 // EncodeStripesContext recomputes and writes the parities of every stripe
 // in [0, stripes) — bulk full-stripe parity generation, e.g. after loading
@@ -24,7 +36,7 @@ import (
 // stops the operation.
 func (a *Array) EncodeStripesContext(ctx context.Context, stripes int64, opts ...parallel.Option) error {
 	sp := a.tel.tr.StartSpan("raid6.encode_stripes", telemetry.A("stripes", stripes))
-	err := parallel.ForEach(ctx, stripes, func(st int64) error {
+	err := parallel.ForEachBatch(ctx, stripes, a.stripeBytes(), func(st int64) error {
 		return a.EncodeStripe(st)
 	}, opts...)
 	if err != nil {
@@ -47,7 +59,7 @@ func (a *Array) RebuildContext(ctx context.Context, stripes int64, disks []int, 
 	}
 	sp := a.tel.tr.StartSpan("raid6.rebuild",
 		telemetry.A("disks", fmt.Sprint(disks)), telemetry.A("stripes", stripes))
-	err := parallel.ForEach(ctx, stripes, func(st int64) error {
+	err := parallel.ForEachBatch(ctx, stripes, a.stripeBytes(), func(st int64) error {
 		if err := a.rebuildStripe(st, disks); err != nil {
 			return err
 		}
@@ -75,7 +87,7 @@ func (a *Array) ScrubContext(ctx context.Context, stripes int64, opts ...paralle
 func (a *Array) ScrubContextMode(ctx context.Context, stripes int64, mode ScrubMode, opts ...parallel.Option) (ScrubReport, error) {
 	rep := ScrubReport{Stripes: stripes}
 	var mu sync.Mutex
-	err := parallel.ForEach(ctx, stripes, func(st int64) error {
+	err := parallel.ForEachBatch(ctx, stripes, a.stripeBytes(), func(st int64) error {
 		res, err := a.scrubStripe(st, mode == ScrubRepair)
 		if err != nil {
 			return err

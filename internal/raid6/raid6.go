@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"code56/internal/bufpool"
 	"code56/internal/layout"
 	"code56/internal/parallel"
 	"code56/internal/telemetry"
@@ -35,6 +36,17 @@ type Array struct {
 	// encodeXORs is the XOR count of one full-stripe encode: for each
 	// chain, members fold into the parity with len(Covers)-1 XORs.
 	encodeXORs int64
+
+	// The fields below are derived caches that keep the per-stripe hot
+	// paths allocation-free: the code's chains and per-cell covering-chain
+	// indices are resolved once (Code.Chains may rebuild its slice per
+	// call and layout.ChainsCovering allocates), the encoder carries the
+	// pre-resolved chain order plus pooled scratch, and stripes for
+	// load/encode/scrub cycles are recycled instead of allocated.
+	chains   []layout.Chain
+	covering [][]int // chain indices covering cell i (geom.Index order)
+	enc      *layout.Encoder
+	stripes  *layout.StripePool
 }
 
 // tel holds the array's bound telemetry instruments (see README
@@ -80,14 +92,31 @@ func encodeXORCount(code layout.Code) int64 {
 // New creates a RAID-6 array for the code over fresh disks.
 func New(code layout.Code, blockSize int) *Array {
 	g := code.Geometry()
+	return newArray(code, vdisk.NewArray(g.Cols, blockSize), blockSize)
+}
+
+// newArray builds an Array and its derived hot-path caches.
+func newArray(code layout.Code, disks *vdisk.Array, blockSize int) *Array {
+	g := code.Geometry()
+	covering := make([][]int, g.Elements())
+	for r := 0; r < g.Rows; r++ {
+		for j := 0; j < g.Cols; j++ {
+			c := layout.Coord{Row: r, Col: j}
+			covering[g.Index(c)] = layout.ChainsCovering(code, c)
+		}
+	}
 	return &Array{
 		code:       code,
-		disks:      vdisk.NewArray(g.Cols, blockSize),
+		disks:      disks,
 		blockSize:  blockSize,
 		geom:       g,
 		dataCells:  layout.DataElements(code),
 		tel:        bindTel(nil, nil),
 		encodeXORs: encodeXORCount(code),
+		chains:     code.Chains(),
+		covering:   covering,
+		enc:        layout.NewEncoder(code),
+		stripes:    layout.NewStripePool(g, blockSize),
 	}
 }
 
@@ -107,15 +136,7 @@ func Wrap(code layout.Code, disks *vdisk.Array) (*Array, error) {
 	if disks.Len() != g.Cols {
 		return nil, fmt.Errorf("raid6: %d disks for a %d-column code", disks.Len(), g.Cols)
 	}
-	return &Array{
-		code:       code,
-		disks:      disks,
-		blockSize:  disks.BlockSize(),
-		geom:       g,
-		dataCells:  layout.DataElements(code),
-		tel:        bindTel(nil, nil),
-		encodeXORs: encodeXORCount(code),
-	}, nil
+	return newArray(code, disks, disks.BlockSize()), nil
 }
 
 // Code returns the erasure code in use.
@@ -164,10 +185,13 @@ func (a *Array) failedColumns() []int {
 }
 
 // loadStripe reads every cell of stripe s from non-failed disks and returns
-// the stripe plus the erasure set of unreadable cells.
+// the stripe plus the erasure set of unreadable cells. The stripe comes from
+// the array's pool — callers hand it back with a.stripes.Put when done. The
+// erasure set is nil while the stripe is fully readable, so the healthy path
+// allocates nothing.
 func (a *Array) loadStripe(stripe int64) (*layout.Stripe, layout.ErasureSet, error) {
-	s := layout.NewStripe(a.geom, a.blockSize)
-	es := make(layout.ErasureSet)
+	s := a.stripes.Get()
+	var es layout.ErasureSet
 	for r := 0; r < a.geom.Rows; r++ {
 		for j := 0; j < a.geom.Cols; j++ {
 			c := layout.Coord{Row: r, Col: j}
@@ -176,8 +200,12 @@ func (a *Array) loadStripe(stripe int64) (*layout.Stripe, layout.ErasureSet, err
 			case err == nil:
 			case isDegradable(err):
 				s.Zero(c)
+				if es == nil {
+					es = make(layout.ErasureSet)
+				}
 				es[c] = true
 			default:
+				a.stripes.Put(s)
 				return nil, nil, err
 			}
 		}
@@ -242,6 +270,7 @@ func (a *Array) degradedRead(stripe int64, cell layout.Coord, buf []byte) error 
 	if err != nil {
 		return err
 	}
+	defer a.stripes.Put(s)
 	if _, err := layout.Reconstruct(a.code, s, es); err != nil {
 		return fmt.Errorf("%w: %v", ErrTooManyFailures, err)
 	}
@@ -253,9 +282,8 @@ func (a *Array) degradedRead(stripe int64, cell layout.Coord, buf []byte) error 
 // horizontal chains first. It reports whether any chain succeeded; on
 // success buf holds the cell's contents.
 func (a *Array) reconstructCell(stripe int64, cell layout.Coord, buf []byte) bool {
-	chains := a.code.Chains()
-	for _, horizontal := range []bool{true, false} {
-		for _, ch := range chains {
+	for _, horizontal := range [2]bool{true, false} {
+		for _, ch := range a.chains {
 			if (ch.Kind == layout.ParityH) != horizontal || !chainContains(ch, cell) {
 				continue
 			}
@@ -281,21 +309,34 @@ func chainContains(ch layout.Chain, cell layout.Coord) bool {
 }
 
 // xorChainInto XORs every member of ch except cell into buf. It reports
-// false (leaving buf dirty) if any member read fails.
+// false (leaving buf dirty) if any member read fails. The parity and covers
+// are walked directly (ch.Members would allocate the combined slice) and the
+// read scratch is rented from bufpool, keeping the single-chain degraded
+// read allocation-free.
 func (a *Array) xorChainInto(stripe int64, ch layout.Chain, cell layout.Coord, buf []byte) bool {
 	for i := range buf {
 		buf[i] = 0
 	}
-	tmp := make([]byte, a.blockSize)
-	for _, m := range ch.Members() {
+	tmp := bufpool.Get(a.blockSize)
+	defer bufpool.Put(tmp)
+	xorMember := func(m layout.Coord) bool {
 		if m == cell {
-			continue
+			return true
 		}
 		if err := a.readCell(stripe, m, tmp); err != nil {
 			return false
 		}
 		xorblk.Xor(buf, tmp)
 		a.tel.xors.Inc()
+		return true
+	}
+	if !xorMember(ch.Parity) {
+		return false
+	}
+	for _, m := range ch.Covers {
+		if !xorMember(m) {
+			return false
+		}
 	}
 	return true
 }
@@ -317,11 +358,13 @@ func (a *Array) WriteBlock(logical int64, data []byte) error {
 }
 
 func (a *Array) writeRMW(stripe int64, cell layout.Coord, data []byte) error {
-	old := make([]byte, a.blockSize)
+	old := bufpool.Get(a.blockSize)
+	defer bufpool.Put(old)
 	if err := a.readCell(stripe, cell, old); err != nil {
 		return err
 	}
-	delta := make([]byte, a.blockSize)
+	delta := bufpool.Get(a.blockSize)
+	defer bufpool.Put(delta)
 	xorblk.XorInto(delta, old, data)
 	a.tel.xors.Inc()
 	if err := a.writeCell(stripe, cell, data); err != nil {
@@ -331,28 +374,28 @@ func (a *Array) writeRMW(stripe int64, cell layout.Coord, data []byte) error {
 	// Parity cells can themselves be covered by other chains (RDP's
 	// diagonals cover the row-parity column; HDP's horizontal chains cover
 	// the anti-diagonal parities), so updates cascade; the chain graph is
-	// acyclic, so this terminates.
-	type change struct {
-		at    layout.Coord
-		delta []byte
-	}
-	queue := []change{{cell, delta}}
-	parity := make([]byte, a.blockSize)
+	// acyclic, so this terminates. Every affected parity absorbs the same
+	// block delta, so the cascade queue holds only coordinates — a small
+	// fixed array keeps the healthy write path allocation-free.
+	var queueArr [16]layout.Coord
+	queue := queueArr[:0]
+	queue = append(queue, cell)
+	parity := old // the old data is folded into delta already; reuse as scratch
 	for len(queue) > 0 {
-		ch := queue[0]
+		at := queue[0]
 		queue = queue[1:]
-		for _, ci := range layout.ChainsCovering(a.code, ch.at) {
-			p := a.code.Chains()[ci].Parity
+		for _, ci := range a.covering[a.geom.Index(at)] {
+			p := a.chains[ci].Parity
 			if err := a.readCell(stripe, p, parity); err != nil {
 				return err
 			}
-			xorblk.Xor(parity, ch.delta)
+			xorblk.Xor(parity, delta)
 			a.tel.xors.Inc()
 			if err := a.writeCell(stripe, p, parity); err != nil {
 				return err
 			}
 			a.tel.parityUpdates.Inc()
-			queue = append(queue, change{p, ch.delta})
+			queue = append(queue, p)
 		}
 	}
 	return nil
@@ -363,11 +406,12 @@ func (a *Array) writeDegraded(stripe int64, cell layout.Coord, data []byte) erro
 	if err != nil {
 		return err
 	}
+	defer a.stripes.Put(s)
 	if _, err := layout.Reconstruct(a.code, s, es); err != nil {
 		return fmt.Errorf("%w: %v", ErrTooManyFailures, err)
 	}
 	s.SetBlock(cell, data)
-	layout.Encode(a.code, s)
+	a.enc.Encode(s)
 	a.tel.xors.Add(a.encodeXORs)
 	// Write back the changed data cell and every parity on surviving
 	// disks; failed columns are skipped (their content is restored at
@@ -381,7 +425,7 @@ func (a *Array) writeDegraded(stripe int64, cell layout.Coord, data []byte) erro
 	if err := write(cell); err != nil {
 		return err
 	}
-	for _, ch := range a.code.Chains() {
+	for _, ch := range a.chains {
 		if err := write(ch.Parity); err != nil {
 			return err
 		}
@@ -397,13 +441,14 @@ func (a *Array) EncodeStripe(stripe int64) error {
 	if err != nil {
 		return err
 	}
+	defer a.stripes.Put(s)
 	if len(es) > 0 {
 		return fmt.Errorf("%w: cannot encode with failures present", ErrTooManyFailures)
 	}
-	layout.Encode(a.code, s)
+	a.enc.Encode(s)
 	a.tel.stripeEncodes.Inc()
 	a.tel.xors.Add(a.encodeXORs)
-	for _, ch := range a.code.Chains() {
+	for _, ch := range a.chains {
 		if err := a.writeCell(stripe, ch.Parity, s.Block(ch.Parity)); err != nil {
 			return err
 		}
@@ -418,10 +463,11 @@ func (a *Array) VerifyStripe(stripe int64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	defer a.stripes.Put(s)
 	if len(es) > 0 {
 		return false, fmt.Errorf("%w: cannot verify with failures present", ErrTooManyFailures)
 	}
-	return layout.Verify(a.code, s), nil
+	return a.enc.Verify(s), nil
 }
 
 // Rebuild reconstructs the contents of the given replaced disks across

@@ -3,6 +3,7 @@ package raid6
 import (
 	"errors"
 
+	"code56/internal/bufpool"
 	"code56/internal/layout"
 	"code56/internal/vdisk"
 	"code56/internal/xorblk"
@@ -122,7 +123,8 @@ func (r *ScrubReport) add(st int64, res scrubResult) {
 // st's block range, so distinct stripes may be scrubbed concurrently.
 func (a *Array) scrubStripe(st int64, repair bool) (res scrubResult, _ error) {
 	// Load with latent-error healing.
-	s := layout.NewStripe(a.geom, a.blockSize)
+	s := a.stripes.Get()
+	defer a.stripes.Put(s)
 	var latent []layout.Coord
 	for r := 0; r < a.geom.Rows; r++ {
 		for j := 0; j < a.geom.Cols; j++ {
@@ -160,7 +162,7 @@ func (a *Array) scrubStripe(st int64, repair bool) (res scrubResult, _ error) {
 	}
 
 	// Syndrome check for silent corruption.
-	if layout.Verify(a.code, s) {
+	if a.enc.Verify(s) {
 		return res, nil
 	}
 	cell, ok := locateCorruption(a.code, s)
@@ -174,7 +176,7 @@ func (a *Array) scrubStripe(st int64, repair bool) (res scrubResult, _ error) {
 		res.unrecoverable = true
 		return res, nil
 	}
-	if !layout.Verify(a.code, s) {
+	if !a.enc.Verify(s) {
 		// Reconstructing the located block did not restore consistency:
 		// more than one block was corrupt after all — the located cell was
 		// not a genuine single corruption, so it does not count as found.
@@ -195,9 +197,11 @@ func (a *Array) scrubStripe(st int64, repair bool) (res scrubResult, _ error) {
 // locateCorruption finds the unique cell whose membership pattern matches
 // the set of failing chains, if exactly one exists.
 func locateCorruption(code layout.Code, s *layout.Stripe) (layout.Coord, bool) {
+	chains := code.Chains()
 	failing := make(map[int]bool)
-	acc := make([]byte, s.BlockSize)
-	for i, ch := range code.Chains() {
+	acc := bufpool.Get(s.BlockSize)
+	defer bufpool.Put(acc)
+	for i, ch := range chains {
 		copy(acc, s.Block(ch.Parity))
 		for _, m := range ch.Covers {
 			xorblk.Xor(acc, s.Block(m))
@@ -219,7 +223,7 @@ func locateCorruption(code layout.Code, s *layout.Stripe) (layout.Coord, bool) {
 			// containing c (as parity or cover).
 			ok := true
 			count := 0
-			for i, ch := range code.Chains() {
+			for i, ch := range chains {
 				contains := ch.Parity == c
 				if !contains {
 					for _, m := range ch.Covers {

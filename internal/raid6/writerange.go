@@ -3,6 +3,7 @@ package raid6
 import (
 	"fmt"
 
+	"code56/internal/bufpool"
 	"code56/internal/layout"
 	"code56/internal/xorblk"
 )
@@ -34,6 +35,7 @@ func (a *Array) WriteRange(logical int64, data []byte) error {
 	}
 
 	perStripe := int64(len(a.dataCells))
+	var blocks [][]byte // full-stripe view, allocated once for the whole range
 	for done := int64(0); done < nBlocks; {
 		stripe := (logical + done) / perStripe
 		first := (logical + done) % perStripe
@@ -44,7 +46,9 @@ func (a *Array) WriteRange(logical int64, data []byte) error {
 		chunk := data[done*int64(a.blockSize) : (done+count)*int64(a.blockSize)]
 		if first == 0 && count == perStripe {
 			// Full stripe: encode fresh, no reads.
-			blocks := make([][]byte, perStripe)
+			if blocks == nil {
+				blocks = make([][]byte, perStripe)
+			}
 			for i := int64(0); i < perStripe; i++ {
 				blocks[i] = chunk[i*int64(a.blockSize) : (i+1)*int64(a.blockSize)]
 			}
@@ -64,15 +68,21 @@ func (a *Array) WriteRange(logical int64, data []byte) error {
 func (a *Array) writePartialStripe(stripe, first int64, data []byte) error {
 	count := int64(len(data) / a.blockSize)
 	// Aggregate deltas per parity cell, cascading through chains that
-	// cover other parities (RDP, HDP).
-	deltas := make(map[layout.Coord][]byte)
+	// cover other parities (RDP, HDP). The per-parity accumulators are
+	// rented from bufpool and returned once flushed.
+	deltas := make(map[layout.Coord][]byte, len(a.chains))
+	defer func() {
+		for _, d := range deltas {
+			bufpool.Put(d)
+		}
+	}()
 	var propagate func(at layout.Coord, delta []byte)
 	propagate = func(at layout.Coord, delta []byte) {
-		for _, ci := range layout.ChainsCovering(a.code, at) {
-			p := a.code.Chains()[ci].Parity
+		for _, ci := range a.covering[a.geom.Index(at)] {
+			p := a.chains[ci].Parity
 			acc, ok := deltas[p]
 			if !ok {
-				acc = make([]byte, a.blockSize)
+				acc = bufpool.GetZero(a.blockSize)
 				deltas[p] = acc
 			}
 			xorblk.Xor(acc, delta)
@@ -80,8 +90,10 @@ func (a *Array) writePartialStripe(stripe, first int64, data []byte) error {
 		}
 	}
 
-	old := make([]byte, a.blockSize)
-	delta := make([]byte, a.blockSize)
+	old := bufpool.Get(a.blockSize)
+	defer bufpool.Put(old)
+	delta := bufpool.Get(a.blockSize)
+	defer bufpool.Put(delta)
 	for i := int64(0); i < count; i++ {
 		cell := a.dataCells[first+i]
 		b := data[i*int64(a.blockSize) : (i+1)*int64(a.blockSize)]
@@ -94,7 +106,7 @@ func (a *Array) writePartialStripe(stripe, first int64, data []byte) error {
 		}
 		propagate(cell, delta)
 	}
-	parity := make([]byte, a.blockSize)
+	parity := old // old data already folded into delta; reuse as scratch
 	for p, d := range deltas {
 		if err := a.readCell(stripe, p, parity); err != nil {
 			return err

@@ -201,9 +201,10 @@ func (p Plan) ExecuteObserved(code layout.Code, s *layout.Stripe, reg *telemetry
 		telemetry.A("failed_column", p.Failed),
 		telemetry.A("elements", len(p.Lost)))
 	var st layout.DecodeStats
-	read := make(map[layout.Coord]bool)
+	chains := code.Chains()
+	read := make(map[layout.Coord]bool, 4*len(p.Lost))
 	for i, c := range p.Lost {
-		ch := code.Chains()[p.ChainOf[i]]
+		ch := chains[p.ChainOf[i]]
 		before := st.XORs
 		layout.SolveChainTracked(s, ch, c, read, &st)
 		sp.Event("recovery.element",
@@ -229,7 +230,9 @@ func (p Plan) ExecuteObserved(code layout.Code, s *layout.Stripe, reg *telemetry
 // one array concurrently: the plan is computed once per code (chain choices
 // do not depend on block contents), and each stripe's rebuild touches only
 // that stripe's blocks, so stripes fan out over internal/parallel's pool
-// per parallel.WithWorkers. Every stripe's failed-column blocks are assumed
+// per parallel.WithWorkers (in contiguous cache-budget batches, see
+// parallel.ForEachBatch / WithBatchBytes). Every stripe's failed-column
+// blocks are assumed
 // zeroed, as for Execute. It returns the aggregated DecodeStats (sums over
 // stripes) and stops at the first failing stripe or ctx cancellation.
 // Telemetry counters are bumped per stripe exactly as ExecuteObserved does;
@@ -239,7 +242,12 @@ func (p Plan) ExecuteStripes(ctx context.Context, code layout.Code, stripes []*l
 		mu    sync.Mutex
 		total layout.DecodeStats
 	)
-	err := parallel.ForEach(ctx, int64(len(stripes)), func(i int64) error {
+	var itemBytes int64
+	if len(stripes) > 0 {
+		g := stripes[0].Geom
+		itemBytes = int64(g.Elements()) * int64(stripes[0].BlockSize)
+	}
+	err := parallel.ForEachBatch(ctx, int64(len(stripes)), itemBytes, func(i int64) error {
 		st, err := p.ExecuteObserved(code, stripes[i], reg, tr)
 		if err != nil {
 			return fmt.Errorf("recovery: stripe %d: %w", i, err)

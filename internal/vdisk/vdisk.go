@@ -63,9 +63,14 @@ type Disk struct {
 	mu     sync.RWMutex
 	blocks map[int64][]byte
 	failed bool
-	latent map[int64]bool
-	stats  Stats
-	tel    diskTel
+	// failedErr caches the wrapped fail-stop error, built on first use:
+	// every I/O against a failed disk returns the same value, so the
+	// degraded-read hot path (reconstruct around the failure, possibly for
+	// millions of blocks) does not allocate a fresh error per call.
+	failedErr error
+	latent    map[int64]bool
+	stats     Stats
+	tel       diskTel
 
 	// faults, when non-nil, is the armed fault injector (see faults.go).
 	faults *faultState
@@ -151,7 +156,10 @@ func (d *Disk) readAttempt(b int64, buf []byte) error {
 // I/O attempt. Caller holds d.mu.
 func (d *Disk) faultCheck(b int64, write bool) error {
 	if d.failed {
-		return fmt.Errorf("%w: disk %d", ErrFailed, d.id)
+		if d.failedErr == nil {
+			d.failedErr = fmt.Errorf("%w: disk %d", ErrFailed, d.id)
+		}
+		return d.failedErr
 	}
 	f := d.faults
 	if f == nil {
@@ -258,6 +266,7 @@ func (d *Disk) Replace() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.failed = false
+	d.failedErr = nil
 	d.blocks = make(map[int64][]byte)
 	d.latent = make(map[int64]bool)
 	d.faults = nil

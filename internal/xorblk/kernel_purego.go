@@ -1,0 +1,19 @@
+//go:build purego
+
+// Portable kernel bindings: with -tags purego no unsafe code is compiled
+// and every kernel resolves to the encoding/binary word path. This file
+// and kernel_wide.go must define exactly the same symbols — CI builds and
+// tests both tag sets so neither can rot.
+
+package xorblk
+
+// KernelName identifies the fast path compiled into this binary.
+const KernelName = "word"
+
+func xorKernel(dst, src []byte)       { xorWords(dst, src) }
+func xorIntoKernel(dst, a, b []byte)  { xorIntoWords(dst, a, b) }
+func fold2Kernel(dst, a, b []byte)    { fold2Words(dst, a, b) }
+func fold3Kernel(dst, a, b, c []byte) { fold3Words(dst, a, b, c) }
+func fold4Kernel(dst, a, b, c, e []byte) {
+	fold4Words(dst, a, b, c, e)
+}

@@ -1,0 +1,181 @@
+//go:build !purego
+
+// The wide kernels: 64 bytes (eight uint64 words) per unrolled inner-loop
+// iteration over unsafe-reinterpreted word slices. The reinterpretation is
+// legal only when every operand starts on an 8-byte boundary; Go heap
+// allocations of 8 bytes or more always do, so block buffers take this path
+// and only deliberately mis-sliced views (tests, sub-block ranges at odd
+// offsets) fall back to the word path. The 8-way unrolled body indexes a
+// re-sliced 8-element window, which lets the compiler hoist the bounds
+// check and vectorize the body — on amd64 this runs several times faster
+// than the encoding/binary word loop and is limited by memory bandwidth
+// for blocks beyond the L1 cache.
+//
+// Build with -tags purego to exclude this file and all unsafe use; the
+// word path then serves every call (see kernel_purego.go).
+
+package xorblk
+
+import "unsafe"
+
+// wideWords is the unroll factor of the wide inner loop, in uint64 words.
+const wideWords = 8
+
+// KernelName identifies the fast path compiled into this binary.
+const KernelName = "wide"
+
+// ptr returns b's data pointer for alignment tests. The empty-slice case
+// never reaches it (callers test length first).
+func ptr(b []byte) uintptr { return uintptr(unsafe.Pointer(unsafe.SliceData(b))) }
+
+// words reinterprets b's aligned prefix as uint64s.
+func words(b []byte) []uint64 {
+	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8)
+}
+
+func xorKernel(dst, src []byte) {
+	n := len(dst)
+	if n < wideWords*8 || (ptr(dst)|ptr(src))&7 != 0 {
+		xorWords(dst, src)
+		return
+	}
+	dw, sw := words(dst), words(src)
+	i := 0
+	for ; i+wideWords <= len(dw); i += wideWords {
+		d := dw[i : i+wideWords : i+wideWords]
+		s := sw[i : i+wideWords : i+wideWords]
+		d[0] ^= s[0]
+		d[1] ^= s[1]
+		d[2] ^= s[2]
+		d[3] ^= s[3]
+		d[4] ^= s[4]
+		d[5] ^= s[5]
+		d[6] ^= s[6]
+		d[7] ^= s[7]
+	}
+	for ; i < len(dw); i++ {
+		dw[i] ^= sw[i]
+	}
+	for j := n &^ 7; j < n; j++ {
+		dst[j] ^= src[j]
+	}
+}
+
+func xorIntoKernel(dst, a, b []byte) {
+	n := len(dst)
+	if n < wideWords*8 || (ptr(dst)|ptr(a)|ptr(b))&7 != 0 {
+		xorIntoWords(dst, a, b)
+		return
+	}
+	dw, aw, bw := words(dst), words(a), words(b)
+	i := 0
+	for ; i+wideWords <= len(dw); i += wideWords {
+		d := dw[i : i+wideWords : i+wideWords]
+		x := aw[i : i+wideWords : i+wideWords]
+		y := bw[i : i+wideWords : i+wideWords]
+		d[0] = x[0] ^ y[0]
+		d[1] = x[1] ^ y[1]
+		d[2] = x[2] ^ y[2]
+		d[3] = x[3] ^ y[3]
+		d[4] = x[4] ^ y[4]
+		d[5] = x[5] ^ y[5]
+		d[6] = x[6] ^ y[6]
+		d[7] = x[7] ^ y[7]
+	}
+	for ; i < len(dw); i++ {
+		dw[i] = aw[i] ^ bw[i]
+	}
+	for j := n &^ 7; j < n; j++ {
+		dst[j] = a[j] ^ b[j]
+	}
+}
+
+func fold2Kernel(dst, a, b []byte) {
+	n := len(dst)
+	if n < wideWords*8 || (ptr(dst)|ptr(a)|ptr(b))&7 != 0 {
+		fold2Words(dst, a, b)
+		return
+	}
+	dw, aw, bw := words(dst), words(a), words(b)
+	i := 0
+	for ; i+wideWords <= len(dw); i += wideWords {
+		d := dw[i : i+wideWords : i+wideWords]
+		x := aw[i : i+wideWords : i+wideWords]
+		y := bw[i : i+wideWords : i+wideWords]
+		d[0] ^= x[0] ^ y[0]
+		d[1] ^= x[1] ^ y[1]
+		d[2] ^= x[2] ^ y[2]
+		d[3] ^= x[3] ^ y[3]
+		d[4] ^= x[4] ^ y[4]
+		d[5] ^= x[5] ^ y[5]
+		d[6] ^= x[6] ^ y[6]
+		d[7] ^= x[7] ^ y[7]
+	}
+	for ; i < len(dw); i++ {
+		dw[i] ^= aw[i] ^ bw[i]
+	}
+	for j := n &^ 7; j < n; j++ {
+		dst[j] ^= a[j] ^ b[j]
+	}
+}
+
+func fold3Kernel(dst, a, b, c []byte) {
+	n := len(dst)
+	if n < wideWords*8 || (ptr(dst)|ptr(a)|ptr(b)|ptr(c))&7 != 0 {
+		fold3Words(dst, a, b, c)
+		return
+	}
+	dw, aw, bw, cw := words(dst), words(a), words(b), words(c)
+	i := 0
+	for ; i+wideWords <= len(dw); i += wideWords {
+		d := dw[i : i+wideWords : i+wideWords]
+		x := aw[i : i+wideWords : i+wideWords]
+		y := bw[i : i+wideWords : i+wideWords]
+		z := cw[i : i+wideWords : i+wideWords]
+		d[0] ^= x[0] ^ y[0] ^ z[0]
+		d[1] ^= x[1] ^ y[1] ^ z[1]
+		d[2] ^= x[2] ^ y[2] ^ z[2]
+		d[3] ^= x[3] ^ y[3] ^ z[3]
+		d[4] ^= x[4] ^ y[4] ^ z[4]
+		d[5] ^= x[5] ^ y[5] ^ z[5]
+		d[6] ^= x[6] ^ y[6] ^ z[6]
+		d[7] ^= x[7] ^ y[7] ^ z[7]
+	}
+	for ; i < len(dw); i++ {
+		dw[i] ^= aw[i] ^ bw[i] ^ cw[i]
+	}
+	for j := n &^ 7; j < n; j++ {
+		dst[j] ^= a[j] ^ b[j] ^ c[j]
+	}
+}
+
+func fold4Kernel(dst, a, b, c, e []byte) {
+	n := len(dst)
+	if n < wideWords*8 || (ptr(dst)|ptr(a)|ptr(b)|ptr(c)|ptr(e))&7 != 0 {
+		fold4Words(dst, a, b, c, e)
+		return
+	}
+	dw, aw, bw, cw, ew := words(dst), words(a), words(b), words(c), words(e)
+	i := 0
+	for ; i+wideWords <= len(dw); i += wideWords {
+		d := dw[i : i+wideWords : i+wideWords]
+		x := aw[i : i+wideWords : i+wideWords]
+		y := bw[i : i+wideWords : i+wideWords]
+		z := cw[i : i+wideWords : i+wideWords]
+		w := ew[i : i+wideWords : i+wideWords]
+		d[0] ^= x[0] ^ y[0] ^ z[0] ^ w[0]
+		d[1] ^= x[1] ^ y[1] ^ z[1] ^ w[1]
+		d[2] ^= x[2] ^ y[2] ^ z[2] ^ w[2]
+		d[3] ^= x[3] ^ y[3] ^ z[3] ^ w[3]
+		d[4] ^= x[4] ^ y[4] ^ z[4] ^ w[4]
+		d[5] ^= x[5] ^ y[5] ^ z[5] ^ w[5]
+		d[6] ^= x[6] ^ y[6] ^ z[6] ^ w[6]
+		d[7] ^= x[7] ^ y[7] ^ z[7] ^ w[7]
+	}
+	for ; i < len(dw); i++ {
+		dw[i] ^= aw[i] ^ bw[i] ^ cw[i] ^ ew[i]
+	}
+	for j := n &^ 7; j < n; j++ {
+		dst[j] ^= a[j] ^ b[j] ^ c[j] ^ e[j]
+	}
+}

@@ -3,10 +3,18 @@
 // (no Galois-field multiplication), so these kernels are the entire
 // computational substrate of encoding, decoding, and migration.
 //
-// Two code paths exist: a word-at-a-time path that processes eight bytes per
-// iteration when both slices are suitably sized, and a portable byte path.
-// The word path works on the byte level through encoding/binary and is
-// endianness-agnostic because XOR commutes with any byte permutation.
+// Three code paths exist, forming a hierarchy (fastest first):
+//
+//   - the wide path: 64-byte unrolled uint64×8 inner loops over
+//     unsafe-reinterpreted word slices, taken when every operand is 8-byte
+//     aligned (heap block buffers always are). Built by default; excluded
+//     by the purego build tag. See kernel_wide.go.
+//   - the word path: eight bytes per iteration through encoding/binary,
+//     endianness-agnostic because XOR commutes with any byte permutation.
+//     The fallback for unaligned operands and the only fast path under
+//     -tags purego.
+//   - the byte path (XorBytes): one byte per iteration; the reference
+//     implementation everything else is verified against.
 //
 // For parity generation over many sources, XorMulti folds up to four source
 // streams per pass over dst (2/3/4-way unrolled inner loops), which cuts the
@@ -21,7 +29,7 @@ import (
 	"fmt"
 )
 
-// wordSize is the stride of the fast path in bytes.
+// wordSize is the stride of the word path in bytes.
 const wordSize = 8
 
 // checkLen panics when dst and src lengths differ, naming both lengths —
@@ -33,10 +41,33 @@ func checkLen(dst, src []byte) {
 	}
 }
 
-// Xor sets dst[i] ^= src[i] for all i. dst and src must have equal length;
-// it panics otherwise.
+// Xor sets dst[i] ^= src[i] for all i through the fastest available kernel.
+// dst and src must have equal length; it panics otherwise.
 func Xor(dst, src []byte) {
 	checkLen(dst, src)
+	xorKernel(dst, src)
+}
+
+// XorBytes is the portable byte-at-a-time kernel. It is exported as the
+// reference implementation that benchmarks and fuzz tests compare the word
+// and wide paths against; library code should call Xor.
+func XorBytes(dst, src []byte) {
+	checkLen(dst, src)
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// XorWords is the word-at-a-time kernel: eight bytes per iteration through
+// encoding/binary. It is exported so benchmarks can compare it against the
+// wide path; library code should call Xor, which selects the fastest kernel.
+func XorWords(dst, src []byte) {
+	checkLen(dst, src)
+	xorWords(dst, src)
+}
+
+// xorWords is the word path body (no length check).
+func xorWords(dst, src []byte) {
 	n := len(dst) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
 		d := binary.LittleEndian.Uint64(dst[i:])
@@ -48,21 +79,16 @@ func Xor(dst, src []byte) {
 	}
 }
 
-// XorBytes is the portable byte-at-a-time kernel. It is exported so that
-// benchmarks can compare it against the word-wise path; library code should
-// call Xor.
-func XorBytes(dst, src []byte) {
-	checkLen(dst, src)
-	for i := range dst {
-		dst[i] ^= src[i]
-	}
-}
-
 // XorInto computes dst = a ^ b without reading dst's prior contents.
 // All three slices must have equal length.
 func XorInto(dst, a, b []byte) {
 	checkLen(dst, a)
 	checkLen(dst, b)
+	xorIntoKernel(dst, a, b)
+}
+
+// xorIntoWords is the word path for XorInto.
+func xorIntoWords(dst, a, b []byte) {
 	n := len(dst) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
 		x := binary.LittleEndian.Uint64(a[i:])
@@ -74,8 +100,9 @@ func XorInto(dst, a, b []byte) {
 	}
 }
 
-// fold2 sets dst[i] ^= a[i] ^ b[i] in one pass over dst (2 source streams).
-func fold2(dst, a, b []byte) {
+// fold2Words sets dst[i] ^= a[i] ^ b[i] in one pass over dst (2 source
+// streams), word path.
+func fold2Words(dst, a, b []byte) {
 	n := len(dst) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
 		d := binary.LittleEndian.Uint64(dst[i:])
@@ -88,9 +115,9 @@ func fold2(dst, a, b []byte) {
 	}
 }
 
-// fold3 sets dst[i] ^= a[i] ^ b[i] ^ c[i] in one pass over dst (3 source
-// streams).
-func fold3(dst, a, b, c []byte) {
+// fold3Words sets dst[i] ^= a[i] ^ b[i] ^ c[i] in one pass over dst (3 source
+// streams), word path.
+func fold3Words(dst, a, b, c []byte) {
 	n := len(dst) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
 		d := binary.LittleEndian.Uint64(dst[i:])
@@ -104,9 +131,9 @@ func fold3(dst, a, b, c []byte) {
 	}
 }
 
-// fold4 sets dst[i] ^= a[i] ^ b[i] ^ c[i] ^ e[i] in one pass over dst
-// (4 source streams).
-func fold4(dst, a, b, c, e []byte) {
+// fold4Words sets dst[i] ^= a[i] ^ b[i] ^ c[i] ^ e[i] in one pass over dst
+// (4 source streams), word path.
+func fold4Words(dst, a, b, c, e []byte) {
 	n := len(dst) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
 		d := binary.LittleEndian.Uint64(dst[i:])
@@ -125,16 +152,16 @@ func fold4(dst, a, b, c, e []byte) {
 // at a time so each pass over dst folds as many streams as possible.
 func foldAll(dst []byte, srcs [][]byte) {
 	for len(srcs) >= 4 {
-		fold4(dst, srcs[0], srcs[1], srcs[2], srcs[3])
+		fold4Kernel(dst, srcs[0], srcs[1], srcs[2], srcs[3])
 		srcs = srcs[4:]
 	}
 	switch len(srcs) {
 	case 3:
-		fold3(dst, srcs[0], srcs[1], srcs[2])
+		fold3Kernel(dst, srcs[0], srcs[1], srcs[2])
 	case 2:
-		fold2(dst, srcs[0], srcs[1])
+		fold2Kernel(dst, srcs[0], srcs[1])
 	case 1:
-		Xor(dst, srcs[0])
+		xorKernel(dst, srcs[0])
 	}
 }
 
@@ -163,7 +190,7 @@ func XorMulti(dst []byte, srcs ...[]byte) int {
 // goroutines — internal/parallel uses this to split one large block across
 // workers. Panics if the range is out of bounds or any source's length
 // differs from dst's. Like XorMulti it returns the source fold count
-// (len(srcs)-1, or 0 when srcs is empty).
+// (len(srcs)-1, or 0 when srcs is empty). It allocates nothing.
 func XorMultiRange(dst []byte, lo, hi int, srcs ...[]byte) int {
 	if lo < 0 || hi > len(dst) || lo > hi {
 		panic(fmt.Sprintf("xorblk: range [%d,%d) outside block of %d bytes", lo, hi, len(dst)))
@@ -175,12 +202,21 @@ func XorMultiRange(dst []byte, lo, hi int, srcs ...[]byte) int {
 		clear(dst[lo:hi])
 		return 0
 	}
-	copy(dst[lo:hi], srcs[0][lo:hi])
-	sub := make([][]byte, len(srcs)-1)
-	for i, s := range srcs[1:] {
-		sub[i] = s[lo:hi]
+	d := dst[lo:hi]
+	copy(d, srcs[0][lo:hi])
+	rest := srcs[1:]
+	for len(rest) >= 4 {
+		fold4Kernel(d, rest[0][lo:hi], rest[1][lo:hi], rest[2][lo:hi], rest[3][lo:hi])
+		rest = rest[4:]
 	}
-	foldAll(dst[lo:hi], sub)
+	switch len(rest) {
+	case 3:
+		fold3Kernel(d, rest[0][lo:hi], rest[1][lo:hi], rest[2][lo:hi])
+	case 2:
+		fold2Kernel(d, rest[0][lo:hi], rest[1][lo:hi])
+	case 1:
+		xorKernel(d, rest[0][lo:hi])
+	}
 	return len(srcs) - 1
 }
 

@@ -201,18 +201,5 @@ func TestXorMultiRangePanicsOutOfBounds(t *testing.T) {
 	}
 }
 
-func benchXor(b *testing.B, n int, f func(dst, src []byte)) {
-	dst := make([]byte, n)
-	src := make([]byte, n)
-	rand.New(rand.NewSource(5)).Read(src)
-	b.SetBytes(int64(n))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f(dst, src)
-	}
-}
-
-func BenchmarkXorWord4K(b *testing.B)  { benchXor(b, 4096, Xor) }
-func BenchmarkXorByte4K(b *testing.B)  { benchXor(b, 4096, XorBytes) }
-func BenchmarkXorWord64K(b *testing.B) { benchXor(b, 65536, Xor) }
-func BenchmarkXorByte64K(b *testing.B) { benchXor(b, 65536, XorBytes) }
+// The per-path kernel benchmarks live in kernel_bench_test.go
+// (BenchmarkXorKernel compares the wide, word and byte paths by size).

@@ -20,6 +20,10 @@ type Settings struct {
 	// ChunkSize is the per-goroutine split (bytes) for chunked multi-source
 	// XOR. 0 means the engine default (64 KiB).
 	ChunkSize int
+	// BatchBytes is the contiguous-stripe byte budget a worker claims at a
+	// time in batched bulk operations. 0 means the engine default (1 MiB,
+	// sized to a per-core L2 slice).
+	BatchBytes int
 	// BlockSize is the simulated block size in bytes (default 4096).
 	BlockSize int
 	// Orientation selects the Code 5-6 parity rotation (default Left).
@@ -86,6 +90,22 @@ func WithChunkSize(b int) Option {
 			return
 		}
 		s.ChunkSize = b
+	}
+}
+
+// WithBatchBytes sets the contiguous-work byte budget a worker claims at a
+// time in batched bulk operations (encode, rebuild, scrub, plan execution):
+// adjacent stripes are grouped until the batch reaches this many bytes, so
+// each worker streams sequentially through disk addresses and one batch
+// stays cache-resident. Non-positive sizes are an error (omit the option
+// for the engine default of 1 MiB).
+func WithBatchBytes(b int) Option {
+	return func(s *Settings) {
+		if b <= 0 {
+			s.setErr(fmt.Errorf("code56: WithBatchBytes(%d): batch budget must be positive (omit the option for the default)", b))
+			return
+		}
+		s.BatchBytes = b
 	}
 }
 
@@ -192,6 +212,9 @@ func (s Settings) engineOpts() []parallel.Option {
 	}
 	if s.ChunkSize > 0 {
 		out = append(out, parallel.WithChunkSize(s.ChunkSize))
+	}
+	if s.BatchBytes > 0 {
+		out = append(out, parallel.WithBatchBytes(s.BatchBytes))
 	}
 	return out
 }

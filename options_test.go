@@ -19,11 +19,11 @@ func TestOptionDefaultsAndOverrides(t *testing.T) {
 	}
 	s = ApplyOptions(
 		WithWorkers(8), WithChunkSize(1<<20), WithBlockSize(64),
-		WithOrientation(Right), WithLayout(RightSymmetric),
+		WithBatchBytes(1<<19), WithOrientation(Right), WithLayout(RightSymmetric),
 		WithSeed(7), WithThrottle(time.Millisecond), nil,
 	)
 	if s.Workers != 8 || s.ChunkSize != 1<<20 || s.BlockSize != 64 ||
-		s.Orientation != Right || s.Layout != RightSymmetric ||
+		s.BatchBytes != 1<<19 || s.Orientation != Right || s.Layout != RightSymmetric ||
 		s.Seed != 7 || s.Throttle != time.Millisecond {
 		t.Fatalf("options not applied: %+v", s)
 	}
@@ -40,6 +40,8 @@ func TestOptionValidation(t *testing.T) {
 		{"WithWorkers(-3)", WithWorkers(-3)},
 		{"WithChunkSize(0)", WithChunkSize(0)},
 		{"WithChunkSize(-1)", WithChunkSize(-1)},
+		{"WithBatchBytes(0)", WithBatchBytes(0)},
+		{"WithBatchBytes(-1)", WithBatchBytes(-1)},
 		{"WithBlockSize(0)", WithBlockSize(0)},
 		{"WithBlockSize(-1)", WithBlockSize(-1)},
 		{"WithThrottle(-1ms)", WithThrottle(-time.Millisecond)},
