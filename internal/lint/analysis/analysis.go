@@ -1,0 +1,148 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer bundles a name, a
+// doc string and a Run function; a Pass hands Run one type-checked package
+// and a Report sink for diagnostics.
+//
+// The container this repository builds in has no module proxy access, so
+// vendoring x/tools is not an option; this package keeps the same shape as
+// the upstream API (Analyzer, Pass, Diagnostic, Reportf) at a fraction of
+// the surface, so the analyzers in internal/lint would port to the real
+// framework by changing one import line. Facts, SSA and the Requires graph
+// are deliberately absent — the five c56-lint analyzers are syntactic and
+// type-based, and cross-package state (metricname's duplicate registry) is
+// handled by running the whole module in one process.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check. Unlike the x/tools original there is
+// no Requires/ResultOf plumbing: every analyzer here is self-contained.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// suppression directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the analyzer's one-paragraph documentation, shown by
+	// `c56-lint help`.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings through
+	// pass.Report/Reportf and returns an error only for internal failures
+	// (an error aborts the whole lint run, it is not a finding).
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+
+	// Fset maps token.Pos values in Files to file/line/column positions.
+	Fset *token.FileSet
+
+	// Files are the parsed source files of the package under analysis
+	// (comments included). The driver analyzes the files `go list` selects
+	// for the active build configuration, so _test.go files and files
+	// excluded by build tags are not present.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds the type-checker's expression, definition, use and
+	// selection maps for Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs a sink that
+	// applies //lint:allow filtering and accumulates findings.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Validate checks that analyzers are well-formed (non-empty unique names,
+// doc strings, Run functions) and returns a descriptive error otherwise.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		switch {
+		case a == nil:
+			return fmt.Errorf("analysis: nil analyzer")
+		case a.Name == "":
+			return fmt.Errorf("analysis: analyzer with empty name")
+		case a.Run == nil:
+			return fmt.Errorf("analysis: analyzer %s has no Run function", a.Name)
+		case a.Doc == "":
+			return fmt.Errorf("analysis: analyzer %s has no Doc", a.Name)
+		case seen[a.Name]:
+			return fmt.Errorf("analysis: duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// AllowDirective is the comment prefix that suppresses one analyzer's
+// diagnostics on the commented line: `//lint:allow <name> <reason>`. The
+// reason is mandatory — a suppression without a recorded justification is
+// itself a finding (reported by the driver as analyzer "lint").
+const AllowDirective = "//lint:allow"
+
+// allowKey identifies one suppressed (file line, analyzer) pair.
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// Suppressions scans the files' comments for //lint:allow directives and
+// returns the suppression set plus a diagnostic for every malformed
+// directive (unknown analyzer names are checked by the caller; here only
+// the "name and reason present" shape is enforced).
+func Suppressions(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []Diagnostic) {
+	allowed := make(map[allowKey]bool)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowDirective)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed suppression: want `//lint:allow <analyzer> <reason>`",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				allowed[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return allowed, bad
+}
+
+// Suppressed reports whether d, produced by the named analyzer, is covered
+// by a //lint:allow directive on its line.
+func Suppressed(fset *token.FileSet, allowed map[allowKey]bool, name string, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	return allowed[allowKey{pos.Filename, pos.Line, name}]
+}

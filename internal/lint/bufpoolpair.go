@@ -1,0 +1,499 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"code56/internal/lint/analysis"
+)
+
+// BufPoolPair flow-checks that every buffer rented from
+// code56/internal/bufpool (Get/GetZero) is returned with Put on every path
+// out of the renting function, or explicitly hands ownership elsewhere.
+//
+// A leaked rental is invisible at runtime — the GC quietly reclaims the
+// buffer — but it defeats the pool: steady-state hot paths start
+// allocating again (regressing PR 4's zero-alloc guarantees) and the
+// bufpool.bytes_in_flight gauge drifts upward forever, poisoning leak
+// assertions in tests.
+//
+// The checker walks each renting function path-sensitively:
+//
+//   - `defer bufpool.Put(b)` (directly or inside a deferred closure)
+//     releases every later exit on that path; an early return between the
+//     Get and the defer is still reported.
+//   - an explicit `bufpool.Put(b)` releases the paths it dominates; a
+//     return reachable without passing a Put is reported.
+//   - ownership transfers end tracking without a report: returning the
+//     buffer, appending it to a container, storing it in a field, map,
+//     global or composite literal, sending it on a channel, or capturing
+//     it in a non-deferred closure. Borrowing — passing the buffer as a
+//     plain call argument (disk reads, xorblk kernels) — does not.
+//   - a rental whose result is discarded (`_ =` or a bare expression
+//     statement) is always reported.
+//
+// If branches are merged conservatively (released only when every branch
+// released), loop bodies are checked per iteration, and aliases created by
+// `w := b` or re-slicing are tracked with the original.
+var BufPoolPair = &analysis.Analyzer{
+	Name: "bufpoolpair",
+	Doc: "check that every bufpool.Get/GetZero reaches bufpool.Put on all " +
+		"return paths (defer or explicit) or explicitly transfers ownership",
+	Run: runBufPoolPair,
+}
+
+func runBufPoolPair(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == bufpoolPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Analyze every function body (declarations and literals); rentals
+		// are attributed to the innermost function they occur in.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		for _, body := range bodies {
+			checkBody(pass, body)
+		}
+	}
+	return nil
+}
+
+// isRentCall reports whether call is bufpool.Get or bufpool.GetZero.
+func isRentCall(info *types.Info, call *ast.CallExpr) bool {
+	return isPkgFunc(info, call, bufpoolPath, "Get") ||
+		isPkgFunc(info, call, bufpoolPath, "GetZero")
+}
+
+// checkBody finds the rentals whose innermost enclosing function body is
+// body and runs the path walker once per rental.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var rentals []*ast.AssignStmt
+	skipNested(body, func(n ast.Node) {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isRentCall(pass.TypesInfo, call) {
+					continue
+				}
+				if i >= len(stmt.Lhs) {
+					continue
+				}
+				if id, ok := stmt.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(), "bufpool rental discarded; the buffer can never be Put back")
+					continue
+				}
+				if _, ok := stmt.Lhs[i].(*ast.Ident); ok && len(stmt.Lhs) == len(stmt.Rhs) {
+					rentals = append(rentals, stmt)
+				}
+				// Rentals stored directly into fields/indexes transfer
+				// ownership at birth; nothing to track.
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok && isRentCall(pass.TypesInfo, call) {
+				pass.Reportf(call.Pos(), "bufpool rental discarded; the buffer can never be Put back")
+			}
+		}
+	})
+	for _, r := range rentals {
+		t := &rentTracker{pass: pass, rental: r, aliases: map[types.Object]bool{}}
+		st := t.walkStmts(body.List, rentState{})
+		if st.started && !st.terminated && !st.released && !st.escaped {
+			t.report(body.End())
+		}
+	}
+}
+
+// skipNested walks the statements of one function body, calling fn for
+// every node but not descending into nested function literals.
+func skipNested(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// rentState is the tracked condition of one rental along one control-flow
+// path.
+type rentState struct {
+	started    bool // execution has passed the Get
+	released   bool // a Put (or registered deferred Put) covers this path
+	escaped    bool // ownership left the function; stop tracking
+	terminated bool // the path ended (return/branch); no fallthrough
+}
+
+// obligation reports whether the state still owes the pool a Put: the
+// rental happened on this path and has neither been released nor handed
+// off.
+func (st rentState) obligation() bool {
+	return st.started && !st.released && !st.escaped
+}
+
+// merge combines the fallthrough states of sibling branches. The join is
+// obligation-based: a branch where the rental never happened (or already
+// released/escaped it) owes nothing, so it must not resurrect an
+// obligation the other branch discharged — but if any falling-through
+// branch is still live, the joined path is live.
+func merge(a, b rentState) rentState {
+	if a.terminated {
+		return b
+	}
+	if b.terminated {
+		return a
+	}
+	out := rentState{started: a.started || b.started}
+	if !a.obligation() && !b.obligation() {
+		// No branch owes a Put; mark the join discharged.
+		out.escaped = out.started
+	}
+	return out
+}
+
+// rentTracker walks one function body for one rental statement.
+type rentTracker struct {
+	pass     *analysis.Pass
+	rental   *ast.AssignStmt
+	aliases  map[types.Object]bool // the rented var and its local aliases
+	reported bool
+}
+
+func (t *rentTracker) report(pos token.Pos) {
+	if t.reported {
+		return
+	}
+	t.reported = true
+	rentPos := t.pass.Fset.Position(t.rental.Pos())
+	t.pass.Reportf(pos, "bufpool buffer rented at line %d may not be returned to the pool on this path; "+
+		"add `defer bufpool.Put` after the Get or Put it before returning", rentPos.Line)
+}
+
+// tracked reports whether e denotes the rented buffer: the variable itself
+// or a re-slice of it.
+func (t *rentTracker) tracked(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		return t.tracked(sl.X)
+	}
+	obj := identObj(t.pass.TypesInfo, e)
+	return obj != nil && t.aliases[obj]
+}
+
+// mentionsTracked reports whether any identifier under e (not descending
+// into function literals) resolves to a tracked alias.
+func (t *rentTracker) mentionsTracked(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := t.pass.TypesInfo.Uses[id]; obj != nil && t.aliases[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// putsTracked reports whether n contains a bufpool.Put of a tracked alias,
+// not descending into nested function literals.
+func (t *rentTracker) putsTracked(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok &&
+			isPkgFunc(t.pass.TypesInfo, call, bufpoolPath, "Put") &&
+			len(call.Args) == 1 && t.tracked(call.Args[0]) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// capturedByFuncLit reports whether a function literal under n captures a
+// tracked alias.
+func (t *rentTracker) capturedByFuncLit(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := m.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(k ast.Node) bool {
+				if id, ok := k.(*ast.Ident); ok {
+					if obj := t.pass.TypesInfo.Uses[id]; obj != nil && t.aliases[obj] {
+						found = true
+					}
+				}
+				return !found
+			})
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (t *rentTracker) walkStmts(stmts []ast.Stmt, st rentState) rentState {
+	for _, s := range stmts {
+		if st.terminated {
+			return st
+		}
+		st = t.walkStmt(s, st)
+	}
+	return st
+}
+
+func (t *rentTracker) walkStmt(s ast.Stmt, st rentState) rentState {
+	switch stmt := s.(type) {
+	case *ast.AssignStmt:
+		if stmt == t.rental {
+			st.started = true
+			st.released = false
+			st.escaped = false
+			for i, rhs := range stmt.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if ok && isRentCall(t.pass.TypesInfo, call) && i < len(stmt.Lhs) {
+					if obj := identObj(t.pass.TypesInfo, stmt.Lhs[i]); obj != nil {
+						t.aliases[obj] = true
+					}
+				}
+			}
+			return st
+		}
+		if !st.started || st.escaped {
+			return st
+		}
+		return t.assignEffect(stmt, st)
+	case *ast.ExprStmt:
+		if st.started && !st.escaped {
+			if t.putsTracked(stmt) {
+				st.released = true
+			} else if t.capturedByFuncLit(stmt) {
+				st.escaped = true
+			}
+		}
+		return st
+	case *ast.DeferStmt:
+		if !st.started || st.escaped {
+			return st
+		}
+		// A deferred Put (or a deferred cleanup that receives or captures
+		// the buffer) covers every later exit of this path.
+		if t.putsTracked(stmt.Call) || t.capturedByFuncLit(stmt) {
+			st.released = true
+			return st
+		}
+		for _, arg := range stmt.Call.Args {
+			if t.tracked(arg) || t.mentionsTracked(arg) {
+				st.released = true // deferred hand-off to a cleanup helper
+				return st
+			}
+		}
+		return st
+	case *ast.GoStmt:
+		if st.started && !st.escaped &&
+			(t.capturedByFuncLit(stmt) || t.mentionsTracked(stmt.Call)) {
+			st.escaped = true
+		}
+		return st
+	case *ast.SendStmt:
+		if st.started && !st.escaped && t.mentionsTracked(stmt.Value) {
+			st.escaped = true
+		}
+		return st
+	case *ast.ReturnStmt:
+		if st.started && !st.escaped && !st.released {
+			returned := false
+			for _, res := range stmt.Results {
+				if t.mentionsTracked(res) || t.capturedByFuncLit(res) {
+					returned = true
+					break
+				}
+			}
+			if !returned {
+				t.report(stmt.Pos())
+			}
+		}
+		st.terminated = true
+		return st
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; treat the path as
+		// ended here rather than guessing where it resumes.
+		st.terminated = true
+		return st
+	case *ast.BlockStmt:
+		return t.walkStmts(stmt.List, st)
+	case *ast.LabeledStmt:
+		return t.walkStmt(stmt.Stmt, st)
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			st = t.walkStmt(stmt.Init, st)
+		}
+		thenSt := t.walkStmts(stmt.Body.List, st)
+		elseSt := st
+		if stmt.Else != nil {
+			elseSt = t.walkStmt(stmt.Else, st)
+		}
+		return merge(thenSt, elseSt)
+	case *ast.ForStmt:
+		return t.walkLoop(stmt.Init, stmt.Cond, stmt.Post, stmt.Body, st)
+	case *ast.RangeStmt:
+		return t.walkLoop(nil, stmt.X, nil, stmt.Body, st)
+	case *ast.SwitchStmt:
+		return t.walkCases(stmt.Init, stmt.Tag, stmt.Body, st)
+	case *ast.TypeSwitchStmt:
+		return t.walkCases(stmt.Init, nil, stmt.Body, st)
+	case *ast.SelectStmt:
+		return t.walkCases(nil, nil, stmt.Body, st)
+	default:
+		// Declarations and other simple statements: only closure capture
+		// can change the tracking state.
+		if st.started && !st.escaped && t.capturedByFuncLit(s) {
+			st.escaped = true
+		}
+		return st
+	}
+}
+
+// assignEffect applies a non-rental assignment to the state: aliasing,
+// container stores and field/global stores.
+func (t *rentTracker) assignEffect(stmt *ast.AssignStmt, st rentState) rentState {
+	if t.putsTracked(stmt) { // e.g. n, err := f(bufpool.Put(b)...) — unusual but possible
+		st.released = true
+	}
+	for i, rhs := range stmt.Rhs {
+		rhs = ast.Unparen(rhs)
+		var lhs ast.Expr
+		if len(stmt.Lhs) == len(stmt.Rhs) {
+			lhs = stmt.Lhs[i]
+		}
+		switch {
+		case t.tracked(rhs):
+			// Pure alias (w := b, w := b[:n]): track the new name too if it
+			// lands in a plain local; anything else is a store that moves
+			// ownership out of the function's hands.
+			if lhs != nil {
+				if obj := identObj(t.pass.TypesInfo, lhs); obj != nil && obj.Parent() != t.pass.Pkg.Scope() {
+					t.aliases[obj] = true
+					continue
+				}
+			}
+			st.escaped = true
+		case t.mentionsTracked(rhs):
+			switch rhs := rhs.(type) {
+			case *ast.CallExpr:
+				// append(xs, b) and friends retain the buffer in a
+				// container; a plain f(b) only borrows it.
+				if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && id.Name == "append" {
+					st.escaped = true
+				}
+			case *ast.CompositeLit:
+				st.escaped = true
+			}
+		case t.capturedByFuncLit(rhs):
+			st.escaped = true
+		}
+		// A store of the buffer through an index/field/deref on the LHS
+		// (m[k] = b, s.buf = b, *p = b) transfers ownership.
+		if lhs != nil && t.mentionsTracked(rhs) {
+			switch ast.Unparen(lhs).(type) {
+			case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+				st.escaped = true
+			}
+		}
+	}
+	return st
+}
+
+// walkLoop evaluates a loop body once from the pre-state. Rentals made
+// inside the body must be released (or escape) by the end of one
+// iteration; rentals made before the loop keep their pre-loop state
+// afterwards, since the body may run zero times.
+func (t *rentTracker) walkLoop(init ast.Stmt, cond ast.Expr, post ast.Stmt, body *ast.BlockStmt, st rentState) rentState {
+	if init != nil {
+		st = t.walkStmt(init, st)
+	}
+	if st.started && !st.escaped && cond != nil && t.capturedByFuncLit(cond) {
+		st.escaped = true
+	}
+	bodySt := t.walkStmts(body.List, st)
+	if post != nil && !bodySt.terminated {
+		bodySt = t.walkStmt(post, bodySt)
+	}
+	if bodySt.started && !st.started && !bodySt.terminated && !bodySt.released && !bodySt.escaped {
+		// The rental happened inside this iteration and survived to the
+		// bottom of the loop body unreleased: every iteration leaks one
+		// buffer.
+		t.report(body.End())
+	}
+	if !st.started && bodySt.started {
+		// Track post-loop only as "maybe rented": conservative merge keeps
+		// the pre-loop view (zero iterations) — the per-iteration check
+		// above already enforced the body.
+		return st
+	}
+	return merge(st, bodySt)
+}
+
+// walkCases evaluates switch/type-switch/select bodies: every case starts
+// from the dispatch state and the fallthrough result is the conservative
+// merge, including the no-case-taken path for switches without a default.
+func (t *rentTracker) walkCases(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, st rentState) rentState {
+	if init != nil {
+		st = t.walkStmt(init, st)
+	}
+	if st.started && !st.escaped && tag != nil && t.capturedByFuncLit(tag) {
+		st.escaped = true
+	}
+	hasDefault := false
+	out := rentState{terminated: true}
+	for _, c := range body.List {
+		var caseBody []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			caseBody = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				// The communication op itself may store the buffer.
+				caseBody = append([]ast.Stmt{cc.Comm}, cc.Body...)
+			}
+		}
+		out = merge(out, t.walkStmts(caseBody, st))
+	}
+	if !hasDefault {
+		out = merge(out, st)
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package lint
+
+import (
+	"testing"
+
+	"code56/internal/lint/analysistest"
+)
+
+// TestBufPoolPair covers leaks (fallthrough, early return, per-iteration),
+// discarded rentals, the clean defer/explicit/alias shapes, every
+// ownership-transfer form, and the regression fixtures: the PR 3 heal
+// leak and the branch-join shapes from migrate and raid6 that must stay
+// clean.
+func TestBufPoolPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), BufPoolPair, "bufpoolpair")
+}

@@ -1,0 +1,211 @@
+// Package driver loads, type-checks and analyzes Go packages for the
+// c56-lint suite without any dependency outside the standard library.
+//
+// Two modes share the analyzer plumbing:
+//
+//   - multichecker (`c56-lint ./...`): package metadata and compiled
+//     export data come from one `go list -deps -export -json` invocation;
+//     each root package is parsed with go/parser and type-checked with
+//     go/types against the export data through the stdlib gc importer
+//     (importer.ForCompiler with a lookup function). Dependencies are
+//     never re-type-checked from source — exactly the scheme
+//     golang.org/x/tools/go/packages uses in LoadTypes mode, shrunk to
+//     what five analyzers need.
+//
+//   - unitchecker (`go vet -vettool=$(which c56-lint) ./...`): the go
+//     command hands the tool one JSON config file per package (GoFiles,
+//     ImportMap, PackageFile) plus the -V=full/-flags handshake; see
+//     unitchecker.go.
+//
+// Diagnostics on a line carrying `//lint:allow <analyzer> <reason>` are
+// suppressed; a directive with no reason is itself reported. Findings
+// print as file:line:col: message (analyzer) and make the process exit
+// non-zero, so CI can gate on the suite.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"code56/internal/lint/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the driver consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// finding is one printable diagnostic.
+type finding struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.pos, f.message, f.analyzer)
+}
+
+// Run executes the analyzers over the packages matched by patterns (with
+// optional build tags) and prints findings to w. It returns the number of
+// findings; a non-nil error means the load itself failed.
+func Run(w io.Writer, analyzers []*analysis.Analyzer, tags string, patterns []string) (int, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return 0, err
+	}
+	args := []string{"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,DepOnly,Standard,Module,Error"}
+	if tags != "" {
+		args = append(args, "-tags", tags)
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return 0, fmt.Errorf("go list: %w", err)
+	}
+
+	exports := map[string]string{}
+	var roots []*listPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return 0, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return 0, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pp := p
+		if pp.Export != "" {
+			exports[pp.ImportPath] = pp.Export
+		}
+		if !pp.DepOnly && !pp.Standard {
+			roots = append(roots, &pp)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var findings []finding
+	for _, p := range roots {
+		if len(p.CgoFiles) > 0 {
+			fmt.Fprintf(w, "c56-lint: skipping %s: cgo packages are not supported\n", p.ImportPath)
+			continue
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		var filenames []string
+		for _, gf := range p.GoFiles {
+			filenames = append(filenames, filepath.Join(p.Dir, gf))
+		}
+		fs, err := analyzePackage(analyzers, fset, imp, p.ImportPath, goVersion, filenames)
+		if err != nil {
+			return 0, err
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+	return len(findings), nil
+}
+
+// analyzePackage parses and type-checks one package, runs every analyzer,
+// and returns the surviving (non-suppressed) findings sorted by position.
+func analyzePackage(analyzers []*analysis.Analyzer, fset *token.FileSet, imp types.Importer,
+	importPath, goVersion string, filenames []string) ([]finding, error) {
+
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", fn, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp, GoVersion: goVersion}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+
+	allowed, badDirectives := analysis.Suppressions(fset, files)
+	var findings []finding
+	for _, d := range badDirectives {
+		findings = append(findings, finding{pos: fset.Position(d.Pos), analyzer: "lint", message: d.Message})
+	}
+	for _, a := range analyzers {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, importPath, err)
+		}
+		for _, d := range diags {
+			if analysis.Suppressed(fset, allowed, a.Name, d) {
+				continue
+			}
+			findings = append(findings, finding{pos: fset.Position(d.Pos), analyzer: a.Name, message: d.Message})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}

@@ -1,0 +1,145 @@
+// The `go vet -vettool` protocol: the go command probes the tool with
+// -V=full (a content-hash version for the build cache) and -flags (the
+// tool's supported analyzer flags, as JSON), then invokes it once per
+// package with the path of a JSON config file as the sole argument. The
+// config carries the package's file list plus an ImportMap/PackageFile
+// pair that resolves every import to compiled export data, and names a
+// facts file (VetxOutput) the tool must write for the cache. This file
+// implements the subset of x/tools' unitchecker that c56-lint needs: the
+// suite defines no facts, so VetxOutput is written empty and VetxOnly
+// dependency visits do no analysis work.
+
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"code56/internal/lint/analysis"
+)
+
+// vetConfig mirrors the JSON configuration the go command writes for vet
+// tools (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	ModulePath                string
+	ModuleVersion             string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements the -V=full handshake: the go command tracks the
+// tool's identity by this line, so it embeds a content hash of the
+// executable (matching what x/tools' unitchecker prints).
+func PrintVersion(w io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(exe), string(h.Sum(nil)))
+	return err
+}
+
+// PrintFlags implements the -flags handshake: c56-lint exposes no
+// analyzer flags to the go command.
+func PrintFlags(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "[]")
+	return err
+}
+
+// RunUnitchecker analyzes the single package described by the vet config
+// file at cfgPath, printing findings to w. It returns the finding count.
+func RunUnitchecker(w io.Writer, analyzers []*analysis.Analyzer, cfgPath string) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing vet config %s: %w", cfgPath, err)
+	}
+	// The suite defines no analysis facts, so the facts file is always
+	// empty — but it must exist for the go command's cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil // dependency visit: facts only, no diagnostics wanted
+	}
+	// go vet hands the tool the test-augmented package: GoFiles includes
+	// the in-package _test.go files (under the plain import path — the
+	// go1.24 vet config carries no "[pkg.test]" marker), and external test
+	// packages and the generated test main are visited as their own units.
+	// The c56-lint invariants are library invariants: tests deliberately
+	// build ill-shaped scaffolding (manufactured contexts, raw loops), so —
+	// like the multichecker mode, which analyzes `go list`'s GoFiles only —
+	// analyze just the non-test sources and skip test-only units.
+	if strings.HasSuffix(cfg.ID, ".test") || strings.HasSuffix(cfg.ImportPath, "_test") {
+		return 0, nil
+	}
+	var srcs []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			srcs = append(srcs, f)
+		}
+	}
+	if len(srcs) == 0 {
+		return 0, nil
+	}
+	if err := analysis.Validate(analyzers); err != nil {
+		return 0, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	findings, err := analyzePackage(analyzers, fset, imp, cfg.ImportPath, cfg.GoVersion, srcs)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+	return len(findings), nil
+}

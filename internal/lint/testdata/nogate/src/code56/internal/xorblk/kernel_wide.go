@@ -1,0 +1,13 @@
+// A kernel_wide.go without its !purego gate: unsafe is allowed in this
+// file, but the analyzer must still demand the build constraint that keeps
+// the portable build unsafe-free.
+package xorblk
+
+import "unsafe" // want `lacks a build constraint excluding it under`
+
+func words(b []byte) []uint64 {
+	if len(b) < 8 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

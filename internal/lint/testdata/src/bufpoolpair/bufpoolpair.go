@@ -1,0 +1,116 @@
+// Package bufpoolpair exercises the bufpoolpair analyzer: every
+// bufpool.Get/GetZero must reach a Put on all return paths, or explicitly
+// hand ownership elsewhere.
+package bufpoolpair
+
+import "code56/internal/bufpool"
+
+// leakPlain rents and falls off the end of the function.
+func leakPlain(n int) {
+	b := bufpool.Get(n)
+	b[0] = 1
+} // want `rented at line \d+`
+
+// leakReturn releases on the fallthrough path but not on the early return.
+func leakReturn(n int) bool {
+	b := bufpool.Get(n)
+	if n > 4 {
+		return false // want `rented at line \d+`
+	}
+	bufpool.Put(b)
+	return true
+}
+
+// earlyReturnBeforeDefer returns between the Get and the defer; the defer
+// never registers on that path.
+func earlyReturnBeforeDefer(n int) bool {
+	b := bufpool.Get(n)
+	if n == 0 {
+		return false // want `rented at line \d+`
+	}
+	defer bufpool.Put(b)
+	return true
+}
+
+// loopLeak rents afresh every iteration and never releases: one buffer
+// leaks per pass.
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		b := bufpool.Get(n)
+		b[0] = byte(i)
+	} // want `rented at line \d+`
+}
+
+// discarded rentals can never be Put back.
+func discarded(n int) {
+	_ = bufpool.Get(n) // want `rental discarded`
+	bufpool.GetZero(n) // want `rental discarded`
+}
+
+// deferPaired is the canonical clean shape.
+func deferPaired(n int) byte {
+	b := bufpool.Get(n)
+	defer bufpool.Put(b)
+	return b[0]
+}
+
+// explicitPut releases on the single path out.
+func explicitPut(n int) {
+	b := bufpool.GetZero(n)
+	b[0] = 1
+	bufpool.Put(b)
+}
+
+// aliasPut releases through a re-sliced alias; aliases are tracked with
+// the original.
+func aliasPut(n int) {
+	b := bufpool.Get(n)
+	w := b[:n/2]
+	bufpool.Put(w)
+}
+
+// loopPut balances the rental inside each iteration.
+func loopPut(n int) {
+	for i := 0; i < n; i++ {
+		b := bufpool.Get(n)
+		b[0] = byte(i)
+		bufpool.Put(b)
+	}
+}
+
+// transferReturn hands the buffer to the caller, who must Put it.
+func transferReturn(n int) []byte {
+	b := bufpool.GetZero(n)
+	return b
+}
+
+// transferAppend retains the buffer in a caller-owned container.
+func transferAppend(dst [][]byte, n int) [][]byte {
+	b := bufpool.Get(n)
+	dst = append(dst, b)
+	return dst
+}
+
+// spare holds transferred buffers; the map store moves ownership.
+var spare = map[int][]byte{}
+
+func transferMap(n int) {
+	b := bufpool.Get(n)
+	spare[n] = b
+}
+
+// transferClosure captures the buffer in the returned closure; ownership
+// moves with it.
+func transferClosure(n int) func() {
+	b := bufpool.Get(n)
+	return func() { bufpool.Put(b) }
+}
+
+// borrow passes the buffer as a plain call argument (a disk read, a kernel
+// call): borrowing, not a transfer — the Put is still required and
+// present.
+func borrow(n int, read func([]byte) bool) bool {
+	b := bufpool.Get(n)
+	defer bufpool.Put(b)
+	return read(b)
+}

@@ -1,0 +1,70 @@
+// Regression fixtures locking in shapes the analyzer once mis-judged or
+// that caused real bugs in the repository's history.
+package bufpoolpair
+
+import "code56/internal/bufpool"
+
+// healBlock is the PR 3 scrub-repair shape, post-fix: reconstruct into a
+// rented buffer, write it back under the array's write lock, release on
+// both the error and success paths.
+func healBlock(n int, writeLocked func([]byte) bool) bool {
+	repair := bufpool.GetZero(n)
+	defer bufpool.Put(repair)
+	if !writeLocked(repair) {
+		return false
+	}
+	return true
+}
+
+// healBlockLeaky is the pre-fix heal shape: the error return skips the
+// Put, leaking one reconstruction buffer per failed heal.
+func healBlockLeaky(n int, writeLocked func([]byte) bool) bool {
+	repair := bufpool.GetZero(n)
+	if !writeLocked(repair) {
+		return false // want `rented at line \d+`
+	}
+	bufpool.Put(repair)
+	return true
+}
+
+// batchRentals mirrors migrate's runStripeOps: a rental made in one switch
+// branch escapes into a slice whose deferred sweep returns everything. The
+// branch join must not resurrect the discharged obligation (this was a
+// false positive before the obligation-based merge).
+func batchRentals(ops []int, n int) {
+	var rented [][]byte
+	defer func() {
+		for _, b := range rented {
+			bufpool.Put(b)
+		}
+	}()
+	for _, op := range ops {
+		switch op {
+		case 0:
+			acc := bufpool.Get(n)
+			rented = append(rented, acc)
+		case 1:
+			// This branch rents nothing.
+		}
+	}
+}
+
+// condRental mirrors raid6's writePartialStripe: a lazily created
+// accumulator escapes into a map drained by the deferred sweep; the if
+// join with the already-present path must stay clean.
+func condRental(keys []int, n int) {
+	deltas := map[int][]byte{}
+	defer func() {
+		for _, b := range deltas {
+			bufpool.Put(b)
+		}
+	}()
+	for _, k := range keys {
+		acc, ok := deltas[k]
+		if !ok {
+			acc = bufpool.GetZero(n)
+			deltas[k] = acc
+		}
+		acc[0] = 1
+	}
+}

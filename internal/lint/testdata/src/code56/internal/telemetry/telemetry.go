@@ -1,0 +1,60 @@
+// Package telemetry stubs the production metrics registry at its real
+// import path, with the same instrument surface the metricname analyzer
+// keys on: Registry.Counter/Gauge/Histogram, Registry.PerInstance and the
+// Instanced instrument methods.
+package telemetry
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc()          {}
+func (c *Counter) Add(d int64)   {}
+func (c *Counter) Value() int64  { return c.v }
+
+// Gauge is an instantaneous value.
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64) {}
+func (g *Gauge) Add(d int64) {}
+
+// Histogram is a fixed-bucket histogram.
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+// Registry holds named instruments.
+type Registry struct{}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Histogram returns the named histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram { return &Histogram{} }
+
+// Instanced is a per-instance namespace of a registry.
+type Instanced struct {
+	r    *Registry
+	base string
+}
+
+// PerInstance returns the instrument namespace "<prefix>.<id>".
+func (r *Registry) PerInstance(prefix, id string) Instanced {
+	return Instanced{r: r, base: prefix + "." + id}
+}
+
+// Counter returns the instance's counter.
+func (i Instanced) Counter(suffix string) *Counter { return i.r.Counter(i.base + "." + suffix) }
+
+// Gauge returns the instance's gauge.
+func (i Instanced) Gauge(suffix string) *Gauge { return i.r.Gauge(i.base + "." + suffix) }
+
+// Histogram returns the instance's histogram.
+func (i Instanced) Histogram(suffix string, bounds []float64) *Histogram {
+	return i.r.Histogram(i.base+"."+suffix, bounds)
+}

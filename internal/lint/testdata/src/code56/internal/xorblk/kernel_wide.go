@@ -1,0 +1,15 @@
+//go:build !purego
+
+package xorblk
+
+import "unsafe"
+
+// words reinterprets an 8-byte-aligned slice as machine words: the one
+// unsafe use the unsafegate analyzer sanctions, in the one file allowed to
+// hold it, behind the required !purego gate.
+func words(b []byte) []uint64 {
+	if len(b) < 8 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

@@ -1,0 +1,29 @@
+// Package context stubs the standard library's context package so fixture
+// loading stays hermetic (no GOROOT source compilation). The ctxflow
+// analyzer matches by the import path "context", which this stub occupies
+// inside the fixture tree.
+package context
+
+// Context carries deadlines and cancellation signals across API
+// boundaries.
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+// CancelFunc tells an operation to abandon its work.
+type CancelFunc func()
+
+type emptyCtx struct{}
+
+func (emptyCtx) Done() <-chan struct{} { return nil }
+func (emptyCtx) Err() error            { return nil }
+
+// Background returns a non-nil empty root context.
+func Background() Context { return emptyCtx{} }
+
+// TODO returns a placeholder context.
+func TODO() Context { return emptyCtx{} }
+
+// WithCancel returns a derived context and its cancel function.
+func WithCancel(parent Context) (Context, CancelFunc) { return parent, func() {} }

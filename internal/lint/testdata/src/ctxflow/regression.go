@@ -1,0 +1,22 @@
+// Regression fixture: the PR 3 heal shape. The scrub loop's repair fan-out
+// must run under the caller's ctx — the original bug class let a cancelled
+// migration keep healing (and writing) stripes in the background.
+package ctxflow
+
+import (
+	"context"
+
+	"code56/internal/parallel"
+)
+
+// healStripes is the post-fix shape: cancellation reaches every in-flight
+// repair.
+func healStripes(ctx context.Context, stripes int, repair func(int) error) error {
+	return parallel.ForEach(ctx, stripes, repair)
+}
+
+// healStripesDetached is the pre-fix shape: the fan-out runs on a fresh
+// root, so cancelling the migration does not stop in-flight heals.
+func healStripesDetached(ctx context.Context, stripes int, repair func(int) error) error {
+	return parallel.ForEach(context.Background(), stripes, repair) // want `manufactured context`
+}

@@ -1,0 +1,11 @@
+// A second package named metricname at a different import path: it
+// re-registers a metric the first package owns, which the analyzer reports
+// as a cross-package duplicate.
+package metricname
+
+import "code56/internal/telemetry"
+
+func register(reg *telemetry.Registry) {
+	reg.Counter("metricname.reads").Inc() // want `already registered by package metricname`
+	reg.Counter("metricname.dup_unique").Inc()
+}

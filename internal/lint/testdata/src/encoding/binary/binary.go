@@ -1,0 +1,14 @@
+// Package binary stubs the ByteOrder subset the xorloop analyzer's
+// word-path detection keys on (PutUint* calls resolved to the import path
+// "encoding/binary").
+package binary
+
+type littleEndian struct{}
+
+// LittleEndian is the little-endian ByteOrder.
+var LittleEndian littleEndian
+
+func (littleEndian) Uint64(b []byte) uint64      { return 0 }
+func (littleEndian) PutUint64(b []byte, v uint64) {}
+func (littleEndian) Uint32(b []byte) uint32      { return 0 }
+func (littleEndian) PutUint32(b []byte, v uint32) {}

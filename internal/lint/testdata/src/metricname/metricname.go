@@ -1,0 +1,37 @@
+// Package metricname exercises the metricname analyzer: telemetry names
+// must be compile-time constants in pkg.snake_case, prefixed with the
+// registering package, with per-instance identities confined to the
+// PerInstance seam.
+package metricname
+
+import "code56/internal/telemetry"
+
+// metricReads shows the named-constant form of a conforming name.
+const metricReads = "metricname.reads"
+
+func register(reg *telemetry.Registry, id string) {
+	// Conforming registrations: constant, pkg-prefixed snake_case.
+	reg.Counter(metricReads).Inc()
+	reg.Counter("metricname.write_errors").Inc()
+	reg.Gauge("metricname.queue_depth").Set(1)
+	reg.Histogram("metricname.latency_us", []float64{1, 2}).Observe(1)
+
+	// Convention violations.
+	reg.Counter("metricname.BadCase").Inc() // want `does not match the pkg.snake_case convention`
+	reg.Counter("reads").Inc()              // want `does not match the pkg.snake_case convention`
+	reg.Counter("otherpkg.reads").Inc()     // want `must be prefixed with its registering package`
+
+	// Runtime-computed names are rejected; dynamic identities belong in
+	// PerInstance's id argument.
+	name := "metricname." + id
+	reg.Counter(name).Inc() // want `must be a compile-time constant string`
+
+	// The sanctioned per-instance seam: constant prefix and suffixes, the
+	// id carries the only runtime-varying part.
+	inst := reg.PerInstance("metricname.disk", id)
+	inst.Counter("reads").Inc()
+	inst.Gauge("depth").Set(2)
+	inst.Histogram("latency_us", []float64{1}).Observe(1)
+	inst.Counter("two.segments").Inc() // want `must be a single snake_case segment`
+	reg.PerInstance("Disk", id)        // want `does not match the pkg.snake_case convention`
+}

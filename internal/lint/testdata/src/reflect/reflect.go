@@ -1,0 +1,17 @@
+// Package reflect stubs the two standard-library header types the
+// unsafegate analyzer bans, so fixtures resolve them without compiling the
+// real reflect package from GOROOT source.
+package reflect
+
+// SliceHeader is the runtime representation of a slice.
+type SliceHeader struct {
+	Data uintptr
+	Len  int
+	Cap  int
+}
+
+// StringHeader is the runtime representation of a string.
+type StringHeader struct {
+	Data uintptr
+	Len  int
+}

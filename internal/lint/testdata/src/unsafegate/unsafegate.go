@@ -1,0 +1,24 @@
+// Package unsafegate exercises the unsafegate analyzer: unsafe and the
+// reflect header types are rejected outside xorblk's wide kernel.
+package unsafegate
+
+import (
+	"reflect"
+	"unsafe" // want `unsafe is only permitted in`
+)
+
+// peek reinterprets memory the way only the gated wide kernel may.
+func peek(b []byte) uintptr {
+	return uintptr(unsafe.Pointer(&b[0]))
+}
+
+// header rebuilds a slice header, the classic unsafe-in-disguise shape;
+// both the type reference and the literal are reported.
+func header(b []byte) reflect.SliceHeader { // want `reflect.SliceHeader is unsafe in disguise`
+	return reflect.SliceHeader{Data: 0, Len: len(b), Cap: cap(b)} // want `reflect.SliceHeader is unsafe in disguise`
+}
+
+// str covers the string variant.
+func str() (h reflect.StringHeader) { // want `reflect.StringHeader is unsafe in disguise`
+	return
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/build/constraint"
+	"path/filepath"
+	"strconv"
+
+	"code56/internal/lint/analysis"
+)
+
+// wideKernelFile is the single file allowed to import unsafe: the
+// alignment-gated wide XOR kernel.
+const wideKernelFile = "kernel_wide.go"
+
+// UnsafeGate rejects unsafe outside the wide kernel.
+//
+// The repository's portability story is binary: build with -tags purego
+// and no unsafe code is compiled at all; build normally and the only
+// unsafe in the module is the wide kernel's aligned []byte→[]uint64
+// reinterpretation, which is audited together with its alignment guard.
+// Any other unsafe use — or a reflect.SliceHeader/StringHeader
+// reconstruction, the classic route around the compiler's safety checks —
+// breaks that audit boundary silently. The analyzer therefore:
+//
+//   - reports any import of unsafe outside internal/xorblk/kernel_wide.go;
+//   - requires kernel_wide.go itself to carry a build constraint that
+//     excludes it under the purego tag, so the portable build stays free
+//     of unsafe by construction;
+//   - reports any use of reflect.SliceHeader or reflect.StringHeader
+//     anywhere (they are unsafe-in-disguise and have no legitimate use
+//     here).
+var UnsafeGate = &analysis.Analyzer{
+	Name: "unsafegate",
+	Doc: "reject unsafe and reflect.SliceHeader outside internal/xorblk's " +
+		"wide kernel, and require the kernel file's !purego build gate",
+	Run: runUnsafeGate,
+}
+
+func runUnsafeGate(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		filename := filepath.Base(pass.Fset.Position(f.Package).Filename)
+		isWideKernel := pass.Pkg.Path() == xorblkPath && filename == wideKernelFile
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "unsafe" {
+				continue
+			}
+			if !isWideKernel {
+				pass.Reportf(imp.Pos(), "unsafe is only permitted in %s/%s (the alignment-gated wide kernel); "+
+					"use the portable kernels or extend xorblk instead", xorblkPath, wideKernelFile)
+				continue
+			}
+			if !excludedUnderPurego(f) {
+				pass.Reportf(imp.Pos(), "%s imports unsafe but lacks a build constraint excluding it under "+
+					"the purego tag (expected //go:build !purego)", wideKernelFile)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "SliceHeader" && sel.Sel.Name != "StringHeader" {
+				return true
+			}
+			obj := identObj(pass.TypesInfo, sel.Sel)
+			if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "reflect" {
+				pass.Reportf(sel.Pos(), "reflect.%s is unsafe in disguise; it is not permitted anywhere in this module", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// excludedUnderPurego reports whether the file carries a build constraint
+// that evaluates to false when the purego tag is set.
+func excludedUnderPurego(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(func(tag string) bool { return tag == "purego" }) {
+				return true
+			}
+		}
+	}
+	return false
+}

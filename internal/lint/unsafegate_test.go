@@ -1,0 +1,23 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"code56/internal/lint/analysistest"
+)
+
+// TestUnsafeGate covers the unsafe-import rejection and the reflect header
+// ban, and asserts the gated wide-kernel fixture stays clean.
+func TestUnsafeGate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), UnsafeGate,
+		"unsafegate", "code56/internal/xorblk")
+}
+
+// TestUnsafeGateMissingConstraint loads an alternate tree whose
+// kernel_wide.go lacks the !purego gate: the sanctioned file must still
+// carry the build constraint.
+func TestUnsafeGateMissingConstraint(t *testing.T) {
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "nogate"), UnsafeGate,
+		"code56/internal/xorblk")
+}

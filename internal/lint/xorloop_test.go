@@ -1,0 +1,15 @@
+package lint
+
+import (
+	"testing"
+
+	"code56/internal/lint/analysistest"
+)
+
+// TestXorLoop covers the hand-rolled byte/word loop shapes, the bitset and
+// kernel-call negatives, the //lint:allow suppression, and the xorblk
+// package's own exemption.
+func TestXorLoop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), XorLoop,
+		"xorloop", "code56/internal/xorblk")
+}

@@ -1,0 +1,54 @@
+package superblock
+
+import (
+	"bytes"
+	"testing"
+
+	"code56/internal/core"
+	"code56/internal/raid6"
+)
+
+// FuzzLoadArray throws arbitrary streams at LoadArray. Malformed input
+// must fail with an error — never panic or hang — and any stream that
+// does load must survive a save/reload round-trip with its manifest
+// intact (the same contract TestSaveLoadArrayRoundTrip checks for
+// well-formed streams). Run with `go test -fuzz=FuzzLoadArray` to
+// explore; the seeds (and testdata/fuzz corpus) run on every plain
+// `go test`.
+func FuzzLoadArray(f *testing.F) {
+	// A genuine stream, so the fuzzer starts from valid structure and
+	// mutates inward (manifest JSON, geometry fields, per-disk records).
+	var buf bytes.Buffer
+	a := raid6.New(core.MustNew(5), 64)
+	a.SetRotation(true)
+	if err := SaveArray(&buf, a, 3); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])  // truncated mid-snapshot
+	f.Add([]byte{})              // empty stream
+	f.Add([]byte("C56ARRY1"))    // magic only
+	f.Add([]byte("C56VDSK1...")) // the inner magic where the outer belongs
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, m, err := LoadArray(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting garbage is the expected outcome
+		}
+		var out bytes.Buffer
+		if err := SaveArray(&out, loaded, m.Stripes); err != nil {
+			t.Fatalf("re-save of a loaded array failed: %v", err)
+		}
+		reloaded, m2, err := LoadArray(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-load of a re-saved array failed: %v", err)
+		}
+		if m2 != m {
+			t.Fatalf("manifest drifted across round-trip: %+v vs %+v", m2, m)
+		}
+		if reloaded.BlockSize() != loaded.BlockSize() {
+			t.Fatalf("block size drifted: %d vs %d", reloaded.BlockSize(), loaded.BlockSize())
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import "testing"
+
+func TestPerInstanceNaming(t *testing.T) {
+	r := NewRegistry()
+	inst := r.PerInstance("vdisk.disk", "3")
+	inst.Counter("reads").Inc()
+	inst.Gauge("depth").Set(7)
+	inst.Histogram("latency_us", []float64{1, 10}).Observe(5)
+
+	s := r.Snapshot()
+	if got := s.Counters["vdisk.disk.3.reads"]; got != 1 {
+		t.Errorf("vdisk.disk.3.reads = %d, want 1", got)
+	}
+	if got := s.Gauges["vdisk.disk.3.depth"]; got != 7 {
+		t.Errorf("vdisk.disk.3.depth = %d, want 7", got)
+	}
+	h, ok := s.Histograms["vdisk.disk.3.latency_us"]
+	if !ok || h.Count != 1 || h.Sum != 5 {
+		t.Errorf("vdisk.disk.3.latency_us = %+v, want one observation of 5", h)
+	}
+}
+
+func TestPerInstanceSharesInstruments(t *testing.T) {
+	// Two Instanced values for the same prefix/id resolve to the same
+	// underlying instruments, exactly like repeated Registry lookups.
+	r := NewRegistry()
+	a := r.PerInstance("vdisk.disk", "0")
+	b := r.PerInstance("vdisk.disk", "0")
+	if a.Counter("reads") != b.Counter("reads") {
+		t.Error("same prefix/id/suffix resolved to distinct counters")
+	}
+	// Distinct ids stay distinct.
+	c := r.PerInstance("vdisk.disk", "1")
+	if a.Counter("reads") == c.Counter("reads") {
+		t.Error("distinct instance ids shared a counter")
+	}
+}
+
+func TestPerInstanceNilRegistry(t *testing.T) {
+	// A nil receiver resolves to the process-wide default, matching the
+	// rest of the Registry API's nil behavior.
+	var r *Registry
+	inst := r.PerInstance("telemetry_test.nilcase", "0")
+	inst.Counter("hits").Inc()
+	if got := Default().Snapshot().Counters["telemetry_test.nilcase.0.hits"]; got != 1 {
+		t.Errorf("nil-registry PerInstance counter = %d, want 1 in Default()", got)
+	}
+}

@@ -241,6 +241,40 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Instanced is a per-instance namespace of a registry: instruments named
+// "<prefix>.<id>.<suffix>", e.g. "vdisk.disk.3.reads". It exists so that
+// dynamic identities (one gauge per disk, per shard, per backend) have a
+// single sanctioned seam: the prefix and every suffix remain compile-time
+// constants — which the c56-lint metricname analyzer enforces — while the
+// instance id carries the only runtime-varying part of the name.
+type Instanced struct {
+	r    *Registry
+	base string // "<prefix>.<id>"
+}
+
+// PerInstance returns the instrument namespace "<prefix>.<id>". The prefix
+// must be a constant in pkg.snake_case (enforced by c56-lint's metricname
+// analyzer); the id is free-form runtime data identifying the instance.
+func (r *Registry) PerInstance(prefix, id string) Instanced {
+	return Instanced{r: r.orDefault(), base: prefix + "." + id}
+}
+
+// Counter returns the instance's counter "<prefix>.<id>.<suffix>".
+func (i Instanced) Counter(suffix string) *Counter {
+	return i.r.Counter(i.base + "." + suffix)
+}
+
+// Gauge returns the instance's gauge "<prefix>.<id>.<suffix>".
+func (i Instanced) Gauge(suffix string) *Gauge {
+	return i.r.Gauge(i.base + "." + suffix)
+}
+
+// Histogram returns the instance's histogram "<prefix>.<id>.<suffix>",
+// creating it with the given upper bucket bounds if needed.
+func (i Instanced) Histogram(suffix string, bounds []float64) *Histogram {
+	return i.r.Histogram(i.base+"."+suffix, bounds)
+}
+
 // Snapshot is a point-in-time copy of every instrument in a registry.
 // Individual values are read atomically; since counters are monotonic, a
 // snapshot taken while writers run never shows a counter lower than an

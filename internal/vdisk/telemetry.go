@@ -1,7 +1,7 @@
 package vdisk
 
 import (
-	"fmt"
+	"strconv"
 
 	"code56/internal/telemetry"
 )
@@ -59,13 +59,16 @@ type diskTel struct {
 func (d *Disk) bindTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	prefix := fmt.Sprintf("vdisk.disk.%d", d.id)
+	// Per-disk instruments go through the PerInstance seam so the name
+	// fragments stay compile-time constants (the metricname invariant);
+	// only the disk id is runtime data.
+	inst := reg.PerInstance("vdisk.disk", strconv.Itoa(d.id))
 	d.tel = diskTel{
 		tr:         tr,
-		reads:      reg.Gauge(prefix + ".reads"),
-		writes:     reg.Gauge(prefix + ".writes"),
-		readLat:    reg.Histogram(prefix+".read_latency_us", latencyBucketsUS),
-		writeLat:   reg.Histogram(prefix+".write_latency_us", latencyBucketsUS),
+		reads:      inst.Gauge("reads"),
+		writes:     inst.Gauge("writes"),
+		readLat:    inst.Histogram("read_latency_us", latencyBucketsUS),
+		writeLat:   inst.Histogram("write_latency_us", latencyBucketsUS),
 		ioBytes:    reg.Histogram("vdisk.io_bytes", sizeBuckets),
 		allReads:   reg.Counter("vdisk.reads"),
 		allWrites:  reg.Counter("vdisk.writes"),
