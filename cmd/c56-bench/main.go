@@ -29,6 +29,7 @@ import (
 
 	code56 "code56"
 	"code56/internal/layout"
+	"code56/internal/obs"
 	"code56/internal/xorblk"
 )
 
@@ -93,8 +94,18 @@ func main() {
 		stripes  = flag.Int64("parallel-stripes", 64, "stripes per full-array encode in the parallel sweep")
 		reps     = flag.Int("parallel-reps", 5, "measurement windows per worker count (median reported, min 3)")
 		maxprocs = flag.Int("maxprocs", 0, "GOMAXPROCS for the sweeps (0 = all CPUs)")
+		httpAddr = flag.String("http", "", "serve the observability plane (/metrics, /healthz, /debug/pprof) on this address, e.g. :8080")
 	)
 	flag.Parse()
+	_, handle, err := obs.Plane(*httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c56-bench:", err)
+		os.Exit(1)
+	}
+	defer handle.Close()
+	if handle != nil {
+		fmt.Fprintf(os.Stderr, "observability plane listening on http://%s\n", handle.Addr())
+	}
 	// Pin GOMAXPROCS explicitly so the recorded value reflects the sweep's
 	// real parallelism even when the environment (cgroup limits, an
 	// inherited GOMAXPROCS env var) would silently cap it.

@@ -23,6 +23,7 @@ import (
 
 	"code56/internal/lint"
 	"code56/internal/lint/driver"
+	"code56/internal/obs"
 )
 
 func main() {
@@ -38,8 +39,18 @@ func run(args []string) int {
 	tags := fs.String("tags", "", "comma-separated build tags for package loading")
 	version := fs.String("V", "", "print version and exit (-V=full, for the go vet handshake)")
 	flagsMode := fs.Bool("flags", false, "print the tool's analyzer flags as JSON (go vet handshake)")
+	httpAddr := fs.String("http", "", "serve the observability plane (/metrics, /healthz, /debug/pprof) on this address, e.g. :8080")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	_, handle, err := obs.Plane(*httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c56-lint:", err)
+		return 2
+	}
+	defer handle.Close()
+	if handle != nil {
+		fmt.Fprintf(os.Stderr, "observability plane listening on http://%s\n", handle.Addr())
 	}
 
 	switch {

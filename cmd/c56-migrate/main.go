@@ -22,6 +22,7 @@ import (
 	"time"
 
 	code56 "code56"
+	"code56/internal/obs"
 	"code56/internal/telemetry"
 	"code56/internal/trace"
 )
@@ -42,6 +43,8 @@ func main() {
 		metrics  = flag.String("metrics", "", "dump final telemetry counters to this file ('-' for stdout, '.json' suffix for JSON)")
 		traceOut = flag.String("trace", "", "write a JSON-lines span/event trace to this file ('-' for stderr)")
 		progress = flag.Bool("progress", true, "show a live progress line on stderr during online migration")
+		httpAddr = flag.String("http", "", "serve the observability plane (/metrics, /healthz, /progress, /debug/pprof) on this address, e.g. :8080")
+		watch    = flag.Bool("watch", false, "rich live status line: state, watermark, recent stripes/s, MB/s, repairs, ETA")
 
 		latent    = flag.Float64("latent", 0, "per-read probability of discovering a latent sector error (online mode; above ~0.005 double faults within a row become likely, which genuinely exceeds the RAID-5 phase's tolerance)")
 		transient = flag.Float64("transient-prob", 0, "per-I/O probability of a transient error (online mode)")
@@ -60,10 +63,33 @@ func main() {
 		retry:     *retry,
 		retryBase: *retryBase,
 	}
+	plane, handle, err := obs.Plane(*httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c56-migrate:", err)
+		os.Exit(1)
+	}
+	defer handle.Close()
+	if handle != nil {
+		fmt.Fprintf(os.Stderr, "observability plane listening on http://%s\n", handle.Addr())
+	}
 	closeTrace, err := telemetry.AttachTraceFile(telemetry.DefaultTracer(), *traceOut)
 	if err == nil {
 		if *online {
-			err = runOnline(*disks, *stripes, *block, *workload, *ops, *seed, *throttle, *snapshot, *workers, *progress, faults)
+			err = runOnline(onlineConfig{
+				disks:    *disks,
+				stripes:  *stripes,
+				block:    *block,
+				workload: *workload,
+				ops:      *ops,
+				seed:     *seed,
+				throttle: *throttle,
+				snapshot: *snapshot,
+				workers:  *workers,
+				progress: *progress,
+				watch:    *watch,
+				faults:   faults,
+				plane:    plane,
+			})
 		} else {
 			err = runOffline(*disks, *block, *seed, *workers)
 		}
@@ -90,7 +116,25 @@ type faultOpts struct {
 
 func (f faultOpts) armed() bool { return f.latent > 0 || f.transient > 0 }
 
-func runOnline(disks, stripes, block int, workload string, nops int, seed int64, throttle time.Duration, snapshot string, workers int, progress bool, faults faultOpts) error {
+// onlineConfig carries runOnline's flags plus the observability plane the
+// run registers its array and migrator with (nil when -http is unset — the
+// registrations are then no-ops).
+type onlineConfig struct {
+	disks, stripes, block int
+	workload              string
+	ops                   int
+	seed                  int64
+	throttle              time.Duration
+	snapshot              string
+	workers               int
+	progress, watch       bool
+	faults                faultOpts
+	plane                 *obs.Server
+}
+
+func runOnline(cfg onlineConfig) error {
+	disks, stripes, block := cfg.disks, cfg.stripes, cfg.block
+	faults := cfg.faults
 	p := disks + 1
 	rows := int64(stripes) * int64(p-1)
 	blocks := rows * int64(disks-1)
@@ -99,8 +143,9 @@ func runOnline(disks, stripes, block int, workload string, nops int, seed int64,
 	if err != nil {
 		return err
 	}
+	cfg.plane.RegisterHealth("vdisk", obs.ArrayHealth(r5.Disks()))
 	fmt.Printf("filling RAID-5: %d disks, %d rows, %d data blocks of %d B\n", disks, rows, blocks, block)
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(cfg.seed))
 	want := make([][]byte, blocks)
 	for L := int64(0); L < blocks; L++ {
 		b := make([]byte, block)
@@ -134,17 +179,19 @@ func runOnline(disks, stripes, block int, workload string, nops int, seed int64,
 	if err != nil {
 		return err
 	}
-	if throttle > 0 {
-		mig.SetThrottle(throttle)
+	cfg.plane.RegisterHealth("migrate", obs.MigratorHealth(mig))
+	cfg.plane.RegisterProgress("r5tor6", mig)
+	if cfg.throttle > 0 {
+		mig.SetThrottle(cfg.throttle)
 	}
-	if workers > 1 {
-		if err := mig.SetParallelism(workers); err != nil {
+	if cfg.workers > 1 {
+		if err := mig.SetParallelism(cfg.workers); err != nil {
 			return err
 		}
 	}
 	var kind trace.WorkloadKind
 	runApp := true
-	switch workload {
+	switch cfg.workload {
 	case "random":
 		kind = trace.RandomRW
 	case "sequential":
@@ -156,7 +203,7 @@ func runOnline(disks, stripes, block int, workload string, nops int, seed int64,
 	case "none":
 		runApp = false
 	default:
-		return fmt.Errorf("unknown workload %q", workload)
+		return fmt.Errorf("unknown workload %q", cfg.workload)
 	}
 
 	r5.Disks().ResetStats()
@@ -170,7 +217,11 @@ func runOnline(disks, stripes, block int, workload string, nops int, seed int64,
 
 	stopProgress := make(chan struct{})
 	var progWG sync.WaitGroup
-	if progress {
+	if cfg.progress || cfg.watch {
+		// Bytes of application data one converted stripe carries, for the
+		// watch line's MB/s (derived from the same stripe-rate EWMA the
+		// /progress endpoint serves).
+		stripeBytes := float64((p - 1) * (disks - 1) * block)
 		progWG.Add(1)
 		go func() {
 			defer progWG.Done()
@@ -179,13 +230,20 @@ func runOnline(disks, stripes, block int, workload string, nops int, seed int64,
 			for {
 				select {
 				case <-stopProgress:
-					fmt.Fprintf(os.Stderr, "\r%70s\r", "")
+					fmt.Fprintf(os.Stderr, "\r%110s\r", "")
 					return
 				case <-tick.C:
 					pr := mig.ProgressSnapshot()
-					fmt.Fprintf(os.Stderr, "\rmigrating: %5.1f%% (%d/%d stripes) %8.0f stripes/s ETA %-12s",
-						100*pr.Fraction(), pr.Converted, pr.Total, pr.StripesPerSec,
-						pr.ETA.Truncate(time.Millisecond))
+					if cfg.watch {
+						fmt.Fprintf(os.Stderr, "\r%-8s %5.1f%% (%d/%d stripes) %7.0f stripes/s %7.1f MB/s  repairs %d  ETA %-12s",
+							pr.State(), 100*pr.Fraction(), pr.Converted, pr.Total,
+							pr.RecentStripesPerSec, pr.RecentStripesPerSec*stripeBytes/1e6,
+							pr.Stats.FaultsRepaired, pr.ETA.Truncate(time.Millisecond))
+					} else {
+						fmt.Fprintf(os.Stderr, "\rmigrating: %5.1f%% (%d/%d stripes) %8.0f stripes/s ETA %-12s",
+							100*pr.Fraction(), pr.Converted, pr.Total, pr.StripesPerSec,
+							pr.ETA.Truncate(time.Millisecond))
+					}
 				}
 			}
 		}()
@@ -195,7 +253,7 @@ func runOnline(disks, stripes, block int, workload string, nops int, seed int64,
 	if runApp {
 		var mu sync.Mutex
 		buf := make([]byte, block)
-		for _, op := range trace.Workload(kind, blocks, nops, seed+1) {
+		for _, op := range trace.Workload(kind, blocks, cfg.ops, cfg.seed+1) {
 			if op.Write {
 				b := make([]byte, block)
 				rng.Read(b)
@@ -278,8 +336,8 @@ func runOnline(disks, stripes, block int, workload string, nops int, seed int64,
 	if err := reportCounters(disks, st, base); err != nil {
 		return err
 	}
-	if snapshot != "" {
-		f, err := os.Create(snapshot)
+	if cfg.snapshot != "" {
+		f, err := os.Create(cfg.snapshot)
 		if err != nil {
 			return err
 		}
@@ -287,7 +345,7 @@ func runOnline(disks, stripes, block int, workload string, nops int, seed int64,
 		if err := r5.Disks().Save(f); err != nil {
 			return err
 		}
-		fmt.Printf("snapshot of the converted array written to %s\n", snapshot)
+		fmt.Printf("snapshot of the converted array written to %s\n", cfg.snapshot)
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ import (
 
 	code56 "code56"
 	"code56/internal/analysis"
+	"code56/internal/obs"
 )
 
 func main() {
@@ -45,8 +46,18 @@ func main() {
 		workers  = flag.Int("workers", 1, "worker goroutines for the rebuild or scrub")
 		scrub    = flag.Bool("scrub", false, "plant latent errors and silent corruption in an array, then check and repair it by scrubbing")
 		seed     = flag.Int64("seed", 23, "seed for planted faults (-scrub mode)")
+		httpAddr = flag.String("http", "", "serve the observability plane (/metrics, /healthz, /debug/pprof) on this address, e.g. :8080")
 	)
 	flag.Parse()
+	_, handle, err := obs.Plane(*httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c56-recover:", err)
+		os.Exit(1)
+	}
+	defer handle.Close()
+	if handle != nil {
+		fmt.Fprintf(os.Stderr, "observability plane listening on http://%s\n", handle.Addr())
+	}
 	if *scrub {
 		if err := runScrub(*codeName, *p, *block, *stripes, *workers, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "c56-recover:", err)

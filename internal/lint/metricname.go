@@ -18,7 +18,7 @@ import (
 // between packages breaks them silently (the registry happily get-or-
 // creates whatever string it is handed). The rules:
 //
-//   - the name argument of Registry.Counter/Gauge/Histogram, the prefix
+//   - the name argument of Registry.Counter/Gauge/Histogram/Rate, the prefix
 //     argument of Registry.PerInstance and the suffix arguments of the
 //     Instanced instrument methods must be compile-time constant strings
 //     (literals, consts, or concatenations thereof);
@@ -78,7 +78,8 @@ func runMetricName(pass *analysis.Pass) error {
 			switch {
 			case methodOn(info, call, telemetryPath, "Registry", "Counter"),
 				methodOn(info, call, telemetryPath, "Registry", "Gauge"),
-				methodOn(info, call, telemetryPath, "Registry", "Histogram"):
+				methodOn(info, call, telemetryPath, "Registry", "Histogram"),
+				methodOn(info, call, telemetryPath, "Registry", "Rate"):
 				checkMetricArg(pass, call.Args[0], fullName)
 			case methodOn(info, call, telemetryPath, "Registry", "PerInstance"):
 				checkMetricArg(pass, call.Args[0], namePrefix)

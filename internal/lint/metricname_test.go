@@ -14,5 +14,5 @@ func TestMetricName(t *testing.T) {
 	ResetMetricState()
 	t.Cleanup(ResetMetricState)
 	analysistest.Run(t, analysistest.TestData(), MetricName,
-		"metricname", "dup/metricname")
+		"metricname", "dup/metricname", "obs", "trace")
 }

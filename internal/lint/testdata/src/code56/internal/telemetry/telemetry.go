@@ -37,6 +37,15 @@ func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
 // Histogram returns the named histogram.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram { return &Histogram{} }
 
+// Rate is a windowed event-rate instrument.
+type Rate struct{}
+
+func (r *Rate) Inc()        {}
+func (r *Rate) Add(d int64) {}
+
+// Rate returns the named rate.
+func (r *Registry) Rate(name string) *Rate { return &Rate{} }
+
 // Instanced is a per-instance namespace of a registry.
 type Instanced struct {
 	r    *Registry

@@ -16,10 +16,15 @@ func register(reg *telemetry.Registry, id string) {
 	reg.Gauge("metricname.queue_depth").Set(1)
 	reg.Histogram("metricname.latency_us", []float64{1, 2}).Observe(1)
 
+	// The Rate instrument follows the same rules as the other three.
+	reg.Rate("metricname.io_rate").Inc()
+
 	// Convention violations.
 	reg.Counter("metricname.BadCase").Inc() // want `does not match the pkg.snake_case convention`
 	reg.Counter("reads").Inc()              // want `does not match the pkg.snake_case convention`
 	reg.Counter("otherpkg.reads").Inc()     // want `must be prefixed with its registering package`
+	reg.Rate("metricname.RateCase").Inc()   // want `does not match the pkg.snake_case convention`
+	reg.Rate("other.rate").Inc()            // want `must be prefixed with its registering package`
 
 	// Runtime-computed names are rejected; dynamic identities belong in
 	// PerInstance's id argument.

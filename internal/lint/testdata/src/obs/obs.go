@@ -1,0 +1,22 @@
+// Package obs mirrors the production observability plane's metric
+// registrations: the plane's self-metrics are constant obs.* names, and a
+// name assembled at runtime (e.g. from a request path) is rejected —
+// dynamic identities belong in the PerInstance seam.
+package obs
+
+import "code56/internal/telemetry"
+
+func register(reg *telemetry.Registry, path string) {
+	// The plane's self-metrics, as the production package registers them.
+	reg.Counter("obs.http_requests").Inc()
+	reg.Counter("obs.scrapes").Inc()
+	reg.Gauge("obs.watch_clients").Set(0)
+	reg.Rate("obs.scrape_rate").Inc()
+
+	// A per-endpoint counter keyed on the request path must not be spelled
+	// as a runtime-concatenated name.
+	reg.Counter("obs.requests." + path).Inc() // want `must be a compile-time constant string`
+
+	// The sanctioned form of the same idea.
+	reg.PerInstance("obs.endpoint", path).Counter("requests").Inc()
+}

@@ -1,0 +1,19 @@
+// Package trace mirrors the tracer-side registrations: the ring sink's
+// overflow counter is a constant trace.* name, and per-span-name timing
+// histograms go through the PerInstance seam (the span name is the
+// runtime-varying id).
+package trace
+
+import "code56/internal/telemetry"
+
+func register(reg *telemetry.Registry, spanName string) {
+	reg.Counter("trace.dropped_spans").Inc()
+
+	// Span-duration histograms keyed by span name: the constant prefix
+	// passes, the span name rides in the id argument.
+	inst := reg.PerInstance("trace.span_us", spanName)
+	inst.Histogram("us", []float64{10, 100}).Observe(1)
+
+	// Spelling the same thing as a concatenated full name is rejected.
+	reg.Histogram("trace.span_us."+spanName, []float64{10}).Observe(1) // want `must be a compile-time constant string`
+}

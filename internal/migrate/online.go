@@ -101,6 +101,10 @@ type onlineTel struct {
 	// the plan's conversion-only accounting).
 	redirectXORs *telemetry.Counter
 	progress     *telemetry.Gauge // contiguous converted-stripe watermark
+	// stripeRate feeds the live stripes/s windows (1 s/10 s/60 s + EWMA)
+	// behind ProgressReport.RecentStripesPerSec and the migrate.stripe_rate
+	// series of the observability plane.
+	stripeRate *telemetry.Rate
 }
 
 func bindOnlineTel(reg *telemetry.Registry, tr *telemetry.Tracer) onlineTel {
@@ -116,6 +120,7 @@ func bindOnlineTel(reg *telemetry.Registry, tr *telemetry.Tracer) onlineTel {
 		xors:         reg.Counter("migrate.conversion_xors"),
 		redirectXORs: reg.Counter("migrate.redirect_xors"),
 		progress:     reg.Gauge("migrate.progress_stripes"),
+		stripeRate:   reg.Rate("migrate.stripe_rate"),
 	}
 }
 
@@ -353,15 +358,50 @@ type ProgressReport struct {
 	Converted, Total int64
 	// Started and Finished report the migration's lifecycle state.
 	Started, Finished bool
+	// Paused reports an explicit Pause() in effect.
+	Paused bool
+	// Workers is how many conversion goroutines are still running; Parked
+	// is how many of them are waiting out application writes or a pause.
+	Workers, Parked int
+	// Error is the terminal error's message, empty while healthy. (A
+	// string, not an error, so the report serializes cleanly over the
+	// observability plane's /progress endpoint.)
+	Error string
 	// Elapsed is the time since Start (frozen once the conversion ends).
 	Elapsed time.Duration
 	// StripesPerSec is the mean conversion rate so far (0 before Start).
 	StripesPerSec float64
+	// RecentStripesPerSec is the smoothed current conversion rate (the
+	// migrate.stripe_rate EWMA): unlike the lifetime mean it reacts within
+	// seconds when the conversion stalls behind foreground writes or a
+	// throttle change.
+	RecentStripesPerSec float64
 	// ETA estimates the remaining conversion time from the mean rate;
 	// zero when unknown (not started or no stripes converted yet).
 	ETA time.Duration
 	// Stats snapshots the interaction counters at the same instant.
 	Stats MigrationStats
+}
+
+// State names the migration's lifecycle phase: "pending", "running",
+// "parked" (workers waiting out foreground writes), "paused", "finished"
+// or "failed". It is what the observability plane's health checker and the
+// watch mode display.
+func (p ProgressReport) State() string {
+	switch {
+	case !p.Started:
+		return "pending"
+	case p.Error != "":
+		return "failed"
+	case p.Finished:
+		return "finished"
+	case p.Paused:
+		return "paused"
+	case p.Workers > 0 && p.Parked == p.Workers:
+		return "parked"
+	default:
+		return "running"
+	}
 }
 
 // Fraction returns the converted fraction in [0, 1].
@@ -382,11 +422,18 @@ func (m *OnlineMigrator) ProgressSnapshot() ProgressReport {
 		Total:     m.stripes,
 		Started:   m.started,
 		Finished:  m.finished,
+		Paused:    m.userPaused,
+		Workers:   m.workers,
+		Parked:    m.parked,
 		Stats:     m.stats,
+	}
+	if m.err != nil {
+		r.Error = m.err.Error()
 	}
 	if !m.started {
 		return r
 	}
+	r.RecentStripesPerSec = m.tel.stripeRate.Snapshot().EWMA
 	switch {
 	case m.finished:
 		r.Elapsed = m.endTime.Sub(m.startTime)
@@ -502,6 +549,7 @@ func (m *OnlineMigrator) worker() {
 			m.mu.Lock()
 			m.stats.StripesConverted++
 			m.tel.converted.Inc()
+			m.tel.stripeRate.Inc()
 			if m.dirtySet[st] {
 				// A concurrent write raced with our reads; redo the
 				// stripe (after letting pending writes drain).

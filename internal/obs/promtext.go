@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"code56/internal/telemetry"
+)
+
+// This file renders a telemetry.Snapshot in the Prometheus text exposition
+// format, version 0.0.4 — the format every Prometheus-compatible scraper
+// (Prometheus, VictoriaMetrics, Grafana Agent, vmagent) ingests natively.
+//
+// Rendering always starts from Snapshot(): the registry's locks are
+// released before a single byte is serialized, so a slow or stalled
+// scraper can never block the I/O hot paths recording into the registry
+// (see DESIGN.md).
+//
+// Mapping from registry instruments:
+//
+//   - counters  -> counter samples (dots in names become underscores:
+//     "vdisk.reads" -> vdisk_reads)
+//   - gauges    -> gauge samples
+//   - histograms-> full histogram families: cumulative <name>_bucket
+//     series with le labels ending at le="+Inf", plus <name>_sum and
+//     <name>_count
+//   - rates     -> a <name>_total counter and gauges for the derived
+//     windows: <name>_1s, <name>_10s, <name>_60s, <name>_ewma
+
+// promContentType is the exposition content type scrapers negotiate.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps a dotted registry name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], prefixing an underscore when the first rune
+// would otherwise be a digit.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value; Prometheus accepts Go's shortest-form
+// floats plus the special spellings +Inf/-Inf/NaN (which our instruments
+// never produce).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// family is one rendered metric family, ordered by name for deterministic
+// scrapes (and stable diffs in tests and CI greps).
+type family struct {
+	name  string
+	lines []string
+}
+
+func writeProm(w io.Writer, s telemetry.Snapshot) error {
+	fams := make([]family, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms)+5*len(s.Rates))
+
+	add := func(name, typ, orig string, samples ...string) {
+		lines := make([]string, 0, 2+len(samples))
+		lines = append(lines,
+			fmt.Sprintf("# HELP %s Registry instrument %q.", name, orig),
+			fmt.Sprintf("# TYPE %s %s", name, typ))
+		lines = append(lines, samples...)
+		fams = append(fams, family{name: name, lines: lines})
+	}
+
+	for name, v := range s.Counters {
+		n := promName(name)
+		add(n, "counter", name, fmt.Sprintf("%s %d", n, v))
+	}
+	for name, v := range s.Gauges {
+		n := promName(name)
+		add(n, "gauge", name, fmt.Sprintf("%s %d", n, v))
+	}
+	for name, h := range s.Histograms {
+		n := promName(name)
+		samples := make([]string, 0, len(h.Counts)+2)
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = promFloat(h.Bounds[i])
+			}
+			samples = append(samples, fmt.Sprintf("%s_bucket{le=%q} %d", n, le, cum))
+		}
+		samples = append(samples,
+			fmt.Sprintf("%s_sum %s", n, promFloat(h.Sum)),
+			fmt.Sprintf("%s_count %d", n, h.Count))
+		add(n, "histogram", name, samples...)
+	}
+	for name, r := range s.Rates {
+		n := promName(name)
+		add(n+"_total", "counter", name, fmt.Sprintf("%s_total %d", n, r.Total))
+		for _, win := range []struct {
+			suffix string
+			v      float64
+		}{
+			{"_1s", r.Rate1s}, {"_10s", r.Rate10s}, {"_60s", r.Rate60s}, {"_ewma", r.EWMA},
+		} {
+			add(n+win.suffix, "gauge", name, fmt.Sprintf("%s%s %s", n, win.suffix, promFloat(win.v)))
+		}
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		for _, l := range f.lines {
+			if _, err := fmt.Fprintln(w, l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

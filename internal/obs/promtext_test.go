@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"code56/internal/telemetry"
+)
+
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"vdisk.reads":          "vdisk_reads",
+		"migrate.stripe_rate":  "migrate_stripe_rate",
+		"trace.span_us.online": "trace_span_us_online",
+		"a-b c":                "a_b_c",
+		"9lives":               "_9lives",
+		"ok:colon":             "ok:colon",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func renderSnapshot(t *testing.T, reg *telemetry.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestWritePromCountersAndGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("vdisk.reads").Add(42)
+	reg.Gauge("migrate.progress_stripes").Set(7)
+	out := renderSnapshot(t, reg)
+	for _, want := range []string{
+		"# TYPE vdisk_reads counter\n",
+		"vdisk_reads 42\n",
+		"# TYPE migrate_progress_stripes gauge\n",
+		"migrate_progress_stripes 7\n",
+		`# HELP vdisk_reads Registry instrument "vdisk.reads".` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePromHistogramCumulative(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("obs.test_us", []float64{10, 100})
+	for _, v := range []float64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	out := renderSnapshot(t, reg)
+	for _, want := range []string{
+		"# TYPE obs_test_us histogram\n",
+		`obs_test_us_bucket{le="10"} 1` + "\n",
+		`obs_test_us_bucket{le="100"} 2` + "\n",
+		`obs_test_us_bucket{le="+Inf"} 4` + "\n",
+		"obs_test_us_sum 5555\n",
+		"obs_test_us_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePromRateFamilies(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := reg.Rate("vdisk.io_rate")
+	r.Add(9)
+	out := renderSnapshot(t, reg)
+	for _, want := range []string{
+		"# TYPE vdisk_io_rate_total counter\n",
+		"vdisk_io_rate_total 9\n",
+		"# TYPE vdisk_io_rate_1s gauge\n",
+		"# TYPE vdisk_io_rate_10s gauge\n",
+		"# TYPE vdisk_io_rate_60s gauge\n",
+		"# TYPE vdisk_io_rate_ewma gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePromSortedFamilies(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("zz.last").Inc()
+	reg.Counter("aa.first").Inc()
+	reg.Gauge("mm.middle").Set(1)
+	out := renderSnapshot(t, reg)
+	var fams []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fams = append(fams, strings.Fields(line)[2])
+		}
+	}
+	if !sort.StringsAreSorted(fams) {
+		t.Fatalf("families not sorted: %v", fams)
+	}
+}
+
+// checkExposition is a small format validator: every non-comment line must
+// be "name{labels} value" with a legal metric name and a parseable value,
+// every sample must follow its family's # TYPE line, histogram buckets
+// must be cumulative and end at le="+Inf" equal to _count. It is the smoke
+// parser the acceptance criteria ask for, shared with the server tests.
+func checkExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	typed := make(map[string]bool)
+	samples := make(map[string]float64)
+	var lastCum float64
+	var lastHist string
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			if !nameRe.MatchString(f[2]) {
+				t.Fatalf("line %d: illegal metric name %q", ln+1, f[2])
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, f[3])
+			}
+			typed[f[2]] = true
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("line %d: unparseable value %q: %v", ln+1, m[3], err)
+		}
+		base := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if fam := strings.TrimSuffix(m[1], suffix); fam != m[1] && typed[fam] {
+				base = fam
+			}
+		}
+		if !typed[base] {
+			t.Fatalf("line %d: sample %q has no preceding # TYPE", ln+1, m[1])
+		}
+		if strings.HasSuffix(m[1], "_bucket") {
+			hist := strings.TrimSuffix(m[1], "_bucket")
+			if hist != lastHist {
+				lastHist, lastCum = hist, 0
+			}
+			if v < lastCum {
+				t.Fatalf("line %d: non-cumulative bucket: %q", ln+1, line)
+			}
+			lastCum = v
+			if m[2] == `{le="+Inf"}` {
+				samples[fmt.Sprintf("%s_count?", hist)] = v // matched below
+			}
+		}
+		samples[m[1]+m[2]] = v
+	}
+	for key, inf := range samples {
+		if hist, ok := strings.CutSuffix(key, "_count?"); ok {
+			if cnt := samples[hist+"_count"]; cnt != inf {
+				t.Fatalf("histogram %s: le=+Inf bucket %g != _count %g", hist, inf, cnt)
+			}
+		}
+	}
+	return samples
+}
+
+func TestCheckExpositionAcceptsRenderer(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("vdisk.reads").Add(3)
+	reg.Gauge("obs.watch_clients").Set(0)
+	h := reg.Histogram("trace.span_us.online", []float64{10, 100, 1000})
+	h.Observe(7)
+	h.Observe(70)
+	h.Observe(7000)
+	reg.Rate("migrate.stripe_rate").Add(12)
+	out := renderSnapshot(t, reg)
+	samples := checkExposition(t, out)
+	if samples["vdisk_reads"] != 3 {
+		t.Fatalf("vdisk_reads = %g, want 3", samples["vdisk_reads"])
+	}
+	if samples["migrate_stripe_rate_total"] != 12 {
+		t.Fatalf("migrate_stripe_rate_total = %g, want 12", samples["migrate_stripe_rate_total"])
+	}
+	if samples[`trace_span_us_online_bucket{le="+Inf"}`] != 3 {
+		t.Fatalf("+Inf bucket = %g, want 3", samples[`trace_span_us_online_bucket{le="+Inf"}`])
+	}
+}

@@ -3,25 +3,48 @@ package telemetry
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
 // DumpMetrics writes a registry dump to path: "-" means stdout, a path
 // ending in ".json" selects the JSON form, anything else the expvar-style
 // text form. It is the implementation behind the CLIs' -metrics flag.
+//
+// File dumps are atomic: the dump is written to a temporary file in the
+// target directory and renamed into place, so a crash (or disk-full error)
+// mid-dump never leaves a truncated metrics file where a previous complete
+// one stood.
 func DumpMetrics(r *Registry, path string) error {
 	if path == "" {
 		return nil
 	}
-	w := os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return fmt.Errorf("telemetry: metrics dump: %w", err)
-		}
-		defer f.Close()
-		w = f
+	if path == "-" {
+		return writeDump(r, os.Stdout, path)
 	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".metrics-*.tmp")
+	if err != nil {
+		return fmt.Errorf("telemetry: metrics dump: %w", err)
+	}
+	tmp := f.Name()
+	if err := writeDump(r, f, path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("telemetry: metrics dump: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("telemetry: metrics dump: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("telemetry: metrics dump: %w", err)
+	}
+	return nil
+}
+
+// writeDump picks the dump format from the destination path's suffix.
+func writeDump(r *Registry, w *os.File, path string) error {
 	if strings.HasSuffix(path, ".json") {
 		return r.WriteJSON(w)
 	}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDumpMetricsAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.txt")
+	if err := os.WriteFile(path, []byte("stale partial content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRegistry()
+	r.Counter("dump.ok").Add(7)
+	if err := DumpMetrics(r, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "dump.ok 7\n"; string(got) != want {
+		t.Fatalf("dump = %q, want %q", got, want)
+	}
+	// No temp files left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".metrics-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestDumpMetricsJSONSuffix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	r := NewRegistry()
+	r.Gauge("dump.depth").Set(3)
+	if err := DumpMetrics(r, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), `"dump.depth": 3`) {
+		t.Fatalf("JSON dump missing gauge: %s", got)
+	}
+}
+
+func TestDumpMetricsErrorLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "gone") // nonexistent directory
+	err := DumpMetrics(NewRegistry(), filepath.Join(sub, "m.txt"))
+	if err == nil {
+		t.Fatal("dump into a nonexistent directory should fail")
+	}
+
+	// An unwritable directory must fail without touching an existing file.
+	path := filepath.Join(dir, "keep.txt")
+	if err := os.WriteFile(path, []byte("previous complete dump"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if os.Getuid() != 0 { // root ignores directory permissions
+		if err := DumpMetrics(NewRegistry(), path); err == nil {
+			t.Fatal("dump into an unwritable directory should fail")
+		}
+		got, rerr := os.ReadFile(path)
+		if rerr != nil || string(got) != "previous complete dump" {
+			t.Fatalf("existing dump clobbered: %q, %v", got, rerr)
+		}
+	}
+}
+
+func TestDumpMetricsEmptyPathIsNoop(t *testing.T) {
+	if err := DumpMetrics(NewRegistry(), ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachTraceFileEmptyPath(t *testing.T) {
+	tr := NewTracer()
+	closeFn, err := AttachTraceFile(tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closeFn == nil {
+		t.Fatal("close func must never be nil")
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.enabled() {
+		t.Fatal("empty path must not attach a sink")
+	}
+}
+
+func TestAttachTraceFileStderr(t *testing.T) {
+	tr := NewTracer()
+	closeFn, err := AttachTraceFile(tr, "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	if !tr.enabled() {
+		t.Fatal("\"-\" must attach the stderr sink")
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal("closing the stderr sink must be a no-op, got", err)
+	}
+}
+
+func TestAttachTraceFileUnwritablePath(t *testing.T) {
+	tr := NewTracer()
+	closeFn, err := AttachTraceFile(tr, filepath.Join(t.TempDir(), "no", "such", "dir.jsonl"))
+	if err == nil {
+		t.Fatal("unwritable path should fail")
+	}
+	if closeFn == nil {
+		t.Fatal("close func must never be nil, even on error")
+	}
+	if cerr := closeFn(); cerr != nil {
+		t.Fatal("error-path close func must be a no-op, got", cerr)
+	}
+	if tr.enabled() {
+		t.Fatal("failed attach must not leave a sink behind")
+	}
+}
+
+func TestAttachTraceFileWritesEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr := NewTracer()
+	closeFn, err := AttachTraceFile(tr, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.StartSpan("cli.span").End()
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), `"cli.span"`) {
+		t.Fatalf("trace file missing span: %s", got)
+	}
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import "testing"
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.lat", []float64{10, 20, 40})
+	// 10 observations uniformly in the first bucket's range.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	s := h.Snapshot()
+	// Rank q*10 interpolated across [0, 10): the median is the bucket's
+	// midpoint, q=1 its upper bound, q=0 its lower edge.
+	if got := s.Quantile(0.5); got != 5 {
+		t.Fatalf("p50 = %g, want 5", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Fatalf("p100 = %g, want 10", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %g, want 0", got)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.lat2", []float64{1, 2, 4, 8})
+	// One observation per bucket except the overflow.
+	for _, v := range []float64{0.5, 1.5, 3, 7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// p99 lands in the last finite bucket (4, 8]: rank 3.96 of 4.
+	if got := s.Quantile(0.99); got <= 4 || got > 8 {
+		t.Fatalf("p99 = %g, want in (4, 8]", got)
+	}
+	// p25 is the first bucket's upper bound (rank 1 of 4 completes it).
+	if got := s.Quantile(0.25); got != 1 {
+		t.Fatalf("p25 = %g, want 1", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.single", []float64{100})
+	h.Observe(50)
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 50 {
+		t.Fatalf("single-bucket p50 = %g, want 50 (midpoint)", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("single-bucket p100 = %g, want 100", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.over", []float64{1, 10})
+	h.Observe(100) // lands in +Inf
+	s := h.Snapshot()
+	// Nothing to interpolate toward: the largest finite bound is returned.
+	if got := s.Quantile(0.5); got != 10 {
+		t.Fatalf("overflow p50 = %g, want 10", got)
+	}
+}
+
+func TestQuantileClampsAndNoBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.clamp", []float64{10})
+	h.Observe(5)
+	s := h.Snapshot()
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Fatalf("q<0 not clamped: %g vs %g", got, s.Quantile(0))
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Fatalf("q>1 not clamped: %g vs %g", got, s.Quantile(1))
+	}
+	// A bound-less histogram (only the +Inf bucket) falls back to the mean.
+	nb := HistogramSnapshot{Counts: []int64{4}, Count: 4, Sum: 12}
+	if got := nb.Quantile(0.5); got != 3 {
+		t.Fatalf("bound-less p50 = %g, want mean 3", got)
+	}
+}

@@ -138,6 +138,52 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]; out-of-range values are
+// clamped) by linear interpolation within the bucket holding the target
+// rank, the same estimate Prometheus's histogram_quantile computes. The
+// first bucket interpolates from 0 (or from its bound when that is
+// negative); ranks landing in the +Inf overflow bucket return the largest
+// finite bound, since there is nothing to interpolate toward. An empty
+// histogram returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	if len(s.Bounds) == 0 {
+		// Only the overflow bucket exists: the mean is the best estimate.
+		return s.Mean()
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if rank > float64(cum+c) {
+			cum += c
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		} else if s.Bounds[0] < 0 {
+			lower = s.Bounds[0]
+		}
+		upper := s.Bounds[i]
+		return lower + (upper-lower)*(rank-float64(cum))/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Snapshot returns a copy of the histogram's current state. Count is
 // derived from the bucket counters, so it equals their sum exactly.
 func (h *Histogram) Snapshot() HistogramSnapshot {
@@ -160,6 +206,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	rates    map[string]*Rate
 }
 
 // NewRegistry returns an empty registry.
@@ -168,6 +215,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		rates:    make(map[string]*Rate),
 	}
 }
 
@@ -241,6 +289,24 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Rate returns the named windowed-rate instrument, creating it if needed.
+func (r *Registry) Rate(name string) *Rate {
+	r = r.orDefault()
+	r.mu.RLock()
+	rt := r.rates[name]
+	r.mu.RUnlock()
+	if rt != nil {
+		return rt
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rt = r.rates[name]; rt == nil {
+		rt = newRate()
+		r.rates[name] = rt
+	}
+	return rt
+}
+
 // Instanced is a per-instance namespace of a registry: instruments named
 // "<prefix>.<id>.<suffix>", e.g. "vdisk.disk.3.reads". It exists so that
 // dynamic identities (one gauge per disk, per shard, per backend) have a
@@ -283,6 +349,7 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Rates      map[string]RateSnapshot      `json:"rates,omitempty"`
 }
 
 // Snapshot captures every instrument's current value.
@@ -294,6 +361,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]int64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Rates:      make(map[string]RateSnapshot, len(r.rates)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
@@ -304,6 +372,9 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
 	}
+	for name, rt := range r.rates {
+		s.Rates[name] = rt.Snapshot()
+	}
 	return s
 }
 
@@ -311,7 +382,7 @@ func (r *Registry) Snapshot() Snapshot {
 // per instrument, sorted by name. Histograms expose count, sum and mean.
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
-	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+3*len(s.Histograms))
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+3*len(s.Histograms)+2*len(s.Rates))
 	for name, v := range s.Counters {
 		lines = append(lines, fmt.Sprintf("%s %d", name, v))
 	}
@@ -323,6 +394,11 @@ func (r *Registry) WriteText(w io.Writer) error {
 			fmt.Sprintf("%s.count %d", name, h.Count),
 			fmt.Sprintf("%s.sum %g", name, h.Sum),
 			fmt.Sprintf("%s.mean %g", name, h.Mean()))
+	}
+	for name, rt := range s.Rates {
+		lines = append(lines,
+			fmt.Sprintf("%s.total %d", name, rt.Total),
+			fmt.Sprintf("%s.ewma %g", name, rt.EWMA))
 	}
 	sort.Strings(lines)
 	for _, l := range lines {

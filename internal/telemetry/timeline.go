@@ -1,0 +1,39 @@
+package telemetry
+
+// TimelineSink aggregates span durations into per-name histograms: every
+// "end" event observes its duration (in microseconds) into the histogram
+// "trace.span_us.<span name>" of the bound registry. Attaching one to a
+// tracer gives every instrumented phase — the migrator's plan/exec/online
+// spans, scrub passes, rebuilds — a live latency distribution without any
+// per-call-site wiring, and the observability plane exposes the result as
+// ordinary histogram series.
+//
+// The "trace.span_us." prefix plus a runtime span name is this package's
+// own naming seam (the telemetry package is exempt from the metricname
+// analyzer precisely so it can implement such seams); span names are
+// already constant pkg.snake_case strings at their StartSpan call sites.
+type TimelineSink struct {
+	reg *Registry
+}
+
+// spanBucketsUS spans microsecond-scale leaf operations through
+// minute-scale whole-migration spans.
+var spanBucketsUS = []float64{
+	10, 50, 100, 500, 1e3, 5e3, 1e4, 5e4, 1e5, 5e5, 1e6, 5e6, 1e7, 6e7,
+}
+
+// NewTimelineSink returns a sink recording span durations into reg (nil
+// selects the process-wide default registry).
+func NewTimelineSink(reg *Registry) *TimelineSink {
+	return &TimelineSink{reg: reg.orDefault()}
+}
+
+// Emit records "end" events; begin records and free-standing events carry
+// no duration and are ignored.
+func (s *TimelineSink) Emit(e Event) {
+	if e.Phase != "end" {
+		return
+	}
+	s.reg.Histogram("trace.span_us."+e.Name, spanBucketsUS).
+		Observe(float64(e.Dur.Microseconds()))
+}

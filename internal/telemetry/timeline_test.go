@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimelineSinkAggregatesSpans(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(NewTimelineSink(reg))
+
+	for i := 0; i < 3; i++ {
+		sp := tr.StartSpan("migrate.online")
+		sp.Event("step") // events carry no duration and must be ignored
+		sp.End()
+	}
+	tr.StartSpan("raid6.scrub").End()
+	tr.Event("loose")
+
+	s := reg.Snapshot()
+	if got := s.Histograms["trace.span_us.migrate.online"].Count; got != 3 {
+		t.Fatalf("migrate.online span count = %d, want 3", got)
+	}
+	if got := s.Histograms["trace.span_us.raid6.scrub"].Count; got != 1 {
+		t.Fatalf("raid6.scrub span count = %d, want 1", got)
+	}
+	if len(s.Histograms) != 2 {
+		t.Fatalf("got %d histograms %v, want exactly the two span timelines",
+			len(s.Histograms), s.Histograms)
+	}
+}
+
+func TestTimelineSinkRecordsDuration(t *testing.T) {
+	reg := NewRegistry()
+	sink := NewTimelineSink(reg)
+	sink.Emit(Event{Phase: "end", Name: "x.phase", Dur: 3 * time.Millisecond})
+	h := reg.Snapshot().Histograms["trace.span_us.x.phase"]
+	if h.Count != 1 || h.Sum != 3000 {
+		t.Fatalf("span histogram = %+v, want one 3000 µs observation", h)
+	}
+	if q := h.Quantile(0.5); q <= 0 {
+		t.Fatalf("span p50 = %g, want > 0", q)
+	}
+}
+
+func TestRingSinkDroppedCounter(t *testing.T) {
+	reg := NewRegistry()
+	ring := NewRingSink(3)
+	ring.SetTelemetry(reg)
+
+	for i := 0; i < 3; i++ {
+		ring.Emit(Event{Name: "keep"})
+	}
+	if ring.Dropped() != 0 || reg.Counter("trace.dropped_spans").Value() != 0 {
+		t.Fatalf("drops before the ring wraps: %d", ring.Dropped())
+	}
+	for i := 0; i < 5; i++ {
+		ring.Emit(Event{Name: "evict"})
+	}
+	if got := ring.Dropped(); got != 5 {
+		t.Fatalf("Dropped() = %d, want 5", got)
+	}
+	if got := reg.Counter("trace.dropped_spans").Value(); got != 5 {
+		t.Fatalf("trace.dropped_spans = %d, want 5", got)
+	}
+	// The retained window is still the newest events.
+	ev := ring.Events()
+	if len(ev) != 3 || ev[0].Name != "evict" {
+		t.Fatalf("retained %v, want the 3 newest", ev)
+	}
+}

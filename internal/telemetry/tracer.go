@@ -177,29 +177,63 @@ func (s *JSONLSink) Emit(e Event) {
 	_ = s.enc.Encode(je)
 }
 
-// RingSink keeps the last N events in memory — the test sink.
+// RingSink keeps the last N events in memory — the test sink, and the
+// bounded-memory sink for long-running processes. Once the ring is full
+// every new event evicts the oldest; evictions are counted (Dropped, and
+// the "trace.dropped_spans" counter of the bound registry) so silent event
+// loss under load is visible rather than inferred.
 type RingSink struct {
-	mu    sync.Mutex
-	buf   []Event
-	next  int
-	total int
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	total   int
+	dropped *Counter // mirrors the eviction count into a registry
 }
 
-// NewRingSink returns a ring sink with the given capacity.
+// NewRingSink returns a ring sink with the given capacity, counting
+// evictions into the default registry's "trace.dropped_spans" counter
+// (rebind with SetTelemetry).
 func NewRingSink(capacity int) *RingSink {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &RingSink{buf: make([]Event, capacity)}
+	s := &RingSink{buf: make([]Event, capacity)}
+	s.bindTelemetry(nil)
+	return s
+}
+
+// SetTelemetry rebinds the sink's eviction counter to reg (nil selects the
+// process-wide default registry).
+func (s *RingSink) SetTelemetry(reg *Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bindTelemetry(reg)
+}
+
+func (s *RingSink) bindTelemetry(reg *Registry) {
+	s.dropped = reg.Counter("trace.dropped_spans")
 }
 
 // Emit stores the event, evicting the oldest once full.
 func (s *RingSink) Emit(e Event) {
 	s.mu.Lock()
+	if s.total >= len(s.buf) {
+		s.dropped.Inc()
+	}
 	s.buf[s.next] = e
 	s.next = (s.next + 1) % len(s.buf)
 	s.total++
 	s.mu.Unlock()
+}
+
+// Dropped returns how many events have been evicted from the ring.
+func (s *RingSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.total <= len(s.buf) {
+		return 0
+	}
+	return int64(s.total - len(s.buf))
 }
 
 // Total returns how many events were ever emitted.

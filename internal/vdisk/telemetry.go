@@ -16,6 +16,7 @@ import (
 //	vdisk.retries                        counter, transient retry attempts
 //	vdisk.failures / vdisk.replacements  counters, Fail()/Replace() calls
 //	vdisk.io_bytes                       histogram, bytes per served I/O
+//	vdisk.io_rate                        rate, served I/Os (IOPS windows)
 //	vdisk.disk.<id>.reads / .writes      gauges, mirror Stats (resettable)
 //	vdisk.disk.<id>.read_latency_us      histogram, per-disk read latency
 //	vdisk.disk.<id>.write_latency_us     histogram, per-disk write latency
@@ -40,9 +41,12 @@ type diskTel struct {
 	// readLat/writeLat measure device service time only: the clock starts
 	// after the disk's lock is acquired, so queueing behind concurrent
 	// callers (lock contention) never inflates the histograms.
-	readLat    *telemetry.Histogram
-	writeLat   *telemetry.Histogram
-	ioBytes    *telemetry.Histogram
+	readLat  *telemetry.Histogram
+	writeLat *telemetry.Histogram
+	ioBytes  *telemetry.Histogram
+	// ioRate feeds the live IOPS windows (1 s/10 s/60 s + EWMA) the
+	// observability plane and watch mode display; shared across disks.
+	ioRate     *telemetry.Rate
 	allReads   *telemetry.Counter // monotonic, shared across disks
 	allWrites  *telemetry.Counter
 	readErrs   *telemetry.Counter
@@ -70,6 +74,7 @@ func (d *Disk) bindTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		readLat:    inst.Histogram("read_latency_us", latencyBucketsUS),
 		writeLat:   inst.Histogram("write_latency_us", latencyBucketsUS),
 		ioBytes:    reg.Histogram("vdisk.io_bytes", sizeBuckets),
+		ioRate:     reg.Rate("vdisk.io_rate"),
 		allReads:   reg.Counter("vdisk.reads"),
 		allWrites:  reg.Counter("vdisk.writes"),
 		readErrs:   reg.Counter("vdisk.read_errors"),

@@ -147,6 +147,7 @@ func (d *Disk) readAttempt(b int64, buf []byte) error {
 	d.stats.Reads++
 	d.tel.reads.Set(d.stats.Reads)
 	d.tel.allReads.Inc()
+	d.tel.ioRate.Inc()
 	d.tel.ioBytes.Observe(float64(d.blockSize))
 	d.tel.readLat.Observe(float64(time.Since(start).Nanoseconds()) / 1e3)
 	return nil
@@ -223,6 +224,7 @@ func (d *Disk) writeAttempt(b int64, data []byte) error {
 	d.stats.Writes++
 	d.tel.writes.Set(d.stats.Writes)
 	d.tel.allWrites.Inc()
+	d.tel.ioRate.Inc()
 	d.tel.ioBytes.Observe(float64(d.blockSize))
 	d.tel.writeLat.Observe(float64(time.Since(start).Nanoseconds()) / 1e3)
 	return nil
@@ -385,6 +387,22 @@ func (a *Array) RemoveLast() *Disk {
 	d := a.disks[len(a.disks)-1]
 	a.disks = a.disks[:len(a.disks)-1]
 	return d
+}
+
+// FailedDisks returns the slot indices of fail-stopped disks, in order.
+// It is the substrate of the observability plane's array health checker: an
+// empty result means every disk accepts I/O.
+func (a *Array) FailedDisks() []int {
+	a.mu.RLock()
+	disks := append([]*Disk(nil), a.disks...)
+	a.mu.RUnlock()
+	var failed []int
+	for i, d := range disks {
+		if d.Failed() {
+			failed = append(failed, i)
+		}
+	}
+	return failed
 }
 
 // TotalStats sums the stats of all disks.
