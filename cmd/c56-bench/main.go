@@ -94,6 +94,7 @@ func main() {
 		stripes  = flag.Int64("parallel-stripes", 64, "stripes per full-array encode in the parallel sweep")
 		reps     = flag.Int("parallel-reps", 5, "measurement windows per worker count (median reported, min 3)")
 		maxprocs = flag.Int("maxprocs", 0, "GOMAXPROCS for the sweeps (0 = all CPUs)")
+		backend  = flag.String("backend", "", "block-store backend for the parallel sweep's array: 'mem:' (default) or 'file:<dir>' to measure over durable image files")
 		httpAddr = flag.String("http", "", "serve the observability plane (/metrics, /healthz, /debug/pprof) on this address, e.g. :8080")
 	)
 	flag.Parse()
@@ -125,7 +126,7 @@ func main() {
 		}
 	}
 	if *parOut != "" {
-		if err := runParallel(*parOut, *parBlock, *parP, *stripes, *minTime, *reps); err != nil {
+		if err := runParallel(*parOut, *parBlock, *parP, *stripes, *minTime, *reps, *backend); err != nil {
 			fmt.Fprintln(os.Stderr, "c56-bench:", err)
 			os.Exit(1)
 		}
@@ -269,7 +270,7 @@ func run(out string, block, p int, minTime time.Duration) error {
 // Each worker count runs reps independent measurement windows (each at
 // least minTime long) and reports the median throughput, plus heap
 // allocations per stripe encode taken from runtime.MemStats.
-func runParallel(out string, block, p int, stripes int64, minTime time.Duration, reps int) error {
+func runParallel(out string, block, p int, stripes int64, minTime time.Duration, reps int, backend string) error {
 	if reps < 3 {
 		reps = 3
 	}
@@ -277,7 +278,8 @@ func runParallel(out string, block, p int, stripes int64, minTime time.Duration,
 	if err != nil {
 		return err
 	}
-	a, err := code56.NewRAID6Array(code, code56.WithBlockSize(block))
+	a, err := code56.NewRAID6Array(code,
+		code56.WithBackend(backend), code56.WithBlockSize(block))
 	if err != nil {
 		return err
 	}

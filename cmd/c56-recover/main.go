@@ -46,6 +46,7 @@ func main() {
 		workers  = flag.Int("workers", 1, "worker goroutines for the rebuild or scrub")
 		scrub    = flag.Bool("scrub", false, "plant latent errors and silent corruption in an array, then check and repair it by scrubbing")
 		seed     = flag.Int64("seed", 23, "seed for planted faults (-scrub mode)")
+		backend  = flag.String("backend", "", "block-store backend for -rebuild/-scrub arrays: 'mem:' (default) or 'file:<dir>'")
 		httpAddr = flag.String("http", "", "serve the observability plane (/metrics, /healthz, /debug/pprof) on this address, e.g. :8080")
 	)
 	flag.Parse()
@@ -59,14 +60,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "observability plane listening on http://%s\n", handle.Addr())
 	}
 	if *scrub {
-		if err := runScrub(*codeName, *p, *block, *stripes, *workers, *seed); err != nil {
+		if err := runScrub(*codeName, *p, *block, *stripes, *workers, *seed, *backend); err != nil {
 			fmt.Fprintln(os.Stderr, "c56-recover:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *rebuild {
-		if err := runRebuild(*codeName, *p, *failSpec, *block, *stripes, *workers); err != nil {
+		if err := runRebuild(*codeName, *p, *failSpec, *block, *stripes, *workers, *backend); err != nil {
 			fmt.Fprintln(os.Stderr, "c56-recover:", err)
 			os.Exit(1)
 		}
@@ -172,13 +173,14 @@ func demo(name string, p int, fails []int, block int) error {
 // single-block corruptions, surveys the damage with a check-only scrub,
 // repairs it with a repairing scrub, and proves the array clean with a
 // final check pass plus a full data read-back.
-func runScrub(codeName string, p, block int, stripes int64, workers int, seed int64) error {
+func runScrub(codeName string, p, block int, stripes int64, workers int, seed int64, backend string) error {
 	code, err := makeCode(codeName, p)
 	if err != nil {
 		return err
 	}
 	g := code.Geometry()
-	a, err := code56.NewRAID6Array(code, code56.WithBlockSize(block))
+	a, err := code56.NewRAID6Array(code,
+		code56.WithBackend(backend), code56.WithBlockSize(block))
 	if err != nil {
 		return err
 	}
@@ -251,6 +253,9 @@ func runScrub(codeName string, p, block int, stripes int64, workers int, seed in
 			return fmt.Errorf("block %d wrong after scrub repair", L)
 		}
 	}
+	if err := a.Disks().Sync(); err != nil {
+		return err
+	}
 	fmt.Printf("verified: array clean, all %d data blocks intact\n", blocks)
 	return nil
 }
@@ -258,7 +263,7 @@ func runScrub(codeName string, p, block int, stripes int64, workers int, seed in
 // runRebuild populates a RAID-6 array, fails and replaces the given disks,
 // rebuilds every stripe through the parallel stripe engine, and verifies
 // both parity consistency and data integrity.
-func runRebuild(codeName string, p int, failSpec string, block int, stripes int64, workers int) error {
+func runRebuild(codeName string, p int, failSpec string, block int, stripes int64, workers int, backend string) error {
 	code, err := makeCode(codeName, p)
 	if err != nil {
 		return err
@@ -275,7 +280,8 @@ func runRebuild(codeName string, p int, failSpec string, block int, stripes int6
 		}
 		fails = append(fails, v)
 	}
-	a, err := code56.NewRAID6Array(code, code56.WithBlockSize(block))
+	a, err := code56.NewRAID6Array(code,
+		code56.WithBackend(backend), code56.WithBlockSize(block))
 	if err != nil {
 		return err
 	}
@@ -310,6 +316,9 @@ func runRebuild(codeName string, p int, failSpec string, block int, stripes int6
 		if !bytes.Equal(buf, want[L]) {
 			return fmt.Errorf("block %d corrupted by rebuild", L)
 		}
+	}
+	if err := a.Disks().Sync(); err != nil {
+		return err
 	}
 	rebuilt := stripes * int64(g.Rows) * int64(len(fails))
 	mb := float64(rebuilt) * float64(block) / 1e6

@@ -24,16 +24,20 @@ func TestRunModes(t *testing.T) {
 }
 
 func TestRunRebuild(t *testing.T) {
-	if err := runRebuild("code56", 7, "2,5", 256, 16, 4); err != nil {
+	if err := runRebuild("code56", 7, "2,5", 256, 16, 4, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := runRebuild("rdp", 5, "0", 256, 8, 2); err != nil {
+	if err := runRebuild("rdp", 5, "0", 256, 8, 2, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := runRebuild("code56", 7, "99", 256, 8, 1); err == nil {
+	// The same rebuild over durable image files.
+	if err := runRebuild("code56", 5, "1", 256, 8, 2, "file:"+t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRebuild("code56", 7, "99", 256, 8, 1, ""); err == nil {
 		t.Error("out-of-range failed column accepted")
 	}
-	if err := runRebuild("code56", 7, "x", 256, 8, 1); err == nil {
+	if err := runRebuild("code56", 7, "x", 256, 8, 1, ""); err == nil {
 		t.Error("malformed fail spec accepted")
 	}
 }

@@ -47,6 +47,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a JSON-lines span/event trace to this file ('-' for stderr)")
 		faults    = flag.Bool("faults", false, "run the deterministic fault-injection smoke scenario and exit")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the -faults scenario")
+		backend   = flag.String("backend", "", "block-store backend for the -faults scenario: 'mem:' (default) or 'file:<dir>'")
 		httpAddr  = flag.String("http", "", "serve the observability plane (/metrics, /healthz, /debug/pprof) on this address, e.g. :8080")
 	)
 	flag.Parse()
@@ -61,7 +62,7 @@ func main() {
 	}
 
 	if *faults {
-		if err := runFaults(*faultSeed, *block); err != nil {
+		if err := runFaults(*faultSeed, *block, *backend); err != nil {
 			fmt.Fprintln(os.Stderr, "c56-sim:", err)
 			os.Exit(1)
 		}
@@ -154,7 +155,9 @@ func run(p, n int, byN bool, block int, cfg analysis.SimConfig, dumpTrace, codeN
 // online RAID-5 → Code 5-6 migration with a retry policy, then a disk is
 // fail-stopped, every block is served degraded, the disk is replaced and
 // rebuilt, and a final scrub plus full read-back proves zero data loss.
-func runFaults(seed int64, block int) error {
+// With backend "file:<dir>" the whole scenario runs over durable sparse
+// image files instead of in-memory stores.
+func runFaults(seed int64, block int, backend string) error {
 	if block == 0 {
 		block = 4096
 	}
@@ -162,7 +165,8 @@ func runFaults(seed int64, block int) error {
 		disks = 4  // p = 5
 		rows  = 24 // 6 Code 5-6 stripes
 	)
-	r5, err := code56.NewRAID5Array(disks, code56.WithBlockSize(block))
+	r5, err := code56.NewRAID5Array(disks,
+		code56.WithBackend(backend), code56.WithBlockSize(block))
 	if err != nil {
 		return err
 	}
@@ -244,6 +248,9 @@ func runFaults(seed int64, block int) error {
 		if !bytes.Equal(buf, want[L]) {
 			return fmt.Errorf("block %d wrong after rebuild", L)
 		}
+	}
+	if err := r6.Disks().Sync(); err != nil {
+		return err
 	}
 	fmt.Printf("rebuilt: disk 1 restored, scrub clean, zero data loss\n")
 	return nil

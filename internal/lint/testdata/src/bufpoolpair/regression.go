@@ -49,6 +49,48 @@ func batchRentals(ops []int, n int) {
 	}
 }
 
+// trimInterior is the PR 7 filestore.Trim shape, post-fix: one pooled
+// zero chunk rewrites an interior range in a loop with early error
+// returns; the defer keeps every exit path clean.
+func trimInterior(off, length int64, writeAt func([]byte, int64) error) error {
+	const chunk = 64 << 10
+	zero := bufpool.GetZero(chunk)
+	defer bufpool.Put(zero)
+	for length > 0 {
+		c := int64(chunk)
+		if length < c {
+			c = length
+		}
+		if err := writeAt(zero[:c], off); err != nil {
+			return err
+		}
+		off += c
+		length -= c
+	}
+	return nil
+}
+
+// trimInteriorLeaky is the same loop with the Put moved to the fall-
+// through exit: the mid-loop error return leaks the zero chunk — the
+// shape the defer in filestore.Trim exists to rule out.
+func trimInteriorLeaky(off, length int64, writeAt func([]byte, int64) error) error {
+	const chunk = 64 << 10
+	zero := bufpool.GetZero(chunk)
+	for length > 0 {
+		c := int64(chunk)
+		if length < c {
+			c = length
+		}
+		if err := writeAt(zero[:c], off); err != nil {
+			return err // want `rented at line \d+`
+		}
+		off += c
+		length -= c
+	}
+	bufpool.Put(zero)
+	return nil
+}
+
 // condRental mirrors raid6's writePartialStripe: a lazily created
 // accumulator escapes into a map drained by the deferred sweep; the if
 // join with the already-present path must stay clean.

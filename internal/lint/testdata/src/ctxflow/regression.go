@@ -20,3 +20,22 @@ func healStripes(ctx context.Context, stripes int, repair func(int) error) error
 func healStripesDetached(ctx context.Context, stripes int, repair func(int) error) error {
 	return parallel.ForEach(context.Background(), stripes, repair) // want `manufactured context`
 }
+
+// redoAfterReplay is the PR 7 WAL-replay shape: after the intent log
+// replays to a watermark, the stripes above it are redone through the
+// parallel engine — under the resuming caller's ctx, so aborting the
+// resume also stops the redo fan-out.
+func redoAfterReplay(ctx context.Context, watermark, total int, redo func(int) error) error {
+	return parallel.ForEach(ctx, total-watermark, func(i int) error {
+		return redo(watermark + i)
+	})
+}
+
+// redoAfterReplayDetached manufactures a root for the redo fan-out: a
+// cancelled resume would keep rewriting stripes behind the caller's back,
+// the exact bug class replay-then-redo must not reintroduce.
+func redoAfterReplayDetached(ctx context.Context, watermark, total int, redo func(int) error) error {
+	return parallel.ForEach(context.Background(), total-watermark, func(i int) error { // want `manufactured context`
+		return redo(watermark + i)
+	})
+}

@@ -42,6 +42,18 @@ func (e *Executor) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 // the plan's overlays (data blocks plus consistent RAID-5 parities), plus
 // the disks the conversion adds. Disk i serves target column Virtual+i.
 func NewExecutor(plan *Plan, blockSize int, seed int64) *Executor {
+	e, err := NewExecutorBackend(plan, blockSize, seed, vdisk.MemBackend{})
+	if err != nil {
+		// MemBackend cannot fail to open a store.
+		panic(err)
+	}
+	return e
+}
+
+// NewExecutorBackend is NewExecutor with the disks opened on the given
+// backend, so offline conversions can run over durable files and their
+// result directories reopened later.
+func NewExecutorBackend(plan *Plan, blockSize int, seed int64, backend vdisk.Backend) (*Executor, error) {
 	e := &Executor{
 		plan:      plan,
 		blockSize: blockSize,
@@ -49,7 +61,11 @@ func NewExecutor(plan *Plan, blockSize int, seed int64) *Executor {
 		want:      make(map[int]map[layout.Coord][]byte),
 	}
 	realCols := e.geom.Cols - plan.Virtual
-	e.disks = vdisk.NewArray(realCols, blockSize)
+	disks, err := vdisk.NewArrayBackend(realCols, blockSize, backend)
+	if err != nil {
+		return nil, err
+	}
+	e.disks = disks
 
 	r := rand.New(rand.NewSource(seed))
 	for st := 0; st < plan.Period; st++ {
@@ -82,7 +98,7 @@ func NewExecutor(plan *Plan, blockSize int, seed int64) *Executor {
 		}
 	}
 	e.disks.ResetStats()
-	return e
+	return e, nil
 }
 
 // Disks exposes the executor's disk array (for stats assertions).

@@ -75,6 +75,10 @@ type OnlineMigrator struct {
 	// onProgress, if set, is called (without locks held) after each
 	// stripe completes.
 	onProgress func(converted, total int64)
+	// journal, if attached, records begin/watermark/finish intent records
+	// so a crash mid-migration reopens to a resumable state (see
+	// AttachJournal; nil for purely in-memory migrations).
+	journal *Journal
 
 	stats     MigrationStats
 	startTime time.Time
@@ -321,7 +325,22 @@ func (m *OnlineMigrator) StartContext(ctx context.Context) error {
 	}
 	m.startTime = time.Now()
 	if m.r5.Disks().Len() < m.code.P() {
-		m.r5.Disks().Add()
+		if _, err := m.r5.Disks().Attach(); err != nil {
+			m.started = false
+			return fmt.Errorf("migrate: adding diagonal-parity disk: %w", err)
+		}
+	}
+	if m.journal != nil {
+		err := m.journal.begin(BeginRecord{
+			Rows:      m.rows,
+			BlockSize: m.r5.BlockSize(),
+			DataDisks: m.code.P() - 1,
+			Layout:    m.r5.Layout().String(),
+		})
+		if err != nil {
+			m.started = false
+			return err
+		}
 	}
 	m.span = m.tel.tr.StartSpan("migrate.online",
 		telemetry.A("stripes", m.stripes),
@@ -483,6 +502,19 @@ func (m *OnlineMigrator) convert() {
 	}
 	wg.Wait()
 	m.mu.Lock()
+	if m.journal != nil && m.err == nil && m.cursor == m.stripes {
+		// Commit the completed conversion while still unfinished: the
+		// final checkpoint, the finish record, and the atomic meta flip
+		// to RAID-6 (all idempotent; a crash inside redoes the remainder
+		// on the next ResumeMigration).
+		j, total := m.journal, m.stripes
+		m.mu.Unlock()
+		err := j.finish(total)
+		m.mu.Lock()
+		if err != nil && m.err == nil {
+			m.err = err
+		}
+	}
 	m.finished = true
 	m.endTime = time.Now()
 	span, st, err := m.span, m.stats, m.err
@@ -577,6 +609,7 @@ func (m *OnlineMigrator) worker() {
 		m.tel.progress.Set(m.cursor)
 		progress, total := m.cursor, m.stripes
 		fn := m.onProgress
+		j := m.journal
 		throttle := m.throttle
 		wake := m.wake // captured under the same lock as throttle
 		if m.err != nil || m.userPaused {
@@ -585,6 +618,20 @@ func (m *OnlineMigrator) worker() {
 		m.cond.Broadcast()
 		m.mu.Unlock()
 
+		if j != nil {
+			// progress was read before the checkpoint's disk sync, so the
+			// journaled watermark never claims unsynced stripes.
+			if err := j.maybeCheckpoint(progress); err != nil {
+				m.mu.Lock()
+				if m.err == nil {
+					m.err = err
+				}
+				m.interruptLocked()
+				m.cond.Broadcast()
+				m.mu.Unlock()
+				return
+			}
+		}
 		if fn != nil {
 			fn(progress, total)
 		}

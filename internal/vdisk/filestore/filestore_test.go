@@ -1,0 +1,228 @@
+package filestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"code56/internal/vdisk"
+)
+
+func TestReopenPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, DiskFileName(0))
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := bytes.Repeat([]byte{5}, 512)
+	if _, err := s.WriteAt(blk, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := make([]byte, 512)
+	if _, err := s2.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blk) {
+		t.Fatal("contents did not survive reopen")
+	}
+	// The skipped range [0,4096) is a hole and reads as zeros.
+	hole := make([]byte, 4096)
+	for i := range hole {
+		hole[i] = 0xFF
+	}
+	if _, err := s2.ReadAt(hole, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hole, make([]byte, 4096)) {
+		t.Fatal("hole reads non-zero")
+	}
+}
+
+func TestReadPastEOFZeroFills(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "d.img"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.WriteAt([]byte{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Read straddling EOF: prefix from the file, tail zero-filled.
+	got := []byte{9, 9, 9, 9, 9, 9}
+	n, err := s.ReadAt(got, 1)
+	if err != nil || n != len(got) {
+		t.Fatalf("straddling read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, []byte{2, 3, 0, 0, 0, 0}) {
+		t.Fatalf("straddling read: %v", got)
+	}
+	if _, err := s.ReadAt(got, -1); err == nil {
+		t.Fatal("negative offset should error")
+	}
+}
+
+func TestTrimTailTruncatesInteriorZeroes(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "d.img"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blk := bytes.Repeat([]byte{7}, 1024)
+	if _, err := s.WriteAt(blk, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interior trim zero-fills without shrinking the file.
+	if err := s.Trim(256, 256); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := s.Size(); size != 1024 {
+		t.Fatalf("interior trim changed size to %d", size)
+	}
+	got := make([]byte, 256)
+	if _, err := s.ReadAt(got, 256); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 256)) {
+		t.Fatal("interior trim left non-zero bytes")
+	}
+
+	// Trim reaching EOF truncates, keeping the image small.
+	if err := s.Trim(512, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := s.Size(); size != 512 {
+		t.Fatalf("tail trim: size %d, want 512", size)
+	}
+	// Trim entirely past EOF is a no-op.
+	if err := s.Trim(1<<20, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Trim(-1, 10); err == nil {
+		t.Fatal("negative trim should error")
+	}
+}
+
+func TestResetWipes(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "d.img"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.WriteAt([]byte{1}, 9999); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := s.Size(); size != 0 {
+		t.Fatalf("reset: size %d", size)
+	}
+}
+
+func TestScanAndNames(t *testing.T) {
+	dir := t.TempDir()
+	for _, id := range []int{3, 0, 11} {
+		if err := os.WriteFile(filepath.Join(dir, DiskFileName(id)), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-image noise must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "disk-0xxx.img"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 11}
+	if len(ids) != len(want) {
+		t.Fatalf("scan: %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("scan: %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestBackendOpenRejectsNegativeID(t *testing.T) {
+	b, err := NewBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(-1, 512); err == nil {
+		t.Fatal("negative id should error")
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("SyncDir of missing dir should error")
+	}
+}
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+}
+
+// TestFileDiskIOAllocationFree pins the durable backend's steady-state
+// data path at zero allocations: Disk.Read/Write over a file store is
+// pread/pwrite plus pooled buffers, same as the memory backend.
+func TestFileDiskIOAllocationFree(t *testing.T) {
+	skipIfRace(t)
+	b, err := NewBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := vdisk.NewArrayBackend(1, 4096, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	d := a.Disk(0)
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := d.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := d.Read(0, buf); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	}); n != 0 {
+		t.Errorf("file-backed Read allocates %.1f times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := d.Write(0, buf); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}); n != 0 {
+		t.Errorf("file-backed Write allocates %.1f times per call, want 0", n)
+	}
+}

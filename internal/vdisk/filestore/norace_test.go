@@ -1,0 +1,5 @@
+//go:build !race
+
+package filestore
+
+const raceEnabled = false

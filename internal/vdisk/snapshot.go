@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"code56/internal/bufpool"
 )
 
 // Snapshot format: a versioned binary stream so simulated arrays (and
@@ -17,6 +19,11 @@ import (
 //	per disk: uint32 id, uint8 failed,
 //	          uint32 nBlocks,  nBlocks × (int64 addr, blockSize bytes)
 //	          uint32 nLatent,  nLatent × int64 addr
+//
+// Save and Load go through the BlockStore seam, so snapshots work
+// uniformly across backends: a memory array can be restored onto files
+// (LoadBackend) and vice versa, and fault-injection state travels with
+// the disk regardless of where the bytes live.
 var snapshotMagic = [8]byte{'C', '5', '6', 'V', 'D', 'S', 'K', '1'}
 
 // ErrBadSnapshot is returned when Load encounters a malformed stream.
@@ -45,6 +52,43 @@ func (a *Array) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// extents enumerates the disk's written block addresses through the store:
+// exact allocated pages when the store lists extents, otherwise the dense
+// high-water range with all-zero blocks skipped (a zero block is
+// indistinguishable from an unwritten one — sparse semantics). Caller
+// holds d.mu.
+func (d *Disk) extents() ([]int64, error) {
+	if l, ok := d.store.(ExtentLister); ok {
+		return l.Extents(d.blockSize), nil
+	}
+	size, err := d.store.Size()
+	if err != nil {
+		return nil, err
+	}
+	n := (size + int64(d.blockSize) - 1) / int64(d.blockSize)
+	buf := bufpool.Get(d.blockSize)
+	defer bufpool.Put(buf)
+	addrs := make([]int64, 0, n)
+	for b := int64(0); b < n; b++ {
+		if _, err := d.store.ReadAt(buf, b*int64(d.blockSize)); err != nil {
+			return nil, err
+		}
+		if !allZero(buf) {
+			addrs = append(addrs, b)
+		}
+	}
+	return addrs, nil
+}
+
+func allZero(p []byte) bool {
+	for _, c := range p {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 func (d *Disk) save(w io.Writer) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -58,19 +102,23 @@ func (d *Disk) save(w io.Writer) error {
 	if err := binary.Write(w, binary.LittleEndian, failed); err != nil {
 		return err
 	}
-	addrs := make([]int64, 0, len(d.blocks))
-	for b := range d.blocks {
-		addrs = append(addrs, b)
+	addrs, err := d.extents()
+	if err != nil {
+		return fmt.Errorf("vdisk: snapshotting disk %d: %w", d.id, err)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(addrs))); err != nil {
 		return err
 	}
+	buf := bufpool.Get(d.blockSize)
+	defer bufpool.Put(buf)
 	for _, b := range addrs {
 		if err := binary.Write(w, binary.LittleEndian, b); err != nil {
 			return err
 		}
-		if _, err := w.Write(d.blocks[b]); err != nil {
+		if _, err := d.store.ReadAt(buf, b*int64(d.blockSize)); err != nil {
+			return fmt.Errorf("vdisk: snapshotting disk %d block %d: %w", d.id, b, err)
+		}
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
@@ -90,9 +138,20 @@ func (d *Disk) save(w io.Writer) error {
 	return nil
 }
 
-// Load reconstructs an array from a snapshot written by Save. I/O counters
-// start at zero (they describe activity, not state).
+// Load reconstructs a memory-backed array from a snapshot written by Save.
+// I/O counters start at zero (they describe activity, not state).
 func Load(r io.Reader) (*Array, error) {
+	return LoadBackend(r, MemBackend{})
+}
+
+// LoadBackend reconstructs an array from a snapshot onto the given
+// backend's stores — the cross-backend restore path (e.g. rehydrating a
+// memory snapshot onto durable files). Block contents are written through
+// each store's WriteAt without touching I/O stats.
+func LoadBackend(r io.Reader, backend Backend) (*Array, error) {
+	if backend == nil {
+		backend = MemBackend{}
+	}
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -111,11 +170,12 @@ func Load(r io.Reader) (*Array, error) {
 	if blockSize == 0 || blockSize > 1<<30 || diskCount > 1<<16 {
 		return nil, fmt.Errorf("%w: implausible geometry (%d disks, %d-byte blocks)", ErrBadSnapshot, diskCount, blockSize)
 	}
-	a := &Array{blockSize: int(blockSize)}
+	a := &Array{blockSize: int(blockSize), backend: backend}
 	maxID := -1
 	for i := uint32(0); i < diskCount; i++ {
-		d, err := loadDisk(br, int(blockSize))
+		d, err := loadDisk(br, int(blockSize), backend)
 		if err != nil {
+			_ = a.Close()
 			return nil, err
 		}
 		a.disks = append(a.disks, d)
@@ -127,7 +187,7 @@ func Load(r io.Reader) (*Array, error) {
 	return a, nil
 }
 
-func loadDisk(r io.Reader, blockSize int) (*Disk, error) {
+func loadDisk(r io.Reader, blockSize int, backend Backend) (*Disk, error) {
 	var id uint32
 	if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
@@ -136,12 +196,18 @@ func loadDisk(r io.Reader, blockSize int) (*Disk, error) {
 	if err := binary.Read(r, binary.LittleEndian, &failed); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	d := NewDisk(int(id), blockSize)
+	store, err := backend.Open(int(id), blockSize)
+	if err != nil {
+		return nil, fmt.Errorf("vdisk: opening store for disk %d: %w", id, err)
+	}
+	d := NewDiskStore(int(id), blockSize, store)
 	d.failed = failed != 0
 	var nBlocks uint32
 	if err := binary.Read(r, binary.LittleEndian, &nBlocks); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
+	buf := bufpool.Get(blockSize)
+	defer bufpool.Put(buf)
 	for i := uint32(0); i < nBlocks; i++ {
 		var addr int64
 		if err := binary.Read(r, binary.LittleEndian, &addr); err != nil {
@@ -150,11 +216,12 @@ func loadDisk(r io.Reader, blockSize int) (*Disk, error) {
 		if addr < 0 {
 			return nil, fmt.Errorf("%w: negative block address", ErrBadSnapshot)
 		}
-		buf := make([]byte, blockSize)
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 		}
-		d.blocks[addr] = buf
+		if _, err := store.WriteAt(buf, addr*int64(blockSize)); err != nil {
+			return nil, fmt.Errorf("vdisk: restoring disk %d block %d: %w", id, addr, err)
+		}
 	}
 	var nLatent uint32
 	if err := binary.Read(r, binary.LittleEndian, &nLatent); err != nil {

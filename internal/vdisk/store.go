@@ -1,0 +1,241 @@
+package vdisk
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// BlockStore is the media a Disk performs I/O against. The vdisk layer
+// keeps the simulation concerns — fault injection, latent sectors, retry
+// policies, telemetry — and delegates byte storage to a BlockStore, so the
+// same RAID machinery runs over in-memory pages (MemStore), sparse local
+// files (internal/vdisk/filestore), or any future backend.
+//
+// Contract:
+//
+//   - The store is sparse: reading a byte range that was never written
+//     returns zeros, and ReadAt always fills p completely (n == len(p))
+//     unless it fails. Stores never return io.EOF for reads past their
+//     current size.
+//   - WriteAt extends the store as needed; Size reports the high-water
+//     mark in bytes (the end of the furthest write).
+//   - Sync is a durability barrier: when it returns, every prior WriteAt
+//     is on stable media. MemStore's Sync is a no-op by definition.
+//   - Close releases the backing resources; the store is unusable after.
+//
+// Implementations must be safe for concurrent use: the Disk serializes its
+// own I/O, but snapshots and syncs may run from other goroutines.
+type BlockStore interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Size() (int64, error)
+	Sync() error
+	Close() error
+}
+
+// Optional BlockStore capabilities. Disk methods probe for these with type
+// assertions and fall back to portable behavior when absent.
+type (
+	// Trimmer deallocates a byte range: subsequent reads return zeros.
+	// Without it, Disk.Trim falls back to writing zeros.
+	Trimmer interface {
+		Trim(off, length int64) error
+	}
+	// Resetter discards all contents, returning the store to its freshly
+	// created state (Disk.Replace's "new drive" semantics).
+	Resetter interface {
+		Reset() error
+	}
+	// ExtentLister enumerates the allocated block addresses for the given
+	// block size, sorted ascending. Snapshots use it to stay sparse;
+	// stores without it are enumerated densely from Size, skipping
+	// all-zero blocks.
+	ExtentLister interface {
+		Extents(blockSize int) []int64
+	}
+)
+
+// Backend mints the BlockStore for each disk slot of an array: it is the
+// unit of backend selection (the facade's "mem:" | "file:<dir>" specs map
+// to MemBackend and filestore.Backend). Open both creates new stores and
+// reopens existing ones — a slot id that was written before returns a
+// store holding its durable contents.
+type Backend interface {
+	Open(id, blockSize int) (BlockStore, error)
+}
+
+// MemBackend is the default Backend: every slot gets a fresh MemStore.
+// Contents do not survive the process; Sync is a no-op.
+type MemBackend struct{}
+
+// Open returns a new empty MemStore for the slot.
+func (MemBackend) Open(id, blockSize int) (BlockStore, error) {
+	return NewMemStore(blockSize), nil
+}
+
+// MemStore is the in-memory BlockStore: a sparse page map. It is the
+// extraction of the original Disk block map behind the BlockStore seam,
+// and remains the zero-configuration default for tests and simulations.
+type MemStore struct {
+	mu       sync.RWMutex
+	pageSize int
+	pages    map[int64][]byte
+	size     int64 // high-water mark in bytes
+}
+
+// NewMemStore returns an empty in-memory store with the given page size
+// (the disk's block size; page granularity is what keeps Extents exact).
+func NewMemStore(pageSize int) *MemStore {
+	if pageSize <= 0 {
+		panic(fmt.Sprintf("vdisk: invalid mem store page size %d", pageSize))
+	}
+	return &MemStore{pageSize: pageSize, pages: make(map[int64][]byte)}
+}
+
+// ReadAt fills p from offset off; unwritten ranges read as zero.
+func (s *MemStore) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("vdisk: mem store read at negative offset %d", off)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps := int64(s.pageSize)
+	n := 0
+	for n < len(p) {
+		pos := off + int64(n)
+		page, po := pos/ps, pos%ps
+		c := len(p) - n
+		if rem := int(ps - po); c > rem {
+			c = rem
+		}
+		dst := p[n : n+c]
+		if data, ok := s.pages[page]; ok {
+			copy(dst, data[po:int(po)+c])
+		} else {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+		n += c
+	}
+	return n, nil
+}
+
+// WriteAt stores p at offset off, allocating pages as needed.
+func (s *MemStore) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("vdisk: mem store write at negative offset %d", off)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := int64(s.pageSize)
+	n := 0
+	for n < len(p) {
+		pos := off + int64(n)
+		page, po := pos/ps, pos%ps
+		c := len(p) - n
+		if rem := int(ps - po); c > rem {
+			c = rem
+		}
+		data, ok := s.pages[page]
+		if !ok {
+			data = make([]byte, s.pageSize)
+			s.pages[page] = data
+		}
+		copy(data[po:int(po)+c], p[n:n+c])
+		n += c
+	}
+	if end := off + int64(len(p)); end > s.size {
+		s.size = end
+	}
+	return n, nil
+}
+
+// Size returns the high-water mark in bytes.
+func (s *MemStore) Size() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size, nil
+}
+
+// Sync is a no-op: memory has no separate durable medium.
+func (s *MemStore) Sync() error { return nil }
+
+// Close discards the pages.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages = make(map[int64][]byte)
+	s.size = 0
+	return nil
+}
+
+// Trim deallocates the fully covered pages and zeroes the partial edges.
+func (s *MemStore) Trim(off, length int64) error {
+	if off < 0 || length < 0 {
+		return fmt.Errorf("vdisk: mem store trim [%d,+%d)", off, length)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := int64(s.pageSize)
+	end := off + length
+	for pos := off; pos < end; {
+		page, po := pos/ps, pos%ps
+		c := ps - po
+		if rem := end - pos; c > rem {
+			c = rem
+		}
+		if po == 0 && c == ps {
+			delete(s.pages, page)
+		} else if data, ok := s.pages[page]; ok {
+			seg := data[po : po+c]
+			for i := range seg {
+				seg[i] = 0
+			}
+		}
+		pos += c
+	}
+	return nil
+}
+
+// Reset discards all contents (Disk.Replace's fresh-drive semantics).
+func (s *MemStore) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages = make(map[int64][]byte)
+	s.size = 0
+	return nil
+}
+
+// Extents returns the allocated block addresses, sorted. When blockSize
+// differs from the store's page size the page map granularity does not
+// line up, so enumeration falls back to the dense range implied by Size
+// (the Disk always constructs its MemStore with its own block size, so
+// the exact path is the one taken in practice).
+func (s *MemStore) Extents(blockSize int) []int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if blockSize != s.pageSize {
+		n := (s.size + int64(blockSize) - 1) / int64(blockSize)
+		out := make([]int64, 0, n)
+		for b := int64(0); b < n; b++ {
+			out = append(out, b)
+		}
+		return out
+	}
+	out := make([]int64, 0, len(s.pages))
+	for b := range s.pages {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PagesInUse returns the number of allocated pages (BlocksInUse's exact
+// source for memory-backed disks).
+func (s *MemStore) PagesInUse() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}

@@ -15,6 +15,7 @@ import (
 //	vdisk.transient_errors               counter, injector transient faults
 //	vdisk.retries                        counter, transient retry attempts
 //	vdisk.failures / vdisk.replacements  counters, Fail()/Replace() calls
+//	vdisk.syncs                          counter, durability barriers (Sync)
 //	vdisk.io_bytes                       histogram, bytes per served I/O
 //	vdisk.io_rate                        rate, served I/Os (IOPS windows)
 //	vdisk.disk.<id>.reads / .writes      gauges, mirror Stats (resettable)
@@ -56,6 +57,7 @@ type diskTel struct {
 	retries    *telemetry.Counter // retry attempts after transient faults
 	fails      *telemetry.Counter
 	replaces   *telemetry.Counter
+	syncs      *telemetry.Counter // durability barriers (Disk.Sync calls)
 }
 
 // bindTelemetry (re)binds the disk's instruments to a registry and tracer.
@@ -84,6 +86,7 @@ func (d *Disk) bindTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		retries:    reg.Counter("vdisk.retries"),
 		fails:      reg.Counter("vdisk.failures"),
 		replaces:   reg.Counter("vdisk.replacements"),
+		syncs:      reg.Counter("vdisk.syncs"),
 	}
 	d.tel.reads.Set(d.stats.Reads)
 	d.tel.writes.Set(d.stats.Writes)

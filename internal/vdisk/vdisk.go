@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"code56/internal/bufpool"
 	"code56/internal/telemetry"
 )
 
@@ -52,16 +53,18 @@ type Stats struct {
 // Total returns Reads+Writes.
 func (s Stats) Total() int64 { return s.Reads + s.Writes }
 
-// Disk is an in-memory block device with a fixed block size. Unwritten
-// blocks read as zero, matching the NULL/virtual-element semantics the
-// migration algorithms rely on. The zero value is not usable; construct
-// with NewDisk.
+// Disk is a simulated block device with a fixed block size over a
+// pluggable BlockStore (in-memory by default; see NewDiskStore and the
+// filestore package for durable backends). Unwritten blocks read as zero,
+// matching the NULL/virtual-element semantics the migration algorithms
+// rely on. The zero value is not usable; construct with NewDisk or
+// NewDiskStore.
 type Disk struct {
 	id        int
 	blockSize int
 
 	mu     sync.RWMutex
-	blocks map[int64][]byte
+	store  BlockStore
 	failed bool
 	// failedErr caches the wrapped fail-stop error, built on first use:
 	// every I/O against a failed disk returns the same value, so the
@@ -80,16 +83,29 @@ type Disk struct {
 	retryBase time.Duration
 }
 
-// NewDisk returns an empty disk with the given id and block size, bound to
-// the default telemetry registry (rebind with SetTelemetry).
+// NewDisk returns an empty memory-backed disk with the given id and block
+// size, bound to the default telemetry registry (rebind with SetTelemetry).
 func NewDisk(id, blockSize int) *Disk {
 	if blockSize <= 0 {
 		panic(fmt.Sprintf("vdisk: invalid block size %d", blockSize))
 	}
+	return NewDiskStore(id, blockSize, NewMemStore(blockSize))
+}
+
+// NewDiskStore returns a disk over an explicit BlockStore — the seam the
+// durable backends plug into. The store's existing contents (a reopened
+// file image) become the disk's contents.
+func NewDiskStore(id, blockSize int, store BlockStore) *Disk {
+	if blockSize <= 0 {
+		panic(fmt.Sprintf("vdisk: invalid block size %d", blockSize))
+	}
+	if store == nil {
+		panic("vdisk: nil block store")
+	}
 	d := &Disk{
 		id:        id,
 		blockSize: blockSize,
-		blocks:    make(map[int64][]byte),
+		store:     store,
 		latent:    make(map[int64]bool),
 	}
 	d.bindTelemetry(nil, nil)
@@ -137,12 +153,9 @@ func (d *Disk) readAttempt(b int64, buf []byte) error {
 		d.tel.tr.Event("vdisk.latent_hit", telemetry.A("disk", d.id), telemetry.A("block", b))
 		return fmt.Errorf("%w: disk %d block %d", ErrLatent, d.id, b)
 	}
-	if data, ok := d.blocks[b]; ok {
-		copy(buf, data)
-	} else {
-		for i := range buf {
-			buf[i] = 0
-		}
+	if _, err := d.store.ReadAt(buf, b*int64(d.blockSize)); err != nil {
+		d.tel.readErrs.Inc()
+		return fmt.Errorf("vdisk: disk %d block %d: %w", d.id, b, err)
 	}
 	d.stats.Reads++
 	d.tel.reads.Set(d.stats.Reads)
@@ -214,12 +227,10 @@ func (d *Disk) writeAttempt(b int64, data []byte) error {
 		d.tel.writeErrs.Inc()
 		return err
 	}
-	dst, ok := d.blocks[b]
-	if !ok {
-		dst = make([]byte, d.blockSize)
-		d.blocks[b] = dst
+	if _, err := d.store.WriteAt(data, b*int64(d.blockSize)); err != nil {
+		d.tel.writeErrs.Inc()
+		return fmt.Errorf("vdisk: disk %d block %d: %w", d.id, b, err)
 	}
-	copy(dst, data)
 	delete(d.latent, b)
 	d.stats.Writes++
 	d.tel.writes.Set(d.stats.Writes)
@@ -233,10 +244,51 @@ func (d *Disk) writeAttempt(b int64, data []byte) error {
 // Trim discards block b's contents; subsequent reads return zeros. It is
 // not counted as an I/O (it models invalidating a parity block's mapping,
 // not writing it — use Write for the paper's NULL-write accounting).
+// Stores implementing Trimmer deallocate; others get the block zeroed.
 func (d *Disk) Trim(b int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	delete(d.blocks, b)
+	off := b * int64(d.blockSize)
+	if t, ok := d.store.(Trimmer); ok {
+		_ = t.Trim(off, int64(d.blockSize))
+		return
+	}
+	zero := bufpool.GetZero(d.blockSize)
+	defer bufpool.Put(zero)
+	_, _ = d.store.WriteAt(zero, off)
+}
+
+// Sync is the disk's durability barrier: it flushes every prior write to
+// the backing store's stable medium (a no-op for memory-backed disks). A
+// fail-stopped disk cannot be synced.
+func (d *Disk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		if d.failedErr == nil {
+			d.failedErr = fmt.Errorf("%w: disk %d", ErrFailed, d.id)
+		}
+		return d.failedErr
+	}
+	if err := d.store.Sync(); err != nil {
+		return fmt.Errorf("vdisk: disk %d: %w", d.id, err)
+	}
+	d.tel.syncs.Inc()
+	return nil
+}
+
+// Close releases the disk's backing store. The disk is unusable after.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.store.Close()
+}
+
+// Store exposes the disk's BlockStore (snapshot plumbing and tests).
+func (d *Disk) Store() BlockStore {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.store
 }
 
 // Fail marks the disk fail-stopped: every subsequent I/O errors until
@@ -264,12 +316,23 @@ func (d *Disk) Failed() bool {
 // accepts I/O again. Stats are preserved (they describe the slot, which is
 // how the migration cost accounting uses them), as is the retry policy
 // (it describes the controller, not the drive).
+//
+// Wiping the media goes through the store's Resetter capability (both
+// built-in backends have it). If the reset fails — a durable backend that
+// cannot truncate its file — the disk stays fail-stopped with the reset
+// error, so a half-wiped drive is never silently put back in service.
 func (d *Disk) Replace() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if r, ok := d.store.(Resetter); ok {
+		if err := r.Reset(); err != nil {
+			d.failed = true
+			d.failedErr = fmt.Errorf("%w: disk %d (replace: %v)", ErrFailed, d.id, err)
+			return
+		}
+	}
 	d.failed = false
 	d.failedErr = nil
-	d.blocks = make(map[int64][]byte)
 	d.latent = make(map[int64]bool)
 	d.faults = nil
 	d.tel.replaces.Inc()
@@ -303,20 +366,30 @@ func (d *Disk) ResetStats() {
 	d.tel.writes.Set(0)
 }
 
-// BlocksInUse returns the number of blocks holding written data.
+// BlocksInUse returns the number of blocks holding written data. It is
+// backend-dependent: stores listing extents (MemStore) report allocated
+// blocks exactly; others report the high-water block count from Size.
 func (d *Disk) BlocksInUse() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.blocks)
+	if l, ok := d.store.(ExtentLister); ok {
+		return len(l.Extents(d.blockSize))
+	}
+	size, err := d.store.Size()
+	if err != nil {
+		return 0
+	}
+	return int((size + int64(d.blockSize) - 1) / int64(d.blockSize))
 }
 
-// Array is an ordered set of disks sharing a block size. It supports the
-// add/remove operations RAID level migration performs.
+// Array is an ordered set of disks sharing a block size and a Backend. It
+// supports the add/remove operations RAID level migration performs.
 type Array struct {
 	mu        sync.RWMutex
 	blockSize int
 	disks     []*Disk
 	nextID    int
+	backend   Backend
 	reg       *telemetry.Registry
 	tr        *telemetry.Tracer
 
@@ -327,14 +400,58 @@ type Array struct {
 	retryBase time.Duration
 }
 
-// NewArray returns an array of n fresh disks.
+// NewArray returns an array of n fresh memory-backed disks.
 func NewArray(n, blockSize int) *Array {
-	a := &Array{blockSize: blockSize}
-	for i := 0; i < n; i++ {
-		a.disks = append(a.disks, NewDisk(i, blockSize))
-		a.nextID++
+	a, err := NewArrayBackend(n, blockSize, MemBackend{})
+	if err != nil {
+		// MemBackend.Open never fails.
+		panic(err)
 	}
 	return a
+}
+
+// NewArrayBackend returns an array of n disks whose stores come from the
+// given backend (slots 0..n-1). Stores that already hold data — reopened
+// file images — keep their contents.
+func NewArrayBackend(n, blockSize int, b Backend) (*Array, error) {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return NewArrayFrom(blockSize, b, ids)
+}
+
+// NewArrayFrom assembles an array over the backend's stores for the given
+// slot ids, in order — the reopen path for durable arrays, where the slot
+// set on media (including a diagonal-parity disk added by an interrupted
+// migration) decides the geometry. Opened stores are closed again if a
+// later open fails.
+func NewArrayFrom(blockSize int, b Backend, ids []int) (*Array, error) {
+	if b == nil {
+		b = MemBackend{}
+	}
+	a := &Array{blockSize: blockSize, backend: b}
+	for _, id := range ids {
+		s, err := b.Open(id, blockSize)
+		if err != nil {
+			_ = a.Close()
+			return nil, fmt.Errorf("vdisk: opening store for disk %d: %w", id, err)
+		}
+		a.disks = append(a.disks, NewDiskStore(id, blockSize, s))
+		if id >= a.nextID {
+			a.nextID = id + 1
+		}
+	}
+	return a, nil
+}
+
+// Backend returns the array's store backend (MemBackend for the default
+// in-memory arrays). The facade uses it to detect durable arrays and
+// thread the migration journal to their directory.
+func (a *Array) Backend() Backend {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.backend
 }
 
 // BlockSize returns the shared block size.
@@ -355,11 +472,31 @@ func (a *Array) Disk(i int) *Disk {
 }
 
 // Add appends a fresh disk and returns it (the "add a new disk to the
-// array" step of the paper's Algorithm 2).
+// array" step of the paper's Algorithm 2). It panics if the backend cannot
+// mint the slot's store; use Attach to handle that error — memory-backed
+// arrays never fail.
 func (a *Array) Add() *Disk {
+	d, err := a.Attach()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Attach appends a fresh disk, minting its store from the array's backend,
+// and returns it. It is Add with the backend error surfaced.
+func (a *Array) Attach() (*Disk, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	d := NewDisk(a.nextID, a.blockSize)
+	backend := a.backend
+	if backend == nil {
+		backend = MemBackend{}
+	}
+	s, err := backend.Open(a.nextID, a.blockSize)
+	if err != nil {
+		return nil, fmt.Errorf("vdisk: opening store for disk %d: %w", a.nextID, err)
+	}
+	d := NewDiskStore(a.nextID, a.blockSize, s)
 	if a.reg != nil || a.tr != nil {
 		d.bindTelemetry(a.reg, a.tr)
 	}
@@ -373,7 +510,42 @@ func (a *Array) Add() *Disk {
 	}
 	a.nextID++
 	a.disks = append(a.disks, d)
-	return d
+	return d, nil
+}
+
+// Sync flushes every non-failed disk to stable media — the array-wide
+// durability barrier the migration journal orders its watermark records
+// behind. Failed disks are skipped (their contents are dead anyway and the
+// journal parks the migration at its watermark); the first store error is
+// returned.
+func (a *Array) Sync() error {
+	a.mu.RLock()
+	disks := append([]*Disk(nil), a.disks...)
+	a.mu.RUnlock()
+	for _, d := range disks {
+		if d.Failed() {
+			continue
+		}
+		if err := d.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases every disk's backing store and returns the first error.
+// The array is unusable after.
+func (a *Array) Close() error {
+	a.mu.RLock()
+	disks := append([]*Disk(nil), a.disks...)
+	a.mu.RUnlock()
+	var first error
+	for _, d := range disks {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // RemoveLast detaches and returns the last disk (the RAID-6 → RAID-5

@@ -1,0 +1,101 @@
+package wal
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// CrashPoints is the crash-point injector behind the kill-9/reopen/verify
+// test family. Arm it with FailAfterSync(n) and it fires — by default
+// SIGKILLing the process, no deferred cleanup, no atexit — immediately
+// after the n-th durability barrier completes. Components that own
+// barriers call Hit() after each one; anything the process "did" after
+// the fatal barrier is exactly what a real power cut would discard.
+//
+// The zero value and a nil *CrashPoints are both disarmed and safe to
+// call.
+type CrashPoints struct {
+	// remaining counts down on each Hit; firing happens at the
+	// transition to zero, so FailAfterSync(1) dies after the first
+	// barrier.
+	remaining atomic.Int64
+	armed     atomic.Bool
+	// tornAfter, when >= 0 via FailDuringAppend, makes the next WAL
+	// Append persist only that many bytes of the record and then fire —
+	// simulating a tear inside a record rather than between records.
+	tornAfter atomic.Int64
+	tornArmed atomic.Bool
+	// hits counts every completed barrier, armed or not, so a golden
+	// (uninterrupted) run sizes the crash matrix: sweep n = 1..Hits().
+	hits atomic.Int64
+	fire atomic.Pointer[func()]
+}
+
+// FailAfterSync arms the injector to fire right after the n-th (1-based)
+// completed durability barrier.
+func (c *CrashPoints) FailAfterSync(n int64) {
+	c.remaining.Store(n)
+	c.armed.Store(true)
+}
+
+// FailDuringAppend arms a torn-write: the next Append persists only the
+// first n bytes of its record (n may be 0), syncs, and fires.
+func (c *CrashPoints) FailDuringAppend(n int) {
+	c.tornAfter.Store(int64(n))
+	c.tornArmed.Store(true)
+}
+
+// SetFire replaces the crash action (default: SIGKILL self). Tests that
+// must stay in-process install a panic or a flag-setting closure.
+func (c *CrashPoints) SetFire(f func()) { c.fire.Store(&f) }
+
+// Hit records one completed durability barrier, firing if the armed
+// countdown reaches zero. Nil-safe.
+func (c *CrashPoints) Hit() {
+	if c == nil {
+		return
+	}
+	c.hits.Add(1)
+	if !c.armed.Load() {
+		return
+	}
+	if c.remaining.Add(-1) == 0 {
+		c.Fire()
+	}
+}
+
+// Hits returns how many barriers completed on this injector (counted
+// whether or not it is armed). Nil-safe.
+func (c *CrashPoints) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// TornWrite returns the armed torn-append byte count and disarms it, or
+// -1 when no torn write is pending. Nil-safe.
+func (c *CrashPoints) TornWrite() int {
+	if c == nil || !c.tornArmed.CompareAndSwap(true, false) {
+		return -1
+	}
+	return int(c.tornAfter.Load())
+}
+
+// Fire executes the crash action. The default is an unconditional
+// SIGKILL of this process: no deferred functions, no flushes — the
+// closest portable stand-in for pulling the plug.
+func (c *CrashPoints) Fire() {
+	if c != nil {
+		if f := c.fire.Load(); f != nil {
+			(*f)()
+			return
+		}
+	}
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		p.Kill()
+	}
+	// Kill is asynchronous on some platforms; don't outrun it.
+	select {}
+}

@@ -6,8 +6,6 @@ import (
 	"time"
 
 	"code56/internal/parallel"
-	"code56/internal/raid5"
-	"code56/internal/raid6"
 )
 
 // Settings collects every knob the facade constructors and context entry
@@ -42,6 +40,14 @@ type Settings struct {
 	// Faults, when non-nil, arms the constructed disks' deterministic
 	// fault injector with this scenario (see WithFaults).
 	Faults *FaultConfig
+	// Backend selects where a constructed array's blocks live (see
+	// WithBackend): "" or "mem:" for in-memory stores, "file:<dir>" for
+	// durable sparse image files in <dir>.
+	Backend string
+	// CheckpointInterval is how many converted stripes may pass between
+	// a journaled migration's intent-log checkpoints (0 = the default,
+	// 16; see WithCheckpointInterval).
+	CheckpointInterval int64
 
 	// err records the first invalid option value; see Err.
 	err error
@@ -171,6 +177,45 @@ func WithFaults(cfg FaultConfig) Option {
 	}
 }
 
+// WithBackend selects where a constructed array's blocks live. The spec
+// grammar:
+//
+//	""           in-memory stores (the default; what the positional
+//	             constructors always use)
+//	"mem:"       in-memory stores, spelled out
+//	"file:<dir>" durable sparse image files (one per disk) in <dir>,
+//	             created if needed, alongside the directory's meta.json
+//	             identity record and wal.log migration intent log
+//
+// File-backed arrays survive process death: reopen them with
+// OpenRAID5Array / OpenRAID6Array, and restart an interrupted migration
+// with ResumeMigration. Any other spec is an error.
+func WithBackend(spec string) Option {
+	return func(s *Settings) {
+		if _, _, err := splitBackendSpec(spec); err != nil {
+			s.setErr(err)
+			return
+		}
+		s.Backend = spec
+	}
+}
+
+// WithCheckpointInterval bounds how many converted stripes may pass
+// between a journaled migration's intent-log checkpoints. Smaller
+// intervals tighten the redo window after a crash at the cost of more
+// fsync barriers; the default is 16 stripes. Non-positive intervals are
+// an error. Ignored for migrations over in-memory arrays (they have no
+// intent log).
+func WithCheckpointInterval(stripes int64) Option {
+	return func(s *Settings) {
+		if stripes <= 0 {
+			s.setErr(fmt.Errorf("code56: WithCheckpointInterval(%d): interval must be positive", stripes))
+			return
+		}
+		s.CheckpointInterval = stripes
+	}
+}
+
 // ApplyOptions folds opts over the package defaults and returns the result.
 // Useful for callers that route one option list to several entry points;
 // check Err before using the result.
@@ -230,14 +275,17 @@ func NewCode(p int, opts ...Option) (*Code56, error) {
 }
 
 // NewRAID5Array creates a RAID-5 array of m fresh simulated disks, honoring
-// WithBlockSize, WithLayout, WithFaults and WithRetry. It is the
-// option-based form of NewRAID5.
+// WithBackend, WithBlockSize, WithLayout, WithFaults and WithRetry. It is
+// the option-based form of NewRAID5 (which always builds in-memory disks).
+// With a "file:<dir>" backend the array's blocks live in sparse image
+// files under <dir> and the directory's meta.json identity record is
+// written, so OpenRAID5Array can reassemble the array later.
 func NewRAID5Array(m int, opts ...Option) (*RAID5, error) {
 	s := ApplyOptions(opts...)
 	if err := s.Err(); err != nil {
 		return nil, err
 	}
-	a, err := raid5.New(m, s.BlockSize, s.Layout)
+	a, err := newRAID5Backend(m, s)
 	if err != nil {
 		return nil, err
 	}
@@ -248,14 +296,20 @@ func NewRAID5Array(m int, opts ...Option) (*RAID5, error) {
 }
 
 // NewRAID6Array creates a RAID-6 array over fresh simulated disks, honoring
-// WithBlockSize, WithFaults and WithRetry. It is the option-based form of
-// NewRAID6.
+// WithBackend, WithBlockSize, WithFaults and WithRetry. It is the
+// option-based form of NewRAID6 (which always builds in-memory disks).
+// With a "file:<dir>" backend the blocks live in sparse image files under
+// <dir> and meta.json is written, so OpenRAID6Array can reassemble the
+// array later.
 func NewRAID6Array(code Code, opts ...Option) (*RAID6, error) {
 	s := ApplyOptions(opts...)
 	if err := s.Err(); err != nil {
 		return nil, err
 	}
-	a := raid6.New(code, s.BlockSize)
+	a, err := newRAID6Backend(code, s)
+	if err != nil {
+		return nil, err
+	}
 	if err := s.applyDiskPolicies(a.Disks()); err != nil {
 		return nil, err
 	}
@@ -263,8 +317,12 @@ func NewRAID6Array(code Code, opts ...Option) (*RAID6, error) {
 }
 
 // NewMigrator prepares an online RAID-5 → Code 5-6 migration, honoring
-// WithWorkers (conversion parallelism) and WithThrottle. It is the
-// option-based form of NewOnlineMigrator.
+// WithWorkers (conversion parallelism), WithThrottle and
+// WithCheckpointInterval. It is the option-based form of
+// NewOnlineMigrator, plus durability: when the array is file-backed (its
+// disks came from a "file:<dir>" backend), the migration is automatically
+// journaled through the directory's intent log, making it crash-resumable
+// via ResumeMigration.
 func NewMigrator(a *RAID5, rows int64, opts ...Option) (*OnlineMigrator, error) {
 	s := ApplyOptions(opts...)
 	if err := s.Err(); err != nil {
@@ -281,6 +339,9 @@ func NewMigrator(a *RAID5, rows int64, opts ...Option) (*OnlineMigrator, error) 
 	}
 	if s.Throttle > 0 {
 		m.SetThrottle(s.Throttle)
+	}
+	if err := attachJournalIfDurable(m, a, s); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
