@@ -45,7 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "c56-analyze:", err)
 		os.Exit(1)
 	}
-	defer handle.Close()
+	defer handle.Drain()
 	if handle != nil {
 		fmt.Fprintf(os.Stderr, "observability plane listening on http://%s\n", handle.Addr())
 	}

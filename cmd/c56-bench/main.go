@@ -96,14 +96,34 @@ func main() {
 		maxprocs = flag.Int("maxprocs", 0, "GOMAXPROCS for the sweeps (0 = all CPUs)")
 		backend  = flag.String("backend", "", "block-store backend for the parallel sweep's array: 'mem:' (default) or 'file:<dir>' to measure over durable image files")
 		httpAddr = flag.String("http", "", "serve the observability plane (/metrics, /healthz, /debug/pprof) on this address, e.g. :8080")
+
+		serveOut     = flag.String("serve-out", "", "under-load serve benchmark output file ('-' for stdout, '' to skip): wire p50/p99 latency idle vs during a timetable-shaped online migration")
+		serveDisks   = flag.Int("serve-disks", 4, "serve bench: RAID-5 disks (disks+1 must be prime)")
+		serveStripes = flag.Int64("serve-stripes", 64, "serve bench: Code 5-6 stripes to migrate")
+		serveBlock   = flag.Int("serve-block", 4096, "serve bench: block size in bytes")
+		serveClients = flag.Int("serve-clients", 4, "serve bench / load gen: concurrent client goroutines")
+		serveOps     = flag.Int("serve-ops", 2000, "serve bench: operations per measurement phase")
+		serveBW      = flag.String("serve-bw", "1M", "serve bench: migration bandwidth timetable during the under-load phase (bwtimetable grammar)")
+
+		loadURL      = flag.String("load-url", "", "load-generator mode: drive this running c56-serve base URL (e.g. http://127.0.0.1:8080) instead of benchmarking in-process")
+		loadTenant   = flag.String("load-tenant", "demo", "load gen: tenant to drive")
+		loadVol      = flag.String("load-vol", "vol0", "load gen: volume to drive")
+		loadDuration = flag.Duration("load-duration", 5*time.Second, "load gen: how long to run")
 	)
 	flag.Parse()
+	if *loadURL != "" {
+		if err := runLoadGen(*loadURL, *loadTenant, *loadVol, *serveClients, *loadDuration); err != nil {
+			fmt.Fprintln(os.Stderr, "c56-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	_, handle, err := obs.Plane(*httpAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "c56-bench:", err)
 		os.Exit(1)
 	}
-	defer handle.Close()
+	defer handle.Drain()
 	if handle != nil {
 		fmt.Fprintf(os.Stderr, "observability plane listening on http://%s\n", handle.Addr())
 	}
@@ -127,6 +147,12 @@ func main() {
 	}
 	if *parOut != "" {
 		if err := runParallel(*parOut, *parBlock, *parP, *stripes, *minTime, *reps, *backend); err != nil {
+			fmt.Fprintln(os.Stderr, "c56-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *serveOut != "" {
+		if err := runServe(*serveOut, *serveDisks, *serveStripes, *serveBlock, *serveClients, *serveOps, *serveBW); err != nil {
 			fmt.Fprintln(os.Stderr, "c56-bench:", err)
 			os.Exit(1)
 		}

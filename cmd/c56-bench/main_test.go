@@ -46,3 +46,56 @@ func TestBenchReport(t *testing.T) {
 		t.Errorf("missing code %q", c)
 	}
 }
+
+// TestServeBenchReport runs the under-load serve benchmark small and
+// validates its JSON: both phases present, every op accounted for, and
+// stripes genuinely converted while the migrating phase's load ran.
+func TestServeBenchReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	// 16 stripes of 512-byte blocks at a 256k cap: the 8 KiB-per-stripe
+	// migration is shaped hard enough that the 400-op load overlaps it.
+	if err := runServe(out, 4, 16, 512, 2, 400, "256k"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ServeReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Phases) != 2 || rep.Phases[0].Phase != "idle" || rep.Phases[1].Phase != "migrating" {
+		t.Fatalf("phases = %+v", rep.Phases)
+	}
+	for _, ph := range rep.Phases {
+		if ph.Errors != 0 {
+			t.Fatalf("%s phase had %d errors", ph.Phase, ph.Errors)
+		}
+		if ph.Reads+ph.Writes != 400 {
+			t.Fatalf("%s phase completed %d ops, want 400", ph.Phase, ph.Reads+ph.Writes)
+		}
+		if ph.Reads > 0 && (ph.ReadP50US <= 0 || ph.ReadP99US < ph.ReadP50US) {
+			t.Fatalf("%s phase read quantiles implausible: %+v", ph.Phase, ph)
+		}
+	}
+	if rep.Phases[1].MigrationStripesDone == 0 {
+		t.Fatal("migrating phase overlapped no stripe conversions — latencies were not measured under load")
+	}
+	if rep.Timetable != "256k" {
+		t.Fatalf("timetable recorded as %q", rep.Timetable)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{5, 1, 4, 2, 3}
+	if q := quantile(s, 0.5); q != 3 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := quantile(s, 0.99); q != 5 {
+		t.Fatalf("p99 = %v", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty = %v", q)
+	}
+}

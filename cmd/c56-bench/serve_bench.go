@@ -1,0 +1,331 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	code56 "code56"
+	"code56/internal/serve"
+	"code56/internal/serve/bwtimetable"
+	"code56/internal/telemetry"
+)
+
+// ServePhase is one measurement phase of the serve benchmark: client-side
+// read and write latency quantiles over the wire.
+type ServePhase struct {
+	Phase      string  `json:"phase"` // "idle" or "migrating"
+	Reads      int     `json:"reads"`
+	Writes     int     `json:"writes"`
+	ReadP50US  float64 `json:"read_p50_us"`
+	ReadP99US  float64 `json:"read_p99_us"`
+	WriteP50US float64 `json:"write_p50_us"`
+	WriteP99US float64 `json:"write_p99_us"`
+	Errors     int     `json:"errors"`
+	// MigrationStripesDone counts stripes converted while this phase's
+	// ops ran — nonzero in the migrating phase proves the latencies were
+	// really measured under live conversion.
+	MigrationStripesDone int64 `json:"migration_stripes_done"`
+}
+
+// ServeReport is BENCH_serve.json's top-level object: the reproduction's
+// under-load evidence that migration runs online behind foreground I/O.
+type ServeReport struct {
+	BlockSize   int   `json:"block_size"`
+	Disks       int   `json:"disks"`
+	Stripes     int64 `json:"stripes"`
+	Blocks      int64 `json:"blocks"`
+	Clients     int   `json:"clients"`
+	OpsPerPhase int   `json:"ops_per_phase"`
+	// Timetable is the active migration bandwidth schedule during the
+	// migrating phase (bwtimetable grammar).
+	Timetable        string       `json:"timetable"`
+	MigrationSeconds float64      `json:"migration_seconds"`
+	Phases           []ServePhase `json:"phases"`
+}
+
+// latRec collects one phase's client-observed latencies.
+type latRec struct {
+	mu     sync.Mutex
+	reads  []float64 // microseconds
+	writes []float64
+	errs   int
+}
+
+func (l *latRec) read(us float64)  { l.mu.Lock(); l.reads = append(l.reads, us); l.mu.Unlock() }
+func (l *latRec) write(us float64) { l.mu.Lock(); l.writes = append(l.writes, us); l.mu.Unlock() }
+func (l *latRec) err()             { l.mu.Lock(); l.errs++; l.mu.Unlock() }
+
+// quantile returns the nearest-rank q-quantile of s (sorted in place);
+// 0 when empty. Nearest-rank keeps small-sample p99s honest: the tail
+// observation is reported, not interpolated away.
+func quantile(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+func (l *latRec) phase(name string, stripesDone int64) ServePhase {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return ServePhase{
+		Phase:                name,
+		Reads:                len(l.reads),
+		Writes:               len(l.writes),
+		ReadP50US:            quantile(l.reads, 0.50),
+		ReadP99US:            quantile(l.reads, 0.99),
+		WriteP50US:           quantile(l.writes, 0.50),
+		WriteP99US:           quantile(l.writes, 0.99),
+		Errors:               l.errs,
+		MigrationStripesDone: stripesDone,
+	}
+}
+
+// loadClient drives ops mixed 3:1 read:write against one volume URL.
+type loadClient struct {
+	base      string // http://addr/v1/t/<tenant>/v/<vol>
+	blockSize int
+	blocks    int64
+	client    *http.Client
+}
+
+func (c *loadClient) do(rng *rand.Rand, rec *latRec) {
+	blk := rng.Int63n(c.blocks)
+	url := fmt.Sprintf("%s/b/%d", c.base, blk)
+	start := time.Now()
+	if rng.Intn(4) == 0 {
+		payload := make([]byte, c.blockSize)
+		rng.Read(payload)
+		req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(payload))
+		if err != nil {
+			rec.err()
+			return
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			rec.err()
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			rec.err()
+			return
+		}
+		rec.write(float64(time.Since(start)) / float64(time.Microsecond))
+		return
+	}
+	resp, err := c.client.Get(url)
+	if err != nil {
+		rec.err()
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rec.err()
+		return
+	}
+	rec.read(float64(time.Since(start)) / float64(time.Microsecond))
+}
+
+// runOps fires total ops from clients concurrent goroutines.
+func (c *loadClient) runOps(clients, total int, seed int64, rec *latRec) {
+	var wg sync.WaitGroup
+	per := total / clients
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(n)))
+			for j := 0; j < per; j++ {
+				c.do(rng, rec)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runServe is the self-contained under-load benchmark: it boots a real
+// serve.Server on loopback, measures wire latency idle, then starts an
+// online migration shaped by the given bandwidth timetable and measures
+// again while stripes convert, writing BENCH_serve.json.
+func runServe(out string, disks int, stripes int64, block, clients, ops int, bw string) error {
+	tt, err := bwtimetable.Parse(bw)
+	if err != nil {
+		return err
+	}
+	p := disks + 1
+	rows := stripes * int64(p-1)
+	blocks := rows * int64(disks-1)
+
+	r5, err := code56.NewRAID5Array(disks,
+		code56.WithBlockSize(block),
+		code56.WithLayout(code56.LeftAsymmetric))
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(11))
+	buf := make([]byte, block)
+	for L := int64(0); L < blocks; L++ {
+		rng.Read(buf)
+		if err := r5.WriteBlock(L, buf); err != nil {
+			return err
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	srv := serve.NewServer(reg)
+	tenant, err := srv.AddTenant("bench", serve.QoS{})
+	if err != nil {
+		return err
+	}
+	vol, err := tenant.AddVolume("v0", r5, blocks)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(serve.Limit(ln, 64, reg))
+	defer hs.Close()
+
+	lc := &loadClient{
+		base:      fmt.Sprintf("http://%s/v1/t/bench/v/v0", ln.Addr()),
+		blockSize: block,
+		blocks:    blocks,
+		client:    &http.Client{Timeout: 30 * time.Second},
+	}
+
+	rep := ServeReport{
+		BlockSize: block, Disks: disks, Stripes: stripes, Blocks: blocks,
+		Clients: clients, OpsPerPhase: ops, Timetable: tt.String(),
+	}
+
+	// Phase 1: idle — no migration running.
+	idle := &latRec{}
+	lc.runOps(clients, ops, 21, idle)
+	rep.Phases = append(rep.Phases, idle.phase("idle", 0))
+
+	// Phase 2: the same load during a live, timetable-shaped migration.
+	mig, err := code56.NewMigrator(r5, rows)
+	if err != nil {
+		return err
+	}
+	vol.SetIO(serve.MigratorIO{M: mig})
+	ctrl := bwtimetable.NewController(tt, mig, mig.StripeConversionBytes())
+	ctrl.Apply()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ctrl.Run(ctx)
+	migStart := time.Now()
+	if err := mig.Start(); err != nil {
+		return err
+	}
+	before, _ := mig.Progress()
+	under := &latRec{}
+	lc.runOps(clients, ops, 22, under)
+	after, total := mig.Progress()
+	rep.Phases = append(rep.Phases, under.phase("migrating", after-before))
+
+	// Let the rest of the conversion finish unthrottled, then verify it.
+	cancel()
+	mig.SetThrottle(0)
+	if err := mig.Wait(); err != nil {
+		return err
+	}
+	rep.MigrationSeconds = time.Since(migStart).Seconds()
+	if done, _ := mig.Progress(); done != total {
+		return fmt.Errorf("migration finished at %d/%d stripes", done, total)
+	}
+	r6, err := mig.Result()
+	if err != nil {
+		return err
+	}
+	for st := int64(0); st < stripes; st++ {
+		ok, err := r6.VerifyStripe(st)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("stripe %d inconsistent after under-load migration", st)
+		}
+	}
+
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
+	if out != "-" {
+		idleP, underP := rep.Phases[0], rep.Phases[1]
+		fmt.Printf("wrote serve bench to %s: read p99 %0.fus idle -> %0.fus migrating (%d stripes converted under load, timetable %q)\n",
+			out, idleP.ReadP99US, underP.ReadP99US, underP.MigrationStripesDone, rep.Timetable)
+	}
+	return nil
+}
+
+// runLoadGen drives an already-running c56-serve for the given duration —
+// the CI end-to-end smoke's foreground traffic — and prints a ServePhase
+// JSON object to stdout.
+func runLoadGen(baseURL, tenant, volName string, clients int, d time.Duration) error {
+	infoURL := fmt.Sprintf("%s/v1/t/%s/v/%s", baseURL, tenant, volName)
+	resp, err := http.Get(infoURL)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", infoURL, resp.StatusCode)
+	}
+	var info struct {
+		BlockSize int   `json:"block_size"`
+		Blocks    int64 `json:"blocks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return err
+	}
+	lc := &loadClient{
+		base:      fmt.Sprintf("%s/v1/t/%s/v/%s", baseURL, tenant, volName),
+		blockSize: info.BlockSize,
+		blocks:    info.Blocks,
+		client:    &http.Client{Timeout: 30 * time.Second},
+	}
+	rec := &latRec{}
+	stop := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(31 + int64(n)))
+			for time.Now().Before(stop) {
+				lc.do(rng, rec)
+			}
+		}(i)
+	}
+	wg.Wait()
+	ph := rec.phase("load", 0)
+	if ph.Reads+ph.Writes == 0 {
+		return fmt.Errorf("load generator completed no operations against %s", baseURL)
+	}
+	return writeJSON("-", ph)
+}

@@ -48,7 +48,7 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "c56-lint:", err)
 		return 2
 	}
-	defer handle.Close()
+	defer handle.Drain()
 	if handle != nil {
 		fmt.Fprintf(os.Stderr, "observability plane listening on http://%s\n", handle.Addr())
 	}

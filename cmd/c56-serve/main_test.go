@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestLoadConfig(t *testing.T) {
+	if _, err := loadConfig("", false, demoConfig{}); err == nil {
+		t.Fatal("no config and no demo accepted")
+	}
+	if _, err := loadConfig("x.json", true, demoConfig{}); err == nil {
+		t.Fatal("-config with -demo accepted")
+	}
+
+	cfg, err := loadConfig("", true, demoConfig{disks: 4, stripes: 8, block: 512, migrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Tenants) != 1 || cfg.Tenants[0].Name != "demo" || !cfg.Tenants[0].Volumes[0].Migrate {
+		t.Fatalf("demo config = %+v", cfg)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	raw := `{
+	  "max_conns": 8,
+	  "bw": "08:00,10M 23:00,off",
+	  "tenants": [
+	    {"name": "acme",
+	     "qos": {"bytes_per_sec": 1048576, "max_in_flight": 4},
+	     "volumes": [{"name": "v0", "disks": 4, "stripes": 8, "block": 512, "migrate": true, "seed": 3}]}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = loadConfig(path, false, demoConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := cfg.Tenants[0]
+	if tc.QoS.BytesPerSec != 1048576 || tc.QoS.MaxInFlight != 4 {
+		t.Fatalf("parsed QoS = %+v", tc.QoS)
+	}
+	if cfg.BW != "08:00,10M 23:00,off" || cfg.MaxConns != 8 {
+		t.Fatalf("parsed config = %+v", cfg)
+	}
+}
+
+func TestBuildVolume(t *testing.T) {
+	io_, blocks, mig, err := buildVolume(volumeConfig{
+		Name: "v", Disks: 4, Stripes: 8, Block: 512, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig != nil {
+		t.Fatal("non-migrating volume got a migrator")
+	}
+	if want := int64(8 * 4 * 3); blocks != want {
+		t.Fatalf("blocks = %d, want %d", blocks, want)
+	}
+	buf := make([]byte, 512)
+	if err := io_.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, make([]byte, 512)) {
+		t.Fatal("seeded volume reads back zeros")
+	}
+
+	_, _, mig, err = buildVolume(volumeConfig{
+		Name: "v", Disks: 4, Stripes: 8, Block: 512, Migrate: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig == nil {
+		t.Fatal("migrating volume without a migrator")
+	}
+}
+
+// TestRunServesAndDrainsOnSignal boots the real server (demo tenant,
+// migrating volume, constant 4M timetable), does wire I/O against it,
+// waits for the migration to finish, then delivers SIGTERM to the
+// process and expects run to drain and scrub-verify cleanly.
+func TestRunServesAndDrainsOnSignal(t *testing.T) {
+	addrCh := make(chan string, 1)
+	notifyReady = func(addr string) { addrCh <- addr }
+	defer func() { notifyReady = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", "", true,
+			demoConfig{disks: 4, stripes: 8, block: 512, migrate: true},
+			"4M", 16)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	base := "http://" + addr
+	resp, err := http.Get(base + "/v1/t/demo/v/vol0/b/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 512 {
+		t.Fatalf("read over wire: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+
+	// Wait out the (4 MiB/s-shaped, 8-stripe) migration via /progress.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/progress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(b), `"finished"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("migration never finished: %s", b)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want clean drain + scrub", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not drain after SIGTERM")
+	}
+}
+
+func TestVerifyMigrationsReportsParked(t *testing.T) {
+	_, _, mig, err := buildVolume(volumeConfig{
+		Name: "v", Disks: 4, Stripes: 8, Block: 512, Migrate: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not started: Progress is 0/8, so verify must park, not scrub.
+	ms := []*migration{{tenant: "t", volume: "v", stripes: 8, mig: mig}}
+	if err := verifyMigrations(ms); err != nil {
+		t.Fatalf("parked migration reported as error: %v", err)
+	}
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyMigrations(ms); err != nil {
+		t.Fatalf("finished migration failed verify: %v", err)
+	}
+}
+
+func TestStripesOfDefault(t *testing.T) {
+	if got := stripesOf(volumeConfig{}); got != 64 {
+		t.Fatalf("stripesOf zero = %d", got)
+	}
+	if got := stripesOf(volumeConfig{Stripes: 7}); got != 7 {
+		t.Fatalf("stripesOf 7 = %d", got)
+	}
+}

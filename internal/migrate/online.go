@@ -201,12 +201,54 @@ func (m *OnlineMigrator) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tra
 // Code returns the Code 5-6 instance used by the migration.
 func (m *OnlineMigrator) Code() *core.Code56 { return m.code }
 
+// BlockSize returns the underlying array's block size. The migrator serves
+// application I/O in whole blocks of this size (see Read / Write).
+func (m *OnlineMigrator) BlockSize() int { return m.r5.BlockSize() }
+
+// StripeConversionBytes returns how many bytes of disk I/O converting one
+// stripe costs: the data blocks each diagonal chain reads plus the parity
+// block it writes. It is the unit a bandwidth timetable divides a target
+// rate by to derive the per-stripe throttle sleep (rate shaping happens in
+// units of conversion I/O, the quantity that actually contends with
+// foreground traffic).
+func (m *OnlineMigrator) StripeConversionBytes() int64 {
+	p := m.code.P()
+	blocks := 0
+	for i := 0; i < p-1; i++ {
+		blocks += len(m.code.Chains()[p-1+i].Covers) + 1
+	}
+	return int64(blocks) * int64(m.r5.BlockSize())
+}
+
 // SetThrottle makes each conversion worker sleep d between stripes,
-// bounding its interference with foreground I/O. Zero disables throttling.
+// bounding its interference with foreground I/O. Zero disables throttling;
+// negative durations are treated as zero.
+//
+// SetThrottle is safe to call while the migration runs — the bandwidth
+// timetable retunes it on schedule boundaries — and a mid-flight change
+// takes effect immediately: workers sleeping out the old interval are
+// woken, re-read the new value, and pace their next stripes by it, so
+// switching to a faster rate (or to off) never waits out a stale sleep.
 func (m *OnlineMigrator) SetThrottle(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if d == m.throttle {
+		return // no change: don't wake sleepers for nothing
+	}
 	m.throttle = d
+	if m.started && !m.finished {
+		m.interruptLocked()
+	}
+}
+
+// Throttle returns the current per-stripe pacing sleep (0 = unthrottled).
+func (m *OnlineMigrator) Throttle() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.throttle
 }
 
 // SetParallelism sets how many stripes are converted concurrently (each by

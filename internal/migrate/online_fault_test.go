@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -74,6 +75,60 @@ func TestPauseInterruptsThrottleSleep(t *testing.T) {
 	mig.Resume()
 	if err := mig.Wait(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSetThrottleMidFlightWakesSleepingWorkers: a concurrent throttle
+// update — the bandwidth timetable's schedule boundaries do exactly this —
+// must wake workers sleeping out the old interval immediately, including
+// the change to 0 (off). With a 30-second throttle armed and a switch to
+// off after the first stripe, the whole conversion has to finish in well
+// under one old interval. Several goroutines retune concurrently so the
+// race detector exercises SetThrottle against the sleeping workers.
+func TestSetThrottleMidFlightWakesSleepingWorkers(t *testing.T) {
+	const rows = 64
+	a, _ := newLoadedRAID5(t, 4, rows, 74)
+	mig, err := NewOnlineMigrator(a, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.SetParallelism(2); err != nil {
+		t.Fatal(err)
+	}
+	mig.SetThrottle(30 * time.Second)
+	converted := make(chan struct{}, rows)
+	mig.SetProgressFunc(func(c, total int64) {
+		select {
+		case converted <- struct{}{}:
+		default:
+		}
+	})
+	start := time.Now()
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-converted // at least one worker has entered (or is entering) its sleep
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(ms int) {
+			defer wg.Done()
+			mig.SetThrottle(time.Duration(ms) * time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	mig.SetThrottle(0) // off: nobody may finish the old 30s interval
+	if got := mig.Throttle(); got != 0 {
+		t.Fatalf("Throttle() = %v after SetThrottle(0)", got)
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("conversion took %v with the throttle turned off after the first stripe; sleeping workers were not woken", elapsed)
+	}
+	if converted, total := mig.Progress(); converted != total {
+		t.Fatalf("converted %d/%d stripes", converted, total)
 	}
 }
 

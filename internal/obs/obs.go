@@ -24,6 +24,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -49,6 +50,12 @@ type Server struct {
 	checks  []namedCheck
 	sources []namedSource
 
+	// quit is closed by Close: active ?watch=1 streams end at their next
+	// tick instead of holding a graceful shutdown hostage until every
+	// watching client disconnects on its own.
+	quit      chan struct{}
+	closeOnce sync.Once
+
 	requests *telemetry.Counter // obs.http_requests
 	scrapes  *telemetry.Counter // obs.scrapes
 	watchers *telemetry.Gauge   // obs.watch_clients
@@ -71,6 +78,7 @@ type namedSource struct {
 func New(reg *telemetry.Registry) *Server {
 	s := &Server{
 		reg:      reg,
+		quit:     make(chan struct{}),
 		requests: reg.Counter("obs.http_requests"),
 		scrapes:  reg.Counter("obs.scrapes"),
 		watchers: reg.Gauge("obs.watch_clients"),
@@ -112,6 +120,29 @@ func (s *Server) RegisterProgress(name string, src ProgressSource) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sources = append(s.sources, namedSource{name: name, src: src})
+}
+
+// Handle mounts an application handler on the plane's mux, so a service
+// (the c56-serve block API) shares one listener with its own /metrics,
+// /healthz and /progress endpoints. Patterns follow net/http.ServeMux
+// rules; the plane's own endpoints keep their paths. No-op on a nil server
+// or handler.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s == nil || h == nil {
+		return
+	}
+	s.mux.Handle(pattern, h)
+}
+
+// Close ends the plane's long-lived streams: every active ?watch=1 client
+// is released at its next tick. It does not stop an HTTP server wrapping
+// the plane — Handle.Shutdown composes the two. Safe to call more than
+// once; no-op on a nil server.
+func (s *Server) Close() {
+	if s == nil {
+		return
+	}
+	s.closeOnce.Do(func() { close(s.quit) })
 }
 
 // Handler returns the plane's HTTP handler (also usable under a parent
@@ -235,10 +266,21 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Watch mode: one JSON object per line, flushed every interval, until
-	// the client goes away or every registered migration has finished (the
-	// final state is always emitted).
+	// the client goes away, the plane shuts down, or every registered
+	// migration has finished (the final state is always emitted).
 	interval := 500 * time.Millisecond
-	if ms, err := strconv.Atoi(r.URL.Query().Get("interval_ms")); err == nil {
+	if raw := r.URL.Query().Get("interval_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil {
+			// A malformed interval must not silently become the default:
+			// the client asked for a specific cadence and would watch at
+			// the wrong one without noticing.
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"error": fmt.Sprintf("interval_ms: %q is not an integer", raw),
+			})
+			return
+		}
 		if ms < 20 {
 			ms = 20
 		}
@@ -267,16 +309,19 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-s.quit:
+			return
 		case <-tick.C:
 		}
 	}
 }
 
 // Handle is a started plane: the bound listener plus its shutdown. A nil
-// *Handle is inert, so callers can defer Close unconditionally.
+// *Handle is inert, so callers can defer Close/Drain unconditionally.
 type Handle struct {
-	ln net.Listener
-	hs *http.Server
+	srv *Server
+	ln  net.Listener
+	hs  *http.Server
 }
 
 // Addr returns the bound address ("" for a nil handle) — useful with
@@ -288,13 +333,50 @@ func (h *Handle) Addr() string {
 	return h.ln.Addr().String()
 }
 
-// Close stops the listener and closes active connections (including any
-// watch streams).
+// Close stops the plane immediately: watch streams are released, the
+// listener stops, and active connections are closed without waiting for
+// in-flight requests. Use Shutdown or Drain for a graceful exit.
 func (h *Handle) Close() error {
 	if h == nil {
 		return nil
 	}
+	h.srv.Close()
 	return h.hs.Close()
+}
+
+// Shutdown stops the plane gracefully: the listener stops accepting,
+// active ?watch=1 streams end at their next tick (they would otherwise
+// count as in-flight requests forever), and remaining requests — a scrape
+// mid-render, a pprof profile mid-capture — get until ctx's deadline to
+// finish. When ctx expires first the stragglers are closed hard; the
+// context error is returned so callers can tell a drained exit from a
+// forced one.
+func (h *Handle) Shutdown(ctx context.Context) error {
+	if h == nil {
+		return nil
+	}
+	h.srv.Close()
+	if err := h.hs.Shutdown(ctx); err != nil {
+		_ = h.hs.Close()
+		return err
+	}
+	return nil
+}
+
+// drainTimeout bounds how long Drain waits for in-flight requests; long
+// enough for any scrape, short enough that a CLI exit never feels hung.
+const drainTimeout = 2 * time.Second
+
+// Drain is the CLIs' exit path: Shutdown with a short built-in deadline,
+// so `defer handle.Drain()` gives every -http CLI (and c56-serve's signal
+// handler) a clean stop without plumbing a context through main.
+func (h *Handle) Drain() error {
+	if h == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	return h.Shutdown(ctx)
 }
 
 // Start binds addr and serves the plane in a background goroutine until
@@ -304,9 +386,16 @@ func (s *Server) Start(addr string) (*Handle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: %w", err)
 	}
+	return s.StartListener(ln), nil
+}
+
+// StartListener serves the plane on an already-bound listener — the seam
+// for wrapping the listener first (c56-serve caps concurrent connections
+// with serve.LimitListener before handing it here).
+func (s *Server) StartListener(ln net.Listener) *Handle {
 	hs := &http.Server{Handler: s.Handler()}
 	go func() { _ = hs.Serve(ln) }()
-	return &Handle{ln: ln, hs: hs}, nil
+	return &Handle{srv: s, ln: ln, hs: hs}
 }
 
 // Plane is the CLIs' -http implementation: for a non-empty addr it serves

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -347,12 +348,133 @@ func TestNilServerAndHandleAreInert(t *testing.T) {
 	var s *Server
 	s.RegisterHealth("x", func() Health { return Health{} })
 	s.RegisterProgress("x", nil)
+	s.Handle("/v1/", http.NotFoundHandler())
+	s.Close()
 	var h *Handle
 	if h.Addr() != "" {
 		t.Fatal("nil handle Addr not empty")
 	}
 	if err := h.Close(); err != nil {
 		t.Fatal(err)
+	}
+	if err := h.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProgressWatchRejectsMalformedInterval: a non-integer interval_ms is a
+// 400 with a JSON error body, not a silent fall-back to the 500 ms default
+// (the client asked for a specific cadence and would stream at the wrong
+// one without noticing). An absent parameter still selects the default.
+func TestProgressWatchRejectsMalformedInterval(t *testing.T) {
+	a := newLoadedRAID5(t, 4, 8)
+	mig, err := migrate.NewOnlineMigrator(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestPlane(t, telemetry.NewRegistry())
+	s.RegisterProgress("r5tor6", mig)
+
+	for _, bad := range []string{"abc", "1.5", "20ms", "-"} {
+		resp, err := http.Get(ts.URL + "/progress?watch=1&interval_ms=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("interval_ms=%q: status %d, want 400", bad, resp.StatusCode)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Fatalf("interval_ms=%q: body %q is not a JSON error object (%v)", bad, body, err)
+		}
+	}
+
+	// Absent parameter: the stream starts (default interval) — finish the
+	// migration so the request ends on its own.
+	if err := mig.Start(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/progress?watch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("absent interval_ms: status %d, want 200", resp.StatusCode)
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownEndsWatchStreams: a graceful Shutdown must not wait for
+// watching clients to disconnect — active ?watch=1 streams are ended at
+// their next tick and Shutdown returns within its deadline.
+func TestShutdownEndsWatchStreams(t *testing.T) {
+	a := newLoadedRAID5(t, 4, 8)
+	mig, err := migrate.NewOnlineMigrator(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never started: the watch stream would run forever on its own.
+	s := New(telemetry.NewRegistry())
+	s.RegisterProgress("r5tor6", mig)
+	h, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/progress?watch=1&interval_ms=20", h.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatal(err) // the stream is live
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := h.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v; the watch stream held the drain hostage", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Shutdown took %v, want prompt watch-stream release", elapsed)
+	}
+	// The stream the server ended reaches EOF (or a closed-connection
+	// error) rather than hanging.
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Logf("stream end: %v", err)
+	}
+}
+
+// TestHandleMountsApplicationHandler: a service handler mounted with
+// Handle shares the plane's listener, and its traffic counts in
+// obs.http_requests like the plane's own endpoints.
+func TestHandleMountsApplicationHandler(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, ts := newTestPlane(t, reg)
+	s.Handle("/v1/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "block service")
+	}))
+	code, body := get(t, ts.URL+"/v1/anything")
+	if code != http.StatusOK || !strings.Contains(body, "block service") {
+		t.Fatalf("mounted handler: status %d body %q", code, body)
+	}
+	code, _ = get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("plane endpoint after Handle: status %d", code)
+	}
+	if n := reg.Snapshot().Counters["obs.http_requests"]; n < 2 {
+		t.Fatalf("obs.http_requests = %d, want >= 2", n)
 	}
 }
 

@@ -1,0 +1,197 @@
+package bwtimetable
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseRate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"off", Unlimited},
+		{"OFF", Unlimited},
+		{"512", 512 * 1024}, // suffixless = KiB/s
+		{"1k", 1024},
+		{"10M", 10 * 1024 * 1024},
+		{"2G", 2 * 1024 * 1024 * 1024},
+		{"1T", 1024 * 1024 * 1024 * 1024},
+		{"4096B", 4096},
+		{"0", Unlimited},
+		{"1.5M", 1536 * 1024},
+	}
+	for _, c := range cases {
+		got, err := ParseRate(c.in)
+		if err != nil {
+			t.Fatalf("ParseRate(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseRate(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "fast", "-1M", "10X9"} {
+		if _, err := ParseRate(bad); err == nil {
+			t.Fatalf("ParseRate(%q) accepted", bad)
+		}
+	}
+}
+
+func at(hh, mm int) time.Time {
+	return time.Date(2026, 8, 8, hh, mm, 0, 0, time.UTC)
+}
+
+func TestTimetableSchedule(t *testing.T) {
+	tt, err := Parse("08:00,10M 19:00,50M 23:00,off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		hh, mm int
+		want   int64
+	}{
+		{8, 0, 10 * 1024 * 1024},
+		{12, 30, 10 * 1024 * 1024},
+		{19, 0, 50 * 1024 * 1024},
+		{22, 59, 50 * 1024 * 1024},
+		{23, 0, Unlimited},
+		// Wraparound: before the first entry, last night's rule holds.
+		{0, 0, Unlimited},
+		{7, 59, Unlimited},
+	}
+	for _, c := range cases {
+		if got := tt.Rate(at(c.hh, c.mm)); got != c.want {
+			t.Fatalf("Rate(%02d:%02d) = %d, want %d", c.hh, c.mm, got, c.want)
+		}
+	}
+	if s := tt.String(); s != "08:00,10M 19:00,50M 23:00,off" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestTimetableUnsortedInputAndConstants(t *testing.T) {
+	tt, err := Parse("23:00,off 08:00,10M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tt.Rate(at(9, 0)); got != 10*1024*1024 {
+		t.Fatalf("unsorted spec: Rate(09:00) = %d", got)
+	}
+
+	constant, err := Parse("10M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hm := range [][2]int{{0, 0}, {12, 0}, {23, 59}} {
+		if got := constant.Rate(at(hm[0], hm[1])); got != 10*1024*1024 {
+			t.Fatalf("constant spec: Rate(%v) = %d", hm, got)
+		}
+	}
+
+	empty, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.Rate(at(12, 0)); got != Unlimited {
+		t.Fatalf("empty spec: Rate = %d, want unlimited", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"8am,10M",
+		"25:00,10M",
+		"08:60,10M",
+		"08:00",
+		"08:00,fast",
+		"08:00,10M 08:00,off", // duplicate time
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestThrottleFor(t *testing.T) {
+	// 64 KiB per stripe at 1 MiB/s -> 62.5ms between stripes.
+	if got := ThrottleFor(1024*1024, 64*1024); got != 62500*time.Microsecond {
+		t.Fatalf("ThrottleFor = %v", got)
+	}
+	if got := ThrottleFor(Unlimited, 64*1024); got != 0 {
+		t.Fatalf("unlimited ThrottleFor = %v", got)
+	}
+	if got := ThrottleFor(1024, 0); got != 0 {
+		t.Fatalf("zero stripeBytes ThrottleFor = %v", got)
+	}
+}
+
+type fakeThrottler struct {
+	mu   sync.Mutex
+	last time.Duration
+	sets int
+}
+
+func (f *fakeThrottler) SetThrottle(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.last = d
+	f.sets++
+}
+
+func (f *fakeThrottler) state() (time.Duration, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.last, f.sets
+}
+
+func TestControllerRetunesAcrossBoundary(t *testing.T) {
+	tt, err := Parse("08:00,1M 09:00,off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu  sync.Mutex
+		now = at(8, 30)
+	)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	th := &fakeThrottler{}
+	c := NewController(tt, th, 64*1024)
+	c.SetClock(clock, time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); c.Run(ctx) }()
+
+	deadline := time.Now().Add(2 * time.Second)
+	want := ThrottleFor(1024*1024, 64*1024)
+	for {
+		if d, n := th.state(); n > 0 && d == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("controller never applied the 08:00 rate")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	mu.Lock()
+	now = at(9, 5) // cross the 09:00,off boundary
+	mu.Unlock()
+	for {
+		if d, _ := th.state(); d == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("controller never lifted the cap at 09:00")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+}

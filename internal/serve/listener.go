@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"net"
+	"sync"
+
+	"code56/internal/telemetry"
+)
+
+// LimitListener bounds concurrently accepted connections — the server's
+// outermost backpressure layer. Past the limit, Accept blocks, the
+// kernel's listen backlog fills, and remote dials queue or time out
+// instead of piling goroutines onto an overloaded process. (Same model
+// as golang.org/x/net/netutil.LimitListener, reimplemented because the
+// repo is stdlib-only.)
+type LimitListener struct {
+	net.Listener
+	sem   chan struct{}
+	conns *telemetry.Gauge
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// Limit wraps ln so at most n connections are open at once. The
+// serve.conns gauge in reg tracks the open count.
+func Limit(ln net.Listener, n int, reg *telemetry.Registry) *LimitListener {
+	if n <= 0 {
+		n = 1
+	}
+	return &LimitListener{
+		Listener: ln,
+		sem:      make(chan struct{}, n),
+		conns:    reg.Gauge(metricConns),
+		done:     make(chan struct{}),
+	}
+}
+
+func (l *LimitListener) acquire() bool {
+	select {
+	case <-l.done:
+		return false
+	case l.sem <- struct{}{}:
+		return true
+	}
+}
+
+func (l *LimitListener) release() {
+	<-l.sem
+	l.conns.Add(-1)
+}
+
+// Accept waits for a connection slot, then accepts.
+func (l *LimitListener) Accept() (net.Conn, error) {
+	if !l.acquire() {
+		return nil, net.ErrClosed
+	}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	l.conns.Add(1)
+	return &limitConn{Conn: c, release: l.release}, nil
+}
+
+// Close unblocks pending Accepts and closes the inner listener.
+func (l *LimitListener) Close() error {
+	l.closeOnce.Do(func() { close(l.done) })
+	return l.Listener.Close()
+}
+
+type limitConn struct {
+	net.Conn
+	releaseOnce sync.Once
+	release     func()
+}
+
+func (c *limitConn) Close() error {
+	err := c.Conn.Close()
+	c.releaseOnce.Do(c.release)
+	return err
+}

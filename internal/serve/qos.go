@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// QoS is a tenant's service contract. Zero values mean "no limit" so a
+// tenant with an empty QoS is admitted unconditionally.
+type QoS struct {
+	// BytesPerSec caps the tenant's sustained block-I/O bandwidth
+	// (reads + writes combined). 0 = unlimited.
+	BytesPerSec int64 `json:"bytes_per_sec"`
+	// Burst is the token-bucket depth: how many bytes may be served
+	// above the sustained rate after an idle period. Defaults to one
+	// second's worth (BytesPerSec) when 0.
+	Burst int64 `json:"burst"`
+	// MaxInFlight caps concurrently admitted requests. A request over
+	// the cap is rejected with 429 immediately (admission control, not
+	// queueing: queues hide overload until latency is already ruined).
+	// 0 = unlimited.
+	MaxInFlight int64 `json:"max_in_flight"`
+	// MaxWait bounds how long a request may be delayed for rate shaping
+	// before being rejected with 429 instead. Defaults to 500ms when 0.
+	MaxWait time.Duration `json:"max_wait_ns"`
+}
+
+const defaultMaxWait = 500 * time.Millisecond
+
+func (q QoS) maxWait() time.Duration {
+	if q.MaxWait <= 0 {
+		return defaultMaxWait
+	}
+	return q.MaxWait
+}
+
+// tokenBucket meters bytes at a sustained rate with a bounded burst. It
+// is deliberately reservation-based: Reserve commits the caller to the
+// wait it returns, so concurrent requests serialize their shaping delays
+// instead of all sleeping until the same refill instant and stampeding.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   int64 // bytes per second; <= 0 means unlimited
+	burst  int64 // bucket depth in bytes
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst int64) *tokenBucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: float64(burst)}
+}
+
+// Reserve claims n bytes. It returns the shaping delay the caller must
+// observe before proceeding and ok=true, or ok=false (reservation undone)
+// when the delay would exceed maxWait. Requests larger than the bucket
+// depth are still admitted — one block can exceed a small burst — they
+// just pay a proportionally longer delay.
+func (b *tokenBucket) Reserve(n int64, maxWait time.Duration) (time.Duration, bool) {
+	if b == nil || b.rate <= 0 {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * float64(b.rate)
+		if max := float64(b.burst); b.tokens > max {
+			b.tokens = max
+		}
+	}
+	b.last = now
+	b.tokens -= float64(n)
+	if b.tokens >= 0 {
+		return 0, true
+	}
+	wait := time.Duration(-b.tokens / float64(b.rate) * float64(time.Second))
+	if wait > maxWait {
+		b.tokens += float64(n) // undo: the request is rejected, not served
+		return wait, false
+	}
+	return wait, true
+}

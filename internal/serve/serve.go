@@ -1,0 +1,357 @@
+// Package serve exposes code56 arrays as a multi-tenant network block
+// service over HTTP, with per-tenant QoS (token-bucket bandwidth +
+// in-flight admission caps) and connection-level backpressure. It exists
+// to exercise the paper's headline claim — Code 5-6 migration runs
+// *online*, under foreground I/O — against traffic that arrives over a
+// wire instead of in-process.
+//
+// Protocol (HTTP/1.1, raw block bodies):
+//
+//	GET  /v1/                          JSON service listing
+//	GET  /v1/t/{tenant}/v/{vol}        JSON volume info (block_size, blocks)
+//	GET  /v1/t/{tenant}/v/{vol}/b/{n}  read logical block n (binary body)
+//	PUT  /v1/t/{tenant}/v/{vol}/b/{n}  write logical block n (binary body)
+//
+// Errors are JSON objects {"error": "..."}; overload is 429 with a
+// Retry-After hint. Admission order is deliberate: the in-flight cap is
+// checked before the rate bucket, so a saturating tenant is bounced
+// immediately rather than queueing into the shaper.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"code56/internal/bufpool"
+	"code56/internal/telemetry"
+)
+
+// Metric identities (compile-time constants per c56-lint metricname).
+const (
+	metricReads            = "serve.reads"
+	metricWrites           = "serve.writes"
+	metricReadLatencyUS    = "serve.read_latency_us"
+	metricWriteLatencyUS   = "serve.write_latency_us"
+	metricQoSWaitUS        = "serve.qos_wait_us"
+	metricRejectedInflight = "serve.rejected_inflight"
+	metricRejectedRate     = "serve.rejected_rate"
+	metricInflight         = "serve.inflight"
+	metricConns            = "serve.conns"
+	metricErrors           = "serve.errors"
+	metricRequestRate      = "serve.request_rate"
+
+	// tenantPrefix namespaces per-tenant instruments:
+	// serve.tenant.<name>.<suffix>.
+	tenantPrefix = "serve.tenant"
+)
+
+// latencyBucketsUS covers served block I/O: in-memory hits land in tens
+// of microseconds, QoS shaping and migration contention push the tail
+// into tens of milliseconds.
+var latencyBucketsUS = []float64{
+	50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000,
+}
+
+// tenantMetrics are the per-tenant instruments, one Instanced namespace
+// per tenant name.
+type tenantMetrics struct {
+	reads            *telemetry.Counter
+	writes           *telemetry.Counter
+	rejectedInflight *telemetry.Counter
+	rejectedRate     *telemetry.Counter
+	inflight         *telemetry.Gauge
+}
+
+// Server hosts tenants and serves their volumes.
+type Server struct {
+	reg *telemetry.Registry
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	metrics map[string]*tenantMetrics
+
+	reads            *telemetry.Counter
+	writes           *telemetry.Counter
+	readLatencyUS    *telemetry.Histogram
+	writeLatencyUS   *telemetry.Histogram
+	qosWaitUS        *telemetry.Histogram
+	rejectedInflight *telemetry.Counter
+	rejectedRate     *telemetry.Counter
+	inflight         *telemetry.Gauge
+	errors           *telemetry.Counter
+	requestRate      *telemetry.Rate
+}
+
+// NewServer builds a volume server registering its metrics in reg (nil
+// uses the process-default registry).
+func NewServer(reg *telemetry.Registry) *Server {
+	s := &Server{
+		reg:     reg,
+		tenants: map[string]*Tenant{},
+		metrics: map[string]*tenantMetrics{},
+	}
+	s.reads = reg.Counter(metricReads)
+	s.writes = reg.Counter(metricWrites)
+	s.readLatencyUS = reg.Histogram(metricReadLatencyUS, latencyBucketsUS)
+	s.writeLatencyUS = reg.Histogram(metricWriteLatencyUS, latencyBucketsUS)
+	s.qosWaitUS = reg.Histogram(metricQoSWaitUS, latencyBucketsUS)
+	s.rejectedInflight = reg.Counter(metricRejectedInflight)
+	s.rejectedRate = reg.Counter(metricRejectedRate)
+	s.inflight = reg.Gauge(metricInflight)
+	s.errors = reg.Counter(metricErrors)
+	s.requestRate = reg.Rate(metricRequestRate)
+	return s
+}
+
+// AddTenant registers a tenant under the given QoS contract.
+func (s *Server) AddTenant(name string, qos QoS) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty tenant name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tenants[name]; dup {
+		return nil, fmt.Errorf("serve: tenant %q already exists", name)
+	}
+	t := &Tenant{
+		name:    name,
+		qos:     qos,
+		bucket:  newTokenBucket(qos.BytesPerSec, qos.Burst),
+		volumes: map[string]*Volume{},
+	}
+	s.tenants[name] = t
+	inst := s.reg.PerInstance(tenantPrefix, name)
+	s.metrics[name] = &tenantMetrics{
+		reads:            inst.Counter("reads"),
+		writes:           inst.Counter("writes"),
+		rejectedInflight: inst.Counter("rejected_inflight"),
+		rejectedRate:     inst.Counter("rejected_rate"),
+		inflight:         inst.Gauge("inflight"),
+	}
+	return t, nil
+}
+
+// Tenant returns the named tenant, or nil.
+func (s *Server) Tenant(name string) *Tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tenants[name]
+}
+
+func (s *Server) tenantAndMetrics(name string) (*Tenant, *tenantMetrics) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tenants[name], s.metrics[name]
+}
+
+// Handler returns the service's HTTP handler, rooted at /v1/. Mount it
+// on an obs plane (Server.Handle) to share the listener with /metrics,
+// /healthz and /progress.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/{$}", s.handleIndex)
+	mux.HandleFunc("GET /v1/t/{tenant}/v/{vol}", s.handleVolumeInfo)
+	mux.HandleFunc("GET /v1/t/{tenant}/v/{vol}/b/{block}", s.handleReadBlock)
+	mux.HandleFunc("PUT /v1/t/{tenant}/v/{vol}/b/{block}", s.handleWriteBlock)
+	return mux
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	type volInfo struct {
+		BlockSize int   `json:"block_size"`
+		Blocks    int64 `json:"blocks"`
+	}
+	out := map[string]map[string]volInfo{}
+	s.mu.RLock()
+	for name, t := range s.tenants {
+		vols := map[string]volInfo{}
+		for _, vn := range t.Volumes() {
+			v := t.Volume(vn)
+			vols[vn] = volInfo{BlockSize: v.BlockSize(), Blocks: v.Blocks()}
+		}
+		out[name] = vols
+	}
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"tenants": out})
+}
+
+func (s *Server) handleVolumeInfo(w http.ResponseWriter, r *http.Request) {
+	_, _, v, _, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"name":       v.Name(),
+		"block_size": v.BlockSize(),
+		"blocks":     v.Blocks(),
+	})
+}
+
+// resolve maps the request path to tenant/volume, writing the 404 itself
+// on a miss.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*Tenant, *tenantMetrics, *Volume, int64, bool) {
+	tn, vn := r.PathValue("tenant"), r.PathValue("vol")
+	t, tm := s.tenantAndMetrics(tn)
+	if t == nil {
+		s.errors.Inc()
+		writeError(w, http.StatusNotFound, "unknown tenant %q", tn)
+		return nil, nil, nil, 0, false
+	}
+	v := t.Volume(vn)
+	if v == nil {
+		s.errors.Inc()
+		writeError(w, http.StatusNotFound, "tenant %q has no volume %q", tn, vn)
+		return nil, nil, nil, 0, false
+	}
+	var block int64 = -1
+	if raw := r.PathValue("block"); raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || n < 0 || n >= v.Blocks() {
+			s.errors.Inc()
+			writeError(w, http.StatusBadRequest, "block %q out of range [0,%d)", raw, v.Blocks())
+			return nil, nil, nil, 0, false
+		}
+		block = n
+	}
+	return t, tm, v, block, true
+}
+
+// admit runs admission control for one block request: the in-flight cap
+// first (reject saturating tenants immediately), then the rate bucket
+// (bounded shaping delay, else reject). On ok=true the caller owns one
+// in-flight slot and must call the returned release.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, t *Tenant, tm *tenantMetrics, bytes int64) (release func(), ok bool) {
+	s.requestRate.Add(1)
+	n := t.inflight.Add(1)
+	release = func() {
+		t.inflight.Add(-1)
+		tm.inflight.Add(-1)
+		s.inflight.Add(-1)
+	}
+	tm.inflight.Add(1)
+	s.inflight.Add(1)
+	if cap := t.qos.MaxInFlight; cap > 0 && n > cap {
+		release()
+		s.rejectedInflight.Inc()
+		tm.rejectedInflight.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"tenant %q over in-flight cap (%d)", t.name, cap)
+		return nil, false
+	}
+	wait, admitted := t.bucket.Reserve(bytes, t.qos.maxWait())
+	if !admitted {
+		release()
+		s.rejectedRate.Inc()
+		tm.rejectedRate.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(wait/time.Second)+1))
+		writeError(w, http.StatusTooManyRequests,
+			"tenant %q over bandwidth cap (wanted %v of shaping delay)", t.name, wait)
+		return nil, false
+	}
+	if wait > 0 {
+		s.qosWaitUS.Observe(float64(wait / time.Microsecond))
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-r.Context().Done():
+			// The client gave up mid-shaping; its tokens stay spent
+			// (the bucket already committed them) but the slot frees.
+			release()
+			return nil, false
+		}
+	}
+	return release, true
+}
+
+func (s *Server) handleReadBlock(w http.ResponseWriter, r *http.Request) {
+	t, tm, v, block, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	bs := v.BlockSize()
+	release, ok := s.admit(w, r, t, tm, int64(bs))
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	buf := bufpool.Get(bs)
+	defer bufpool.Put(buf)
+	if err := v.IO().ReadBlock(block, buf); err != nil {
+		s.errors.Inc()
+		writeError(w, http.StatusInternalServerError, "read block %d: %v", block, err)
+		return
+	}
+	s.reads.Inc()
+	tm.reads.Inc()
+	s.readLatencyUS.Observe(float64(time.Since(start) / time.Microsecond))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(bs))
+	w.Write(buf)
+}
+
+func (s *Server) handleWriteBlock(w http.ResponseWriter, r *http.Request) {
+	t, tm, v, block, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	bs := v.BlockSize()
+	if r.ContentLength >= 0 && r.ContentLength != int64(bs) {
+		s.errors.Inc()
+		writeError(w, http.StatusBadRequest,
+			"body is %d bytes, want exactly one %d-byte block", r.ContentLength, bs)
+		return
+	}
+	release, ok := s.admit(w, r, t, tm, int64(bs))
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	buf := bufpool.Get(bs)
+	defer bufpool.Put(buf)
+	if _, err := io.ReadFull(r.Body, buf); err != nil {
+		// Client died or sent a short body: the connection resources
+		// (slot, buffer) release via the defers above.
+		s.errors.Inc()
+		writeError(w, http.StatusBadRequest, "short body: %v", err)
+		return
+	}
+	if err := v.IO().WriteBlock(block, buf); err != nil {
+		s.errors.Inc()
+		writeError(w, http.StatusInternalServerError, "write block %d: %v", block, err)
+		return
+	}
+	s.writes.Inc()
+	tm.writes.Inc()
+	s.writeLatencyUS.Observe(float64(time.Since(start) / time.Microsecond))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// TenantNames returns the registered tenant names, sorted.
+func (s *Server) TenantNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tenants))
+	for n := range s.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

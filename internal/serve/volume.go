@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"code56/internal/migrate"
+)
+
+// BlockIO is the server's view of an array: logical block reads and
+// writes. raid5.Array and raid6.Array satisfy it directly; a live
+// migration serves through MigratorIO so foreground traffic follows the
+// paper's online access path (Algorithm 2) while stripes convert
+// underneath it.
+type BlockIO interface {
+	ReadBlock(logical int64, buf []byte) error
+	WriteBlock(logical int64, data []byte) error
+	BlockSize() int
+}
+
+// MigratorIO adapts an OnlineMigrator's watermark-routed Read/Write to
+// BlockIO. It stays valid after the migration finishes (the migrator
+// keeps routing to the converted array), so a volume can point at it for
+// the whole server lifetime of a migration.
+type MigratorIO struct {
+	M *migrate.OnlineMigrator
+}
+
+func (io MigratorIO) ReadBlock(logical int64, buf []byte) error   { return io.M.Read(logical, buf) }
+func (io MigratorIO) WriteBlock(logical int64, data []byte) error { return io.M.Write(logical, data) }
+func (io MigratorIO) BlockSize() int                              { return io.M.BlockSize() }
+
+// Volume is one addressable block device owned by a tenant.
+type Volume struct {
+	name   string
+	blocks int64 // addressable logical blocks
+
+	mu sync.RWMutex
+	io BlockIO
+}
+
+// Name returns the volume's name.
+func (v *Volume) Name() string { return v.name }
+
+// Blocks returns the number of addressable logical blocks.
+func (v *Volume) Blocks() int64 { return v.blocks }
+
+// IO returns the current backing BlockIO.
+func (v *Volume) IO() BlockIO {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.io
+}
+
+// SetIO swaps the backing array, e.g. from a bare RAID-5 to a MigratorIO
+// when a migration starts. In-flight requests finish against the IO they
+// resolved; new requests see the replacement.
+func (v *Volume) SetIO(io BlockIO) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.io = io
+}
+
+// BlockSize returns the backing array's block size in bytes.
+func (v *Volume) BlockSize() int { return v.IO().BlockSize() }
+
+// Tenant owns volumes and the QoS state that admits requests to them.
+type Tenant struct {
+	name   string
+	qos    QoS
+	bucket *tokenBucket
+
+	mu      sync.RWMutex
+	volumes map[string]*Volume
+
+	inflight atomic.Int64
+}
+
+// InFlight reports the tenant's currently admitted request count.
+func (t *Tenant) InFlight() int64 { return t.inflight.Load() }
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// QoS returns the tenant's service contract.
+func (t *Tenant) QoS() QoS { return t.qos }
+
+// Volume returns the named volume, or nil.
+func (t *Tenant) Volume(name string) *Volume {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.volumes[name]
+}
+
+// Volumes returns the tenant's volume names.
+func (t *Tenant) Volumes() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	names := make([]string, 0, len(t.volumes))
+	for n := range t.volumes {
+		names = append(names, n)
+	}
+	return names
+}
+
+// AddVolume registers a volume backed by io with the given logical size.
+func (t *Tenant) AddVolume(name string, io BlockIO, blocks int64) (*Volume, error) {
+	if io == nil {
+		return nil, fmt.Errorf("serve: volume %q: nil BlockIO", name)
+	}
+	if blocks <= 0 {
+		return nil, fmt.Errorf("serve: volume %q: blocks must be positive", name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.volumes[name]; dup {
+		return nil, fmt.Errorf("serve: tenant %q already has volume %q", t.name, name)
+	}
+	v := &Volume{name: name, blocks: blocks, io: io}
+	t.volumes[name] = v
+	return v, nil
+}
