@@ -3,12 +3,14 @@
 // the machine-readable companion to the paper's Fig. 13 computation-cost
 // comparison.
 //
-// It also measures the XOR kernel hierarchy (wide / word / byte paths of
-// internal/xorblk, written to BENCH_xor.json) and sweeps the parallel
-// stripe engine: full-array encodes at 1, 2, 4 and 8 workers, each worker
-// count sampled several times with the median reported, written to
-// BENCH_parallel.json together with the host's core count (scaling beyond
-// 1× needs GOMAXPROCS > 1).
+// It also measures the XOR kernel hierarchy (every tier the host can run —
+// asm/wide/word/byte, per xorblk.Tiers() — written to BENCH_xor.json with
+// sizes reaching past the non-temporal store threshold) and sweeps the
+// parallel stripe engine: full-array encodes at 1, 2, 4 and 8 workers in
+// both per-stripe and interleaved batch modes, each sampled several times
+// with the median reported, written to BENCH_parallel.json. Both reports
+// carry the host topology (NumCPU, GOMAXPROCS, selected kernel, detected
+// CPU features) so throughput numbers are interpretable after the fact.
 //
 // Usage:
 //
@@ -55,11 +57,37 @@ type Report struct {
 	Results   []Result `json:"results"`
 }
 
-// ParallelResult is one worker count's full-array encode measurement.
+// Topology records the host parallelism and the XOR fast path this binary
+// selected at init — the context every throughput number needs: speedups
+// flatten when GOMAXPROCS is 1, and per-size kernel throughput is only
+// comparable between hosts running the same tier.
+type Topology struct {
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Kernel     string   `json:"kernel"`
+	Features   []string `json:"features,omitempty"`
+}
+
+// topo snapshots the host topology for a report header.
+func topo() Topology {
+	return Topology{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Kernel:     xorblk.KernelName,
+		Features:   xorblk.Features(),
+	}
+}
+
+// ParallelResult is one (mode, worker count) full-array encode measurement.
 // MBPerSec is the median of Samples independent measurement windows;
 // AllocsPerStripe is heap allocations per stripe encode across all windows
-// (the zero-allocation hot path keeps it near 0 in steady state).
+// (the zero-allocation hot path keeps it near 0 in steady state). Speedup
+// is relative to the same mode at 1 worker.
 type ParallelResult struct {
+	// Mode is "per-stripe" (EncodeArrayStripes: every chain of a stripe,
+	// then the next stripe) or "interleaved" (EncodeArrayStripesInterleaved:
+	// one chain across a whole claimed batch, so column accesses stream).
+	Mode            string  `json:"mode"`
 	Workers         int     `json:"workers"`
 	MBPerSec        float64 `json:"mb_per_s"`
 	Speedup         float64 `json:"speedup_vs_1"`
@@ -68,17 +96,14 @@ type ParallelResult struct {
 	AllocsPerStripe float64 `json:"allocs_per_stripe"`
 }
 
-// ParallelReport is BENCH_parallel.json's top-level object. GOMAXPROCS and
-// NumCPU qualify the speedup column: on a single-core host every worker
-// count time-slices one CPU and Speedup stays ~1.
+// ParallelReport is BENCH_parallel.json's top-level object.
 type ParallelReport struct {
-	Code       string           `json:"code"`
-	BlockSize  int              `json:"block_size"`
-	P          int              `json:"p"`
-	Stripes    int64            `json:"stripes"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	NumCPU     int              `json:"num_cpu"`
-	Results    []ParallelResult `json:"results"`
+	Topology
+	Code      string           `json:"code"`
+	BlockSize int              `json:"block_size"`
+	P         int              `json:"p"`
+	Stripes   int64            `json:"stripes"`
+	Results   []ParallelResult `json:"results"`
 }
 
 func main() {
@@ -159,40 +184,40 @@ func main() {
 	}
 }
 
-// XorResult is one (path, size) throughput sample of the XOR kernel sweep.
+// XorResult is one (tier, size) throughput sample of the XOR kernel sweep.
 type XorResult struct {
-	// Path names the kernel: the compiled fast path (xorblk.KernelName,
-	// "wide" unless built with -tags purego), "word", or "byte".
+	// Path names the tier exactly as dispatched: "avx512"/"avx2"/"neon"
+	// (hosts with the matching features), "wide", "word", and the "byte"
+	// reference — every tier xorblk.Tiers() reports for this binary.
 	Path string `json:"path"`
 	Size int    `json:"size"`
 	// MBPerSec counts destination bytes processed (one read+xor+write pass).
 	MBPerSec float64 `json:"mb_per_s"`
-	// SpeedupVsWord is this path's throughput over the word path's at the
-	// same size (the acceptance metric for the wide kernel).
+	// SpeedupVsWord is this tier's throughput over the word path's at the
+	// same size (the acceptance metric for the fast tiers).
 	SpeedupVsWord float64 `json:"speedup_vs_word"`
 	Iterations    int     `json:"iterations"`
 }
 
-// XorReport is BENCH_xor.json's top-level object.
+// XorReport is BENCH_xor.json's top-level object. The embedded Topology's
+// Kernel field names the fast path selected for this binary on this host.
 type XorReport struct {
-	// Kernel is the fast path compiled into this binary.
-	Kernel  string      `json:"kernel"`
+	Topology
 	Results []XorResult `json:"results"`
 }
 
-// runXor measures dst ^= src throughput for each kernel path across block
-// sizes and writes BENCH_xor.json.
+// xorSizes spans cache-resident blocks through streaming ones: 256 KiB
+// exceeds most L2s' fair share, and the ≥1 MiB sizes engage the assembly
+// tiers' non-temporal stores (xorblk.NonTemporalThreshold) — the cliff
+// region the cached-store wide path shows in earlier BENCH_xor.json runs.
+var xorSizes = []int{1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20}
+
+// runXor measures dst ^= src throughput for every kernel tier this host
+// can run across block sizes and writes BENCH_xor.json.
 func runXor(out string, minTime time.Duration) error {
-	rep := XorReport{Kernel: xorblk.KernelName}
-	paths := []struct {
-		name string
-		fn   func(dst, src []byte)
-	}{
-		{xorblk.KernelName, xorblk.Xor},
-		{"word", xorblk.XorWords},
-		{"byte", xorblk.XorBytes},
-	}
-	for _, size := range []int{1024, 4096, 16384, 65536} {
+	rep := XorReport{Topology: topo()}
+	tiers := xorblk.Tiers()
+	for _, size := range xorSizes {
 		rng := rand.New(rand.NewSource(3))
 		dst := make([]byte, size)
 		src := make([]byte, size)
@@ -200,21 +225,21 @@ func runXor(out string, minTime time.Duration) error {
 		rng.Read(src)
 		var wordMB float64
 		base := len(rep.Results)
-		for _, p := range paths {
-			p.fn(dst, src) // warm-up
+		for _, tier := range tiers {
+			tier.Xor(dst, src) // warm-up
 			iters := 0
 			start := time.Now()
 			for time.Since(start) < minTime {
-				p.fn(dst, src)
+				tier.Xor(dst, src)
 				iters++
 			}
 			elapsed := time.Since(start)
 			mb := float64(iters) * float64(size) / 1e6 / elapsed.Seconds()
-			if p.name == "word" {
+			if tier.Name == "word" {
 				wordMB = mb
 			}
 			rep.Results = append(rep.Results, XorResult{
-				Path: p.name, Size: size, MBPerSec: mb, Iterations: iters,
+				Path: tier.Name, Size: size, MBPerSec: mb, Iterations: iters,
 			})
 		}
 		for i := base; i < len(rep.Results); i++ {
@@ -225,8 +250,8 @@ func runXor(out string, minTime time.Duration) error {
 		return err
 	}
 	if out != "-" {
-		fmt.Printf("wrote XOR kernel sweep (%s fast path, %d results) to %s\n",
-			rep.Kernel, len(rep.Results), out)
+		fmt.Printf("wrote XOR kernel sweep (%s fast path, %d tiers, %d results) to %s\n",
+			rep.Kernel, len(tiers), len(rep.Results), out)
 	}
 	return nil
 }
@@ -292,8 +317,9 @@ func run(out string, block, p int, minTime time.Duration) error {
 }
 
 // runParallel measures full-array Code 5-6 encodes through the parallel
-// stripe engine at 1, 2, 4 and 8 workers and writes BENCH_parallel.json.
-// Each worker count runs reps independent measurement windows (each at
+// stripe engine at 1, 2, 4 and 8 workers — in per-stripe and interleaved
+// batch modes side by side — and writes BENCH_parallel.json. Each (mode,
+// worker count) pair runs reps independent measurement windows (each at
 // least minTime long) and reports the median throughput, plus heap
 // allocations per stripe encode taken from runtime.MemStats.
 func runParallel(out string, block, p int, stripes int64, minTime time.Duration, reps int, backend string) error {
@@ -319,67 +345,80 @@ func runParallel(out string, block, p int, stripes int64, minTime time.Duration,
 		}
 	}
 	rep := ParallelReport{
-		Code:       fmt.Sprintf("code56-p%d", p),
-		BlockSize:  block,
-		P:          p,
-		Stripes:    stripes,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
+		Topology:  topo(),
+		Code:      fmt.Sprintf("code56-p%d", p),
+		BlockSize: block,
+		P:         p,
+		Stripes:   stripes,
 	}
 	ctx := context.Background()
 	dataBytes := float64(blocks) * float64(block)
-	for _, w := range []int{1, 2, 4, 8} {
-		encode := func() error {
+	modes := []struct {
+		name string
+		fn   func(w int) error
+	}{
+		{"per-stripe", func(w int) error {
 			return code56.EncodeArrayStripes(ctx, a, stripes, code56.WithWorkers(w))
-		}
-		// Warm-up pass primes the buffer pools so the measured windows see
-		// steady state, then reps independent windows of at least minTime.
-		if err := encode(); err != nil {
-			return err
-		}
-		var (
-			samples     []float64
-			totalIters  int
-			totalAllocs uint64
-			ms          runtime.MemStats
-		)
-		for win := 0; win < reps; win++ {
-			runtime.ReadMemStats(&ms)
-			allocsBefore := ms.Mallocs
-			iters := 0
-			start := time.Now()
-			for iters == 0 || time.Since(start) < minTime {
-				if err := encode(); err != nil {
-					return err
-				}
-				iters++
+		}},
+		{"interleaved", func(w int) error {
+			return code56.EncodeArrayStripesInterleaved(ctx, a, stripes, code56.WithWorkers(w))
+		}},
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		for _, mode := range modes {
+			encode := func() error { return mode.fn(w) }
+			// Warm-up pass primes the buffer pools so the measured windows
+			// see steady state, then reps independent windows of minTime.
+			if err := encode(); err != nil {
+				return err
 			}
-			elapsed := time.Since(start)
-			runtime.ReadMemStats(&ms)
-			samples = append(samples, float64(iters)*dataBytes/1e6/elapsed.Seconds())
-			totalIters += iters
-			totalAllocs += ms.Mallocs - allocsBefore
+			var (
+				samples     []float64
+				totalIters  int
+				totalAllocs uint64
+				ms          runtime.MemStats
+			)
+			for win := 0; win < reps; win++ {
+				runtime.ReadMemStats(&ms)
+				allocsBefore := ms.Mallocs
+				iters := 0
+				start := time.Now()
+				for iters == 0 || time.Since(start) < minTime {
+					if err := encode(); err != nil {
+						return err
+					}
+					iters++
+				}
+				elapsed := time.Since(start)
+				runtime.ReadMemStats(&ms)
+				samples = append(samples, float64(iters)*dataBytes/1e6/elapsed.Seconds())
+				totalIters += iters
+				totalAllocs += ms.Mallocs - allocsBefore
+			}
+			r := ParallelResult{
+				Mode:            mode.name,
+				Workers:         w,
+				MBPerSec:        median(samples),
+				Speedup:         1,
+				Iterations:      totalIters,
+				Samples:         reps,
+				AllocsPerStripe: float64(totalAllocs) / float64(int64(totalIters)*stripes),
+			}
+			for _, prev := range rep.Results {
+				if prev.Mode == mode.name && prev.Workers == 1 {
+					r.Speedup = r.MBPerSec / prev.MBPerSec
+					break
+				}
+			}
+			rep.Results = append(rep.Results, r)
 		}
-		r := ParallelResult{
-			Workers:         w,
-			MBPerSec:        median(samples),
-			Iterations:      totalIters,
-			Samples:         reps,
-			AllocsPerStripe: float64(totalAllocs) / float64(int64(totalIters)*stripes),
-		}
-		if len(rep.Results) > 0 {
-			r.Speedup = r.MBPerSec / rep.Results[0].MBPerSec
-		} else {
-			r.Speedup = 1
-		}
-		rep.Results = append(rep.Results, r)
 	}
 	if err := writeJSON(out, rep); err != nil {
 		return err
 	}
 	if out != "-" {
-		fmt.Printf("wrote parallel sweep (%d worker counts, %d windows each, GOMAXPROCS=%d) to %s\n",
-			len(rep.Results), reps, rep.GOMAXPROCS, out)
+		fmt.Printf("wrote parallel sweep (%d mode×worker results, %d windows each, GOMAXPROCS=%d, kernel=%s) to %s\n",
+			len(rep.Results), reps, rep.GOMAXPROCS, rep.Kernel, out)
 	}
 	return nil
 }

@@ -1,0 +1,58 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// makeStripes returns n toy-geometry stripes with random data cells and
+// zero parity.
+func makeStripes(n int, seed int64) []*Stripe {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]*Stripe, n)
+	for i := range out {
+		out[i] = NewStripe(toy{}.Geometry(), 64)
+		out[i].FillRandom(toy{}, r)
+	}
+	return out
+}
+
+// TestEncodeInterleavedMatchesEncode pins the bit-identical contract: a
+// batch encoded chain-outer/stripe-inner must equal the same stripes
+// encoded one at a time, with the same total XOR count.
+func TestEncodeInterleavedMatchesEncode(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7} {
+		enc := NewEncoder(toy{})
+		batch := makeStripes(n, int64(100+n))
+		serial := make([]*Stripe, n)
+		wantXORs := 0
+		for i, s := range batch {
+			serial[i] = s.Clone()
+			wantXORs += enc.Encode(serial[i])
+		}
+		if got := enc.EncodeInterleaved(batch); got != wantXORs {
+			t.Fatalf("n=%d: EncodeInterleaved xors = %d, want %d", n, got, wantXORs)
+		}
+		for i, s := range batch {
+			if !s.Equal(serial[i]) {
+				t.Fatalf("n=%d: stripe %d differs between interleaved and per-stripe encode", n, i)
+			}
+			if !Verify(toy{}, s) {
+				t.Fatalf("n=%d: stripe %d fails Verify after interleaved encode", n, i)
+			}
+		}
+	}
+}
+
+// TestEncodeInterleavedAllocationFree pins the batch encode path at zero
+// allocations — the cover scratch is pooled exactly as in Encode.
+func TestEncodeInterleavedAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	enc := NewEncoder(toy{})
+	batch := makeStripes(4, 7)
+	if n := testing.AllocsPerRun(100, func() { enc.EncodeInterleaved(batch) }); n != 0 {
+		t.Errorf("EncodeInterleaved allocates %.1f times per call, want 0", n)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package layout
+
+// raceEnabled reports whether the race detector instruments this build.
+const raceEnabled = false

@@ -1,0 +1,18 @@
+// A sanctioned dispatch file with no build constraint at all: unsafe is
+// allowed here, but both the purego and noasm exclusions are demanded.
+
+package xorblk
+
+import "unsafe" // want `lacks a build constraint excluding it under the purego tag` `lacks a build constraint excluding it under the noasm tag`
+
+// ptr exposes a slice's base address.
+func ptr(b []byte) uintptr {
+	return uintptr(unsafe.Pointer(&b[0]))
+}
+
+// use keeps the stub referenced across the fixture files.
+func use(dst, src []byte) {
+	if ptr(dst)&63 == 0 {
+		avx2Xor(&dst[0], &src[0], len(dst), false)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !purego
+
+// An assembly stub file carrying only the !purego gate: stubs must also be
+// excluded under noasm, so the analyzer demands the missing term.
+
+package xorblk
+
+//go:noescape
+func avx2Xor(dst, src *byte, n int, nt bool) // want `lacks a build constraint excluding it under the noasm tag`

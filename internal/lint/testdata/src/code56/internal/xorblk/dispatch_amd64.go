@@ -1,0 +1,21 @@
+//go:build !purego && !noasm
+
+// A sanctioned dispatch file: unsafe is permitted here behind the
+// purego+noasm gates (the sanction table lists dispatch_amd64.go), so this
+// file must produce no diagnostics.
+
+package xorblk
+
+import "unsafe"
+
+// ptr exposes a slice's base address for the dispatcher's alignment math.
+func ptr(b []byte) uintptr {
+	return uintptr(unsafe.Pointer(&b[0]))
+}
+
+// useStub keeps the stub and ptr referenced.
+func useStub(dst, src []byte) {
+	if ptr(dst)&63 == 0 {
+		avx2Xor(&dst[0], &src[0], len(dst), false)
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !purego && !noasm
+
+// Assembly stub declarations behind the required purego/noasm gates: the
+// one place the unsafegate analyzer permits body-less functions, asserted
+// clean by the positive fixture run.
+
+package xorblk
+
+//go:noescape
+func avx2Xor(dst, src *byte, n int, nt bool)
+
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)

@@ -28,3 +28,6 @@ func XorMulti(dst []byte, srcs ...[]byte) int {
 	}
 	return len(srcs) - 1
 }
+
+// XorWords is the word-at-a-time reference kernel.
+func XorWords(dst, src []byte) { XorBytes(dst, src) }

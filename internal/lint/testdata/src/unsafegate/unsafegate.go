@@ -22,3 +22,7 @@ func header(b []byte) reflect.SliceHeader { // want `reflect.SliceHeader is unsa
 func str() (h reflect.StringHeader) { // want `reflect.StringHeader is unsafe in disguise`
 	return
 }
+
+// simdXor is an assembly stub (body-less function) outside xorblk: SIMD
+// kernels must live behind xorblk's dispatch, not in arbitrary packages.
+func simdXor(dst, src *byte, n int) // want `assembly stub \(body-less function\) outside`

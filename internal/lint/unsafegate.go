@@ -5,55 +5,99 @@ import (
 	"go/build/constraint"
 	"path/filepath"
 	"strconv"
+	"strings"
 
 	"code56/internal/lint/analysis"
 )
 
-// wideKernelFile is the single file allowed to import unsafe: the
-// alignment-gated wide XOR kernel.
-const wideKernelFile = "kernel_wide.go"
+// sanctionedUnsafe maps the xorblk files allowed to import unsafe to the
+// build tags each must be excluded under. kernel_wide.go is the
+// alignment-gated wide kernel (absent from purego builds); the per-arch
+// dispatch files sit above it and must additionally vanish under noasm so
+// that tag removes every assembly-adjacent path at once.
+var sanctionedUnsafe = map[string][]string{
+	"kernel_wide.go":      {"purego"},
+	"dispatch_amd64.go":   {"purego", "noasm"},
+	"dispatch_arm64.go":   {"purego", "noasm"},
+	"dispatch_generic.go": {"purego"},
+}
 
-// UnsafeGate rejects unsafe outside the wide kernel.
+// stubGateTags are the build tags every assembly stub file must be
+// excluded under: -tags purego strips all unsafe and assembly, -tags noasm
+// strips assembly while keeping the wide kernels.
+var stubGateTags = []string{"purego", "noasm"}
+
+// UnsafeGate rejects unsafe — and assembly, its close cousin — outside the
+// sanctioned xorblk kernel files.
 //
 // The repository's portability story is binary: build with -tags purego
-// and no unsafe code is compiled at all; build normally and the only
-// unsafe in the module is the wide kernel's aligned []byte→[]uint64
-// reinterpretation, which is audited together with its alignment guard.
-// Any other unsafe use — or a reflect.SliceHeader/StringHeader
-// reconstruction, the classic route around the compiler's safety checks —
-// breaks that audit boundary silently. The analyzer therefore:
+// and no unsafe or assembly code is compiled at all; build with -tags
+// noasm and the assembly tiers disappear while the audited wide kernel
+// remains; build normally and the only unsafe in the module lives in
+// internal/xorblk's sanctioned kernel/dispatch files. The analyzer
+// therefore:
 //
-//   - reports any import of unsafe outside internal/xorblk/kernel_wide.go;
-//   - requires kernel_wide.go itself to carry a build constraint that
-//     excludes it under the purego tag, so the portable build stays free
-//     of unsafe by construction;
+//   - reports any import of unsafe outside the sanctioned files
+//     (sanctionedUnsafe), and requires each sanctioned file to carry a
+//     build constraint excluding it under that file's required tags, so
+//     the portable builds stay unsafe-free by construction;
+//   - reports any assembly stub — a body-less function declaration —
+//     outside internal/xorblk, and requires stub-bearing xorblk files to
+//     be excluded under both the purego and noasm tags;
 //   - reports any use of reflect.SliceHeader or reflect.StringHeader
 //     anywhere (they are unsafe-in-disguise and have no legitimate use
 //     here).
+//
+// Sanctioned files need no //lint:allow annotations; everything else does
+// not get them either — unsafe and assembly grow only by extending the
+// sanction table, which is itself reviewed with the kernels.
 var UnsafeGate = &analysis.Analyzer{
 	Name: "unsafegate",
-	Doc: "reject unsafe and reflect.SliceHeader outside internal/xorblk's " +
-		"wide kernel, and require the kernel file's !purego build gate",
+	Doc: "reject unsafe imports, assembly stubs and reflect.SliceHeader outside " +
+		"internal/xorblk's sanctioned kernel files, and require those files' " +
+		"purego/noasm build gates",
 	Run: runUnsafeGate,
 }
 
 func runUnsafeGate(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		filename := filepath.Base(pass.Fset.Position(f.Package).Filename)
-		isWideKernel := pass.Pkg.Path() == xorblkPath && filename == wideKernelFile
+		inXorblk := pass.Pkg.Path() == xorblkPath
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
 			if err != nil || path != "unsafe" {
 				continue
 			}
-			if !isWideKernel {
-				pass.Reportf(imp.Pos(), "unsafe is only permitted in %s/%s (the alignment-gated wide kernel); "+
-					"use the portable kernels or extend xorblk instead", xorblkPath, wideKernelFile)
+			tags, sanctioned := sanctionedUnsafe[filename]
+			if !inXorblk || !sanctioned {
+				pass.Reportf(imp.Pos(), "unsafe is only permitted in %s's sanctioned kernel files; "+
+					"use the portable kernels or extend xorblk instead", xorblkPath)
 				continue
 			}
-			if !excludedUnderPurego(f) {
-				pass.Reportf(imp.Pos(), "%s imports unsafe but lacks a build constraint excluding it under "+
-					"the purego tag (expected //go:build !purego)", wideKernelFile)
+			for _, tag := range tags {
+				if !excludedUnderTag(f, tag) {
+					pass.Reportf(imp.Pos(), "%s imports unsafe but lacks a build constraint excluding it under "+
+						"the %s tag (expected //go:build with !%s)", filename, tag, tag)
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body != nil {
+				continue
+			}
+			if !inXorblk {
+				pass.Reportf(fd.Pos(), "assembly stub (body-less function) outside %s; "+
+					"SIMD kernels live behind xorblk's dispatch so every caller inherits "+
+					"the purego/noasm fallbacks", xorblkPath)
+				continue
+			}
+			for _, tag := range stubGateTags {
+				if !excludedUnderTag(f, tag) {
+					pass.Reportf(fd.Pos(), "%s declares an assembly stub but lacks a build constraint "+
+						"excluding it under the %s tag (expected //go:build !purego && !noasm)", filename, tag)
+					break
+				}
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -74,9 +118,11 @@ func runUnsafeGate(pass *analysis.Pass) error {
 	return nil
 }
 
-// excludedUnderPurego reports whether the file carries a build constraint
-// that evaluates to false when the purego tag is set.
-func excludedUnderPurego(f *ast.File) bool {
+// excludedUnderTag reports whether the file carries a build constraint
+// that evaluates to false when the given tag is set (and all other tags,
+// including GOOS/GOARCH ones, are unset — the strictest reading, so
+// arch-specific files still need the explicit !tag term).
+func excludedUnderTag(f *ast.File, tag string) bool {
 	for _, cg := range f.Comments {
 		if cg.End() >= f.Package {
 			break // constraints must precede the package clause
@@ -89,10 +135,15 @@ func excludedUnderPurego(f *ast.File) bool {
 			if err != nil {
 				continue
 			}
-			if !expr.Eval(func(tag string) bool { return tag == "purego" }) {
+			if !expr.Eval(func(t string) bool { return t == tag }) {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// isTestFile reports whether the file is a _test.go file (by filename).
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Package).Filename, "_test.go")
 }

@@ -166,24 +166,8 @@ func ForEach(ctx context.Context, n int64, fn func(i int64) error, opts ...Optio
 // are identical to ForEach for any batch size; itemBytes <= 0 or a budget
 // smaller than one item degrades to per-item claiming.
 func ForEachBatch(ctx context.Context, n, itemBytes int64, fn func(i int64) error, opts ...Option) error {
-	cfg := Resolve(opts...)
-	batch := int64(1)
-	if itemBytes > 0 {
-		batch = int64(cfg.BatchBytes) / itemBytes
-	}
-	if batch < 1 {
-		batch = 1
-	}
-	if batch == 1 {
-		return ForEach(ctx, n, fn, opts...)
-	}
-	batches := (n + batch - 1) / batch
-	return ForEach(ctx, batches, func(b int64) error {
-		hi := (b + 1) * batch
-		if hi > n {
-			hi = n
-		}
-		for i := b * batch; i < hi; i++ {
+	return ForEachBatchRange(ctx, n, itemBytes, func(lo, hi int64) error {
+		for i := lo; i < hi; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -192,6 +176,37 @@ func ForEachBatch(ctx context.Context, n, itemBytes int64, fn func(i int64) erro
 			}
 		}
 		return nil
+	}, opts...)
+}
+
+// ForEachBatchRange is the range-granular form of ForEachBatch: instead of
+// invoking fn once per item inside a claimed batch, it hands the whole
+// contiguous claim [lo, hi) to fn in one call. Callers that can amortize
+// per-call setup across a batch — the interleaved stripe encoder loads hi-lo
+// stripes and walks them chain-by-chain so parity-column reads and writes
+// stream sequentially — use this; per-item callers use ForEachBatch, which
+// is this function plus the inner loop. Batch sizing, claiming, error and
+// cancellation semantics are identical: batches are ceil(BatchBytes /
+// itemBytes) items (itemBytes <= 0 degrades to single-item ranges), the
+// first error stops further claims, and ranges never overlap and cover
+// [0, n) exactly.
+func ForEachBatchRange(ctx context.Context, n, itemBytes int64, fn func(lo, hi int64) error, opts ...Option) error {
+	cfg := Resolve(opts...)
+	batch := int64(1)
+	if itemBytes > 0 {
+		batch = int64(cfg.BatchBytes) / itemBytes
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	batches := (n + batch - 1) / batch
+	return ForEach(ctx, batches, func(b int64) error {
+		lo := b * batch
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
 	}, opts...)
 }
 

@@ -99,6 +99,82 @@ func TestForEachBatchHonorsContext(t *testing.T) {
 	}
 }
 
+func TestForEachBatchRangeCoversEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct {
+		workers   int
+		itemBytes int64
+		batch     int
+		wantSpan  int64 // expected hi-lo of every non-tail range
+	}{
+		{1, 1024, 64 * 1024, 64},
+		{4, 1024, 64 * 1024, 64},
+		{4, 1 << 21, 1 << 20, 1}, // item bigger than budget: single-item ranges
+		{4, 0, 0, 1},             // unknown item size: single-item ranges
+		{8, 3000, 1 << 18, 87},   // non-dividing sizes exercise the tail range
+	} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		err := ForEachBatchRange(context.Background(), n, tc.itemBytes, func(lo, hi int64) error {
+			if lo >= hi || hi > n {
+				t.Errorf("%+v: bad range [%d, %d)", tc, lo, hi)
+			}
+			if span := hi - lo; span != tc.wantSpan && hi != n {
+				t.Errorf("%+v: range [%d, %d) has span %d, want %d", tc, lo, hi, span, tc.wantSpan)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+			return nil
+		}, WithWorkers(tc.workers), WithBatchBytes(tc.batch))
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("%+v: index %d covered %d times", tc, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachBatchRangeStopsOnError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ranges atomic.Int64
+	err := ForEachBatchRange(context.Background(), 1000, 1024, func(lo, hi int64) error {
+		ranges.Add(1)
+		if lo >= 128 {
+			return sentinel
+		}
+		return nil
+	}, WithWorkers(1), WithBatchBytes(64*1024))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// Serial execution claims ranges in order: [0,64), [64,128), [128,192)
+	// fails — nothing past it runs.
+	if got := ranges.Load(); got != 3 {
+		t.Fatalf("ran %d ranges before stopping, want 3", got)
+	}
+}
+
+func TestForEachBatchRangeHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEachBatchRange(ctx, 1000, 1024, func(lo, hi int64) error {
+		t.Error("fn ran under a cancelled context")
+		return nil
+	}, WithWorkers(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err := ForEachBatchRange(context.Background(), 0, 1024, func(lo, hi int64) error {
+		t.Error("fn ran for an empty index space")
+		return nil
+	}); err != nil {
+		t.Fatalf("n=0: err = %v, want nil", err)
+	}
+}
+
 func TestForEachCoversEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 16} {
 		const n = 1000

@@ -47,6 +47,69 @@ func (a *Array) EncodeStripesContext(ctx context.Context, stripes int64, opts ..
 	return nil
 }
 
+// EncodeStripesInterleavedContext is EncodeStripesContext with interleaved
+// batches: each worker claims a contiguous stripe range
+// (parallel.ForEachBatchRange), loads every stripe of the range, encodes
+// them chain-by-chain across the whole batch (layout.Encoder's
+// EncodeInterleaved), and writes parities column-by-column across the
+// batch. Per-stripe encoding touches every chain of a stripe before moving
+// on, so each covering disk is read at stride stripeBytes; interleaving
+// keeps one chain's cover coordinates fixed while the stripe index
+// advances, turning those reads — and the parity writes — into sequential
+// streams per column. Results are bit-identical to EncodeStripesContext;
+// the first failing stripe (or ctx cancellation) stops the operation.
+func (a *Array) EncodeStripesInterleavedContext(ctx context.Context, stripes int64, opts ...parallel.Option) error {
+	sp := a.tel.tr.StartSpan("raid6.encode_stripes_interleaved", telemetry.A("stripes", stripes))
+	err := parallel.ForEachBatchRange(ctx, stripes, a.stripeBytes(), func(lo, hi int64) error {
+		return a.encodeStripeRange(lo, hi)
+	}, opts...)
+	if err != nil {
+		sp.End(telemetry.A("error", err.Error()))
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+// encodeStripeRange loads stripes [lo, hi), encodes them interleaved, and
+// writes their parities interleaved (chain outer, stripe inner — sequential
+// addresses on each parity disk). Stripes and the batch slice come from the
+// array's pools, so the steady-state path allocates nothing.
+func (a *Array) encodeStripeRange(lo, hi int64) error {
+	b := a.batches.Get().(*stripeBatch)
+	defer func() {
+		for _, s := range b.stripes {
+			a.stripes.Put(s)
+		}
+		b.stripes = b.stripes[:0]
+		a.batches.Put(b)
+	}()
+	for st := lo; st < hi; st++ {
+		s, es, err := a.loadStripe(st)
+		if err != nil {
+			return err
+		}
+		if len(es) > 0 {
+			a.stripes.Put(s)
+			return fmt.Errorf("%w: cannot encode with failures present", ErrTooManyFailures)
+		}
+		b.stripes = append(b.stripes, s)
+	}
+	a.enc.EncodeInterleaved(b.stripes)
+	n := hi - lo
+	a.tel.stripeEncodes.Add(n)
+	a.tel.xors.Add(a.encodeXORs * n)
+	for _, ch := range a.chains {
+		for i, s := range b.stripes {
+			if err := a.writeCell(lo+int64(i), ch.Parity, s.Block(ch.Parity)); err != nil {
+				return err
+			}
+			a.tel.parityUpdates.Inc()
+		}
+	}
+	return nil
+}
+
 // RebuildContext reconstructs the contents of the given replaced disks
 // across stripes [0, stripes), spreading independent stripes over the pool.
 // The disks must have been Replace()d (accepting I/O, contents lost) before

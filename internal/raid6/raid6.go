@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"code56/internal/bufpool"
 	"code56/internal/layout"
@@ -47,6 +48,9 @@ type Array struct {
 	covering [][]int // chain indices covering cell i (geom.Index order)
 	enc      *layout.Encoder
 	stripes  *layout.StripePool
+	// batches pools the stripe-pointer slices the interleaved bulk encoder
+	// claims per ForEachBatchRange range, keeping that path allocation-free.
+	batches sync.Pool
 }
 
 // tel holds the array's bound telemetry instruments (see README
@@ -105,7 +109,7 @@ func newArray(code layout.Code, disks *vdisk.Array, blockSize int) *Array {
 			covering[g.Index(c)] = layout.ChainsCovering(code, c)
 		}
 	}
-	return &Array{
+	a := &Array{
 		code:       code,
 		disks:      disks,
 		blockSize:  blockSize,
@@ -118,7 +122,13 @@ func newArray(code layout.Code, disks *vdisk.Array, blockSize int) *Array {
 		enc:        layout.NewEncoder(code),
 		stripes:    layout.NewStripePool(g, blockSize),
 	}
+	a.batches.New = func() any { return &stripeBatch{} }
+	return a
 }
+
+// stripeBatch is one worker's claimed run of loaded stripes, pooled by the
+// array so the interleaved bulk encoder allocates nothing per range.
+type stripeBatch struct{ stripes []*layout.Stripe }
 
 // SetTelemetry rebinds the array's counters and tracer (and those of the
 // underlying disks). Pass nil for either argument to use the process-wide

@@ -1,0 +1,142 @@
+//go:build !purego && !noasm
+
+// arm64 NEON XOR kernels. Each iteration moves 64 bytes per stream
+// through four 128-bit vector registers; n is a positive multiple of 64
+// (the dispatcher in dispatch_arm64.go folds the ragged tail through the
+// word path). Loads and stores tolerate unaligned operands. Source
+// pointers post-increment on load; the destination pointer post-increments
+// on the final store.
+
+#include "textflag.h"
+
+// func neonXor(dst, src *byte, n int)
+// dst[i] ^= src[i]
+TEXT ·neonXor(SB), NOSPLIT, $0-24
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+
+loop:
+	VLD1.P 64(R1), [V0.B16, V1.B16, V2.B16, V3.B16]
+	VLD1   (R0), [V4.B16, V5.B16, V6.B16, V7.B16]
+	VEOR   V4.B16, V0.B16, V0.B16
+	VEOR   V5.B16, V1.B16, V1.B16
+	VEOR   V6.B16, V2.B16, V2.B16
+	VEOR   V7.B16, V3.B16, V3.B16
+	VST1.P [V0.B16, V1.B16, V2.B16, V3.B16], 64(R0)
+	SUBS   $64, R2, R2
+	BNE    loop
+	RET
+
+// func neonInto(dst, a, b *byte, n int)
+// dst[i] = a[i] ^ b[i] (dst is not read)
+TEXT ·neonInto(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD n+24(FP), R3
+
+loop:
+	VLD1.P 64(R1), [V0.B16, V1.B16, V2.B16, V3.B16]
+	VLD1.P 64(R2), [V4.B16, V5.B16, V6.B16, V7.B16]
+	VEOR   V4.B16, V0.B16, V0.B16
+	VEOR   V5.B16, V1.B16, V1.B16
+	VEOR   V6.B16, V2.B16, V2.B16
+	VEOR   V7.B16, V3.B16, V3.B16
+	VST1.P [V0.B16, V1.B16, V2.B16, V3.B16], 64(R0)
+	SUBS   $64, R3, R3
+	BNE    loop
+	RET
+
+// func neonFold2(dst, a, b *byte, n int)
+// dst[i] ^= a[i] ^ b[i]
+TEXT ·neonFold2(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD n+24(FP), R3
+
+loop:
+	VLD1.P 64(R1), [V0.B16, V1.B16, V2.B16, V3.B16]
+	VLD1.P 64(R2), [V4.B16, V5.B16, V6.B16, V7.B16]
+	VLD1   (R0), [V8.B16, V9.B16, V10.B16, V11.B16]
+	VEOR   V4.B16, V0.B16, V0.B16
+	VEOR   V5.B16, V1.B16, V1.B16
+	VEOR   V6.B16, V2.B16, V2.B16
+	VEOR   V7.B16, V3.B16, V3.B16
+	VEOR   V8.B16, V0.B16, V0.B16
+	VEOR   V9.B16, V1.B16, V1.B16
+	VEOR   V10.B16, V2.B16, V2.B16
+	VEOR   V11.B16, V3.B16, V3.B16
+	VST1.P [V0.B16, V1.B16, V2.B16, V3.B16], 64(R0)
+	SUBS   $64, R3, R3
+	BNE    loop
+	RET
+
+// func neonFold3(dst, a, b, c *byte, n int)
+// dst[i] ^= a[i] ^ b[i] ^ c[i]
+TEXT ·neonFold3(SB), NOSPLIT, $0-40
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD c+24(FP), R3
+	MOVD n+32(FP), R4
+
+loop:
+	VLD1.P 64(R1), [V0.B16, V1.B16, V2.B16, V3.B16]
+	VLD1.P 64(R2), [V4.B16, V5.B16, V6.B16, V7.B16]
+	VLD1.P 64(R3), [V8.B16, V9.B16, V10.B16, V11.B16]
+	VLD1   (R0), [V12.B16, V13.B16, V14.B16, V15.B16]
+	VEOR   V4.B16, V0.B16, V0.B16
+	VEOR   V5.B16, V1.B16, V1.B16
+	VEOR   V6.B16, V2.B16, V2.B16
+	VEOR   V7.B16, V3.B16, V3.B16
+	VEOR   V8.B16, V0.B16, V0.B16
+	VEOR   V9.B16, V1.B16, V1.B16
+	VEOR   V10.B16, V2.B16, V2.B16
+	VEOR   V11.B16, V3.B16, V3.B16
+	VEOR   V12.B16, V0.B16, V0.B16
+	VEOR   V13.B16, V1.B16, V1.B16
+	VEOR   V14.B16, V2.B16, V2.B16
+	VEOR   V15.B16, V3.B16, V3.B16
+	VST1.P [V0.B16, V1.B16, V2.B16, V3.B16], 64(R0)
+	SUBS   $64, R4, R4
+	BNE    loop
+	RET
+
+// func neonFold4(dst, a, b, c, e *byte, n int)
+// dst[i] ^= a[i] ^ b[i] ^ c[i] ^ e[i]
+TEXT ·neonFold4(SB), NOSPLIT, $0-48
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD c+24(FP), R3
+	MOVD e+32(FP), R5
+	MOVD n+40(FP), R4
+
+loop:
+	VLD1.P 64(R1), [V0.B16, V1.B16, V2.B16, V3.B16]
+	VLD1.P 64(R2), [V4.B16, V5.B16, V6.B16, V7.B16]
+	VLD1.P 64(R3), [V8.B16, V9.B16, V10.B16, V11.B16]
+	VLD1.P 64(R5), [V12.B16, V13.B16, V14.B16, V15.B16]
+	VLD1   (R0), [V16.B16, V17.B16, V18.B16, V19.B16]
+	VEOR   V4.B16, V0.B16, V0.B16
+	VEOR   V5.B16, V1.B16, V1.B16
+	VEOR   V6.B16, V2.B16, V2.B16
+	VEOR   V7.B16, V3.B16, V3.B16
+	VEOR   V8.B16, V0.B16, V0.B16
+	VEOR   V9.B16, V1.B16, V1.B16
+	VEOR   V10.B16, V2.B16, V2.B16
+	VEOR   V11.B16, V3.B16, V3.B16
+	VEOR   V12.B16, V0.B16, V0.B16
+	VEOR   V13.B16, V1.B16, V1.B16
+	VEOR   V14.B16, V2.B16, V2.B16
+	VEOR   V15.B16, V3.B16, V3.B16
+	VEOR   V16.B16, V0.B16, V0.B16
+	VEOR   V17.B16, V1.B16, V1.B16
+	VEOR   V18.B16, V2.B16, V2.B16
+	VEOR   V19.B16, V3.B16, V3.B16
+	VST1.P [V0.B16, V1.B16, V2.B16, V3.B16], 64(R0)
+	SUBS   $64, R4, R4
+	BNE    loop
+	RET

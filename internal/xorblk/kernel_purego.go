@@ -1,14 +1,22 @@
 //go:build purego
 
-// Portable kernel bindings: with -tags purego no unsafe code is compiled
-// and every kernel resolves to the encoding/binary word path. This file
-// and kernel_wide.go must define exactly the same symbols — CI builds and
-// tests both tag sets so neither can rot.
+// Portable kernel bindings: with -tags purego no unsafe code and no
+// assembly is compiled and every kernel resolves to the encoding/binary
+// word path. Every dispatch file must define exactly the same symbols
+// (xorKernel..., KernelName, Features, availableKernels) — CI builds and
+// tests every tag set so none can rot.
 
 package xorblk
 
 // KernelName identifies the fast path compiled into this binary.
 const KernelName = "word"
+
+// Features lists the detected CPU SIMD features. The purego build probes
+// nothing and uses none.
+func Features() []string { return nil }
+
+// availableKernels lists the tiers this build can run: the word path only.
+func availableKernels() []kernelSet { return []kernelSet{wordKernels} }
 
 func xorKernel(dst, src []byte)       { xorWords(dst, src) }
 func xorIntoKernel(dst, a, b []byte)  { xorIntoWords(dst, a, b) }

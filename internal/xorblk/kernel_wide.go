@@ -11,6 +11,11 @@
 // than the encoding/binary word loop and is limited by memory bandwidth
 // for blocks beyond the L1 cache.
 //
+// The wide kernels are both a dispatch tier of their own (the fastest tier
+// on hosts without SIMD assembly, and the whole fast path under -tags
+// noasm) and the fallback the assembly dispatchers in dispatch_amd64.go /
+// dispatch_arm64.go lean on for short blocks and ragged tails.
+//
 // Build with -tags purego to exclude this file and all unsafe use; the
 // word path then serves every call (see kernel_purego.go).
 
@@ -21,8 +26,16 @@ import "unsafe"
 // wideWords is the unroll factor of the wide inner loop, in uint64 words.
 const wideWords = 8
 
-// KernelName identifies the fast path compiled into this binary.
-const KernelName = "wide"
+// wideKernels is the wide tier for availableKernels: the fastest portable
+// path, and the fallback tier of the assembly dispatchers.
+var wideKernels = kernelSet{
+	name:  "wide",
+	xor:   xorWide,
+	into:  xorIntoWide,
+	fold2: fold2Wide,
+	fold3: fold3Wide,
+	fold4: fold4Wide,
+}
 
 // ptr returns b's data pointer for alignment tests. The empty-slice case
 // never reaches it (callers test length first).
@@ -33,7 +46,7 @@ func words(b []byte) []uint64 {
 	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8)
 }
 
-func xorKernel(dst, src []byte) {
+func xorWide(dst, src []byte) {
 	n := len(dst)
 	if n < wideWords*8 || (ptr(dst)|ptr(src))&7 != 0 {
 		xorWords(dst, src)
@@ -61,7 +74,7 @@ func xorKernel(dst, src []byte) {
 	}
 }
 
-func xorIntoKernel(dst, a, b []byte) {
+func xorIntoWide(dst, a, b []byte) {
 	n := len(dst)
 	if n < wideWords*8 || (ptr(dst)|ptr(a)|ptr(b))&7 != 0 {
 		xorIntoWords(dst, a, b)
@@ -90,7 +103,7 @@ func xorIntoKernel(dst, a, b []byte) {
 	}
 }
 
-func fold2Kernel(dst, a, b []byte) {
+func fold2Wide(dst, a, b []byte) {
 	n := len(dst)
 	if n < wideWords*8 || (ptr(dst)|ptr(a)|ptr(b))&7 != 0 {
 		fold2Words(dst, a, b)
@@ -119,7 +132,7 @@ func fold2Kernel(dst, a, b []byte) {
 	}
 }
 
-func fold3Kernel(dst, a, b, c []byte) {
+func fold3Wide(dst, a, b, c []byte) {
 	n := len(dst)
 	if n < wideWords*8 || (ptr(dst)|ptr(a)|ptr(b)|ptr(c))&7 != 0 {
 		fold3Words(dst, a, b, c)
@@ -149,7 +162,7 @@ func fold3Kernel(dst, a, b, c []byte) {
 	}
 }
 
-func fold4Kernel(dst, a, b, c, e []byte) {
+func fold4Wide(dst, a, b, c, e []byte) {
 	n := len(dst)
 	if n < wideWords*8 || (ptr(dst)|ptr(a)|ptr(b)|ptr(c)|ptr(e))&7 != 0 {
 		fold4Words(dst, a, b, c, e)

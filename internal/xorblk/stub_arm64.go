@@ -1,0 +1,24 @@
+//go:build !purego && !noasm
+
+// Assembly stub declarations for the arm64 NEON kernels (kernel_arm64.s).
+// n is a positive multiple of 64 bytes; operands may be unaligned (arm64
+// vector loads and stores tolerate any alignment). The //go:noescape
+// annotations keep the dispatcher's &slice[0] arguments off the heap,
+// preserving the package's zero-allocation contract.
+
+package xorblk
+
+//go:noescape
+func neonXor(dst, src *byte, n int)
+
+//go:noescape
+func neonInto(dst, a, b *byte, n int)
+
+//go:noescape
+func neonFold2(dst, a, b *byte, n int)
+
+//go:noescape
+func neonFold3(dst, a, b, c *byte, n int)
+
+//go:noescape
+func neonFold4(dst, a, b, c, e *byte, n int)

@@ -3,18 +3,31 @@
 // (no Galois-field multiplication), so these kernels are the entire
 // computational substrate of encoding, decoding, and migration.
 //
-// Three code paths exist, forming a hierarchy (fastest first):
+// The code paths form a hierarchy (fastest first), with the top selected
+// once at init by a runtime CPU-feature probe:
 //
+//   - the asm tiers (amd64: avx512, avx2; arm64: neon): hand-written
+//     assembly kernels processing 256/128/64 bytes per unrolled iteration.
+//     A stdlib-only CPUID/XGETBV probe (dispatch_amd64.go) picks the widest
+//     tier the CPU and OS support; KernelName reports the choice. On amd64,
+//     blocks at or above NonTemporalThreshold use non-temporal stores.
+//     Excluded by the noasm and purego build tags.
 //   - the wide path: 64-byte unrolled uint64×8 inner loops over
 //     unsafe-reinterpreted word slices, taken when every operand is 8-byte
-//     aligned (heap block buffers always are). Built by default; excluded
-//     by the purego build tag. See kernel_wide.go.
+//     aligned (heap block buffers always are). The top tier under -tags
+//     noasm and on architectures without asm kernels; excluded by purego.
+//     See kernel_wide.go.
 //   - the word path: eight bytes per iteration through encoding/binary,
 //     endianness-agnostic because XOR commutes with any byte permutation.
-//     The fallback for unaligned operands and the only fast path under
-//     -tags purego.
+//     The fallback for unaligned operands and ragged asm tails, and the
+//     only fast path under -tags purego.
 //   - the byte path (XorBytes): one byte per iteration; the reference
 //     implementation everything else is verified against.
+//
+// Every tier is bit-identical for all lengths and alignments — the
+// cross-tier fuzz tests (FuzzKernelTiers) prove it for every kernel the
+// host can run, and Tiers() exposes the runnable hierarchy so benchmarks
+// can compare them.
 //
 // For parity generation over many sources, XorMulti folds up to four source
 // streams per pass over dst (2/3/4-way unrolled inner loops), which cuts the

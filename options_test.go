@@ -189,6 +189,11 @@ func TestFacadeParallelLifecycle(t *testing.T) {
 	if err := EncodeArrayStripes(ctx, a, stripes, WithWorkers(4)); err != nil {
 		t.Fatal(err)
 	}
+	// The interleaved bulk encoder must be a drop-in: re-encoding already
+	// consistent stripes leaves the array verifying clean.
+	if err := EncodeArrayStripesInterleaved(ctx, a, stripes, WithWorkers(4)); err != nil {
+		t.Fatal(err)
+	}
 	rep, err := ScrubArray(ctx, a, stripes, WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
