@@ -4,15 +4,19 @@
 //
 //	c56-lint ./...                                  # whole module
 //	c56-lint -tags purego ./...                     # portable build config
+//	c56-lint -audit-allows ./...                    # audit //lint:allow directives
 //	go vet -vettool=$(command -v c56-lint) ./...    # as a vet tool
 //	c56-lint help                                   # describe the analyzers
 //
-// The five analyzers enforce conventions that correctness and performance
-// work in this repository depend on: XOR through the xorblk kernels
-// (xorloop), balanced buffer-pool rentals (bufpoolpair), unsafe confined
-// to the gated wide kernel (unsafegate), context threading into the
-// parallel engine (ctxflow), and constant pkg.snake_case telemetry names
-// (metricname). Exit status: 0 clean, 1 findings, 2 usage or load error.
+// The seven analyzers enforce conventions that correctness and
+// performance work in this repository depend on: XOR through the xorblk
+// kernels (xorloop), balanced buffer-pool rentals (bufpoolpair), unsafe
+// confined to the gated wide kernel (unsafegate), context threading into
+// the parallel engine (ctxflow), constant pkg.snake_case telemetry names
+// (metricname), mutex-guarded field access per //c56:guardedby
+// annotations (lockcheck), and statically allocation-free //c56:noalloc
+// functions (noalloc). Exit status: 0 clean, 1 findings or stale allows,
+// 2 usage or load error.
 package main
 
 import (
@@ -37,6 +41,7 @@ func run(args []string) int {
 		fs.PrintDefaults()
 	}
 	tags := fs.String("tags", "", "comma-separated build tags for package loading")
+	auditAllows := fs.Bool("audit-allows", false, "list every //lint:allow directive; exit 1 if any is stale (its analyzer no longer fires on that line)")
 	version := fs.String("V", "", "print version and exit (-V=full, for the go vet handshake)")
 	flagsMode := fs.Bool("flags", false, "print the tool's analyzer flags as JSON (go vet handshake)")
 	httpAddr := fs.String("http", "", "serve the observability plane (/metrics, /healthz, /debug/pprof) on this address, e.g. :8080")
@@ -77,6 +82,19 @@ func run(args []string) int {
 	if rest[0] == "help" {
 		for _, a := range lint.Suite() {
 			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	if *auditAllows {
+		stale, err := driver.AuditAllows(os.Stdout, lint.Suite(), *tags, rest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c56-lint:", err)
+			return 2
+		}
+		if stale > 0 {
+			fmt.Fprintf(os.Stderr, "c56-lint: %d stale //lint:allow directive(s)\n", stale)
+			return 1
 		}
 		return 0
 	}

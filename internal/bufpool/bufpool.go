@@ -56,6 +56,8 @@ var (
 
 // classFor returns the index of the smallest class holding n bytes, or -1
 // when n is outside the pooled range.
+//
+//c56:noalloc
 func classFor(n int) int {
 	if n <= 0 || n > 1<<maxClassBits {
 		return -1
@@ -71,6 +73,8 @@ func classFor(n int) int {
 // buffers come back dirty) — callers that fill the buffer before reading it
 // (disk reads, XorInto, XorMulti) need nothing more; accumulators that XOR
 // into it must use GetZero. Return the buffer with Put when done.
+//
+//c56:noalloc
 func Get(n int) []byte {
 	c := classFor(n)
 	if c < 0 {
@@ -78,7 +82,7 @@ func Get(n int) []byte {
 			return nil
 		}
 		misses.Inc()
-		return make([]byte, n)
+		return make([]byte, n) //lint:allow noalloc out-of-class request: the miss path allocates by design
 	}
 	if e, _ := classes[c].Get().(*entry); e != nil {
 		b := e.buf[:n]
@@ -89,13 +93,15 @@ func Get(n int) []byte {
 		return b
 	}
 	misses.Inc()
-	b := make([]byte, n, 1<<(c+minClassBits))
+	b := make([]byte, n, 1<<(c+minClassBits)) //lint:allow noalloc pool miss mints the class buffer that later Gets recycle
 	inFlight.Add(int64(cap(b)))
 	return b
 }
 
 // GetZero rents a zeroed buffer of length n — for XOR accumulators and
 // other read-before-fully-written uses.
+//
+//c56:noalloc
 func GetZero(n int) []byte {
 	b := Get(n)
 	clear(b)
@@ -106,6 +112,8 @@ func GetZero(n int) []byte {
 // not an exact pooled class size (including every buffer Get had to
 // allocate beyond the class range) are dropped for the GC; nil is ignored.
 // The caller must not retain any reference to b after Put.
+//
+//c56:noalloc
 func Put(b []byte) {
 	c := cap(b)
 	if c < 1<<minClassBits || c > 1<<maxClassBits || c&(c-1) != 0 {
@@ -119,4 +127,6 @@ func Put(b []byte) {
 
 // InFlight returns the rented bytes not yet returned — the live value of
 // the bufpool.bytes_in_flight gauge, exposed for leak assertions in tests.
+//
+//c56:noalloc
 func InFlight() int64 { return inFlight.Value() }

@@ -89,3 +89,18 @@ func TestGetPutAllocationFree(t *testing.T) {
 		t.Errorf("Get+Put allocates %.1f times per cycle, want 0", n)
 	}
 }
+
+// TestGetZeroInFlightAllocationFree covers the remaining exported
+// //c56:noalloc paths: the zeroing rental and the in-flight gauge read.
+func TestGetZeroInFlightAllocationFree(t *testing.T) {
+	Put(Get(4096)) // warm the class and the entry pool
+	if n := testing.AllocsPerRun(200, func() {
+		b := GetZero(4096)
+		if InFlight() <= 0 {
+			t.Fatal("rented bytes must be in flight")
+		}
+		Put(b)
+	}); n != 0 {
+		t.Errorf("GetZero+InFlight+Put allocates %.1f times per cycle, want 0", n)
+	}
+}

@@ -107,14 +107,20 @@ type Geometry struct {
 func (g Geometry) Elements() int { return g.Rows * g.Cols }
 
 // Contains reports whether c is a valid cell of the stripe.
+//
+//c56:noalloc
 func (g Geometry) Contains(c Coord) bool {
 	return c.Row >= 0 && c.Row < g.Rows && c.Col >= 0 && c.Col < g.Cols
 }
 
 // Index flattens a coordinate to a row-major index.
+//
+//c56:noalloc
 func (g Geometry) Index(c Coord) int { return c.Row*g.Cols + c.Col }
 
 // CoordOf is the inverse of Index.
+//
+//c56:noalloc
 func (g Geometry) CoordOf(i int) Coord { return Coord{Row: i / g.Cols, Col: i % g.Cols} }
 
 // Code is the interface every array code implements. Implementations must be

@@ -49,15 +49,19 @@ func NewStripePool(g Geometry, blockSize int) *StripePool {
 
 // Get returns a stripe, reusing a returned one when available. Contents are
 // unspecified.
+//
+//c56:noalloc
 func (p *StripePool) Get() *Stripe {
 	if s, _ := p.pool.Get().(*Stripe); s != nil {
 		return s
 	}
-	return NewStripe(p.geom, p.blockSize)
+	return NewStripe(p.geom, p.blockSize) //lint:allow noalloc pool miss mints the stripe that later Gets recycle
 }
 
 // Put returns a stripe for reuse. The caller must not retain any reference
 // to the stripe or its blocks. Stripes of a different shape are dropped.
+//
+//c56:noalloc
 func (p *StripePool) Put(s *Stripe) {
 	if s == nil || s.Geom != p.geom || s.BlockSize != p.blockSize {
 		return
@@ -67,6 +71,8 @@ func (p *StripePool) Put(s *Stripe) {
 
 // Block returns the block at coordinate c. The returned slice aliases the
 // stripe's storage.
+//
+//c56:noalloc
 func (s *Stripe) Block(c Coord) []byte {
 	if !s.Geom.Contains(c) {
 		panic(fmt.Sprintf("layout: coordinate %v outside %dx%d stripe", c, s.Geom.Rows, s.Geom.Cols))
@@ -75,6 +81,8 @@ func (s *Stripe) Block(c Coord) []byte {
 }
 
 // SetBlock copies b into the block at c. b must be exactly BlockSize long.
+//
+//c56:noalloc
 func (s *Stripe) SetBlock(c Coord, b []byte) {
 	if len(b) != s.BlockSize {
 		panic(fmt.Sprintf("layout: block size %d, want %d", len(b), s.BlockSize))
@@ -92,6 +100,8 @@ func (s *Stripe) Clone() *Stripe {
 }
 
 // Zero clears the block at c.
+//
+//c56:noalloc
 func (s *Stripe) Zero(c Coord) {
 	b := s.Block(c)
 	for i := range b {

@@ -146,3 +146,38 @@ func Suppressed(fset *token.FileSet, allowed map[allowKey]bool, name string, d D
 	pos := fset.Position(d.Pos)
 	return allowed[allowKey{pos.Filename, pos.Line, name}]
 }
+
+// Allow is one well-formed //lint:allow directive: the analyzer it
+// silences and the recorded justification. The audit mode (`c56-lint
+// -audit-allows`) cross-references these against live diagnostics.
+type Allow struct {
+	Pos      token.Pos
+	Analyzer string
+	Reason   string
+}
+
+// Allows returns every well-formed //lint:allow directive in the files.
+// Malformed directives (missing analyzer or reason) are skipped here —
+// the ordinary lint run already reports them as findings.
+func Allows(files []*ast.File) []Allow {
+	var out []Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowDirective) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, AllowDirective))
+				if len(fields) < 2 {
+					continue
+				}
+				out = append(out, Allow{
+					Pos:      c.Pos(),
+					Analyzer: fields[0],
+					Reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return out
+}

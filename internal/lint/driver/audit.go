@@ -1,0 +1,129 @@
+// The -audit-allows mode. Every `//lint:allow` directive is a standing
+// exception to a repository invariant, and exceptions rot: the code it
+// excused gets rewritten, the diagnostic it silenced stops firing, and
+// the directive lingers as documentation of a constraint that no longer
+// binds — or worse, as camouflage for a brand-new violation introduced on
+// the same line years later. AuditAllows re-runs the suite with
+// suppression disabled and cross-references every directive against the
+// diagnostics its line actually produced; an allow whose named analyzer
+// no longer fires there is stale and fails the audit.
+
+package driver
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"code56/internal/lint/analysis"
+)
+
+// allowSite identifies one (file, line, analyzer) suppression site.
+type allowSite struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowAudit is one //lint:allow directive plus whether a diagnostic
+// from its named analyzer still lands on its line.
+type allowAudit struct {
+	pos      string // file:line:col, preformatted
+	file     string
+	line     int
+	col      int
+	analyzer string
+	reason   string
+	stale    bool
+}
+
+func (a allowAudit) String() string {
+	status := "used "
+	if a.stale {
+		status = "STALE"
+	}
+	return fmt.Sprintf("%s %s: //lint:allow %s %s", status, a.pos, a.analyzer, a.reason)
+}
+
+// AuditAllows loads the packages matched by patterns (with optional build
+// tags), runs every analyzer with suppression disabled, and prints one
+// line per //lint:allow directive recording whether the allowed
+// diagnostic still fires on that line. It returns the count of stale
+// directives so callers can gate on it; a non-nil error means the load
+// or an analyzer itself failed.
+func AuditAllows(w io.Writer, analyzers []*analysis.Analyzer, tags string, patterns []string) (int, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return 0, err
+	}
+	roots, fset, imp, err := load(tags, patterns)
+	if err != nil {
+		return 0, err
+	}
+	var audits []allowAudit
+	for _, p := range roots {
+		if len(p.CgoFiles) > 0 {
+			continue // Run already reports the skip; nothing to audit here
+		}
+		filenames, goVersion := sourceFiles(p)
+		files, pkg, info, err := checkPackage(fset, imp, p.ImportPath, goVersion, filenames)
+		if err != nil {
+			return 0, err
+		}
+		allows := analysis.Allows(files)
+		if len(allows) == 0 {
+			continue
+		}
+		hits := map[allowSite]bool{}
+		for _, a := range analyzers {
+			name := a.Name
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     files,
+				Pkg:       pkg,
+				TypesInfo: info,
+				Report: func(d analysis.Diagnostic) {
+					pos := fset.Position(d.Pos)
+					hits[allowSite{pos.Filename, pos.Line, name}] = true
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return 0, fmt.Errorf("%s on %s: %w", a.Name, p.ImportPath, err)
+			}
+		}
+		for _, al := range allows {
+			pos := fset.Position(al.Pos)
+			audits = append(audits, allowAudit{
+				pos:      pos.String(),
+				file:     pos.Filename,
+				line:     pos.Line,
+				col:      pos.Column,
+				analyzer: al.Analyzer,
+				reason:   al.Reason,
+				stale:    !hits[allowSite{pos.Filename, pos.Line, al.Analyzer}],
+			})
+		}
+	}
+	sort.Slice(audits, func(i, j int) bool {
+		a, b := audits[i], audits[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	stale := 0
+	for _, a := range audits {
+		fmt.Fprintln(w, a)
+		if a.stale {
+			stale++
+		}
+	}
+	fmt.Fprintf(w, "c56-lint: %d //lint:allow directive(s), %d stale\n", len(audits), stale)
+	return stale, nil
+}

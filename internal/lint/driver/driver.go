@@ -66,13 +66,11 @@ func (f finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.pos, f.message, f.analyzer)
 }
 
-// Run executes the analyzers over the packages matched by patterns (with
-// optional build tags) and prints findings to w. It returns the number of
-// findings; a non-nil error means the load itself failed.
-func Run(w io.Writer, analyzers []*analysis.Analyzer, tags string, patterns []string) (int, error) {
-	if err := analysis.Validate(analyzers); err != nil {
-		return 0, err
-	}
+// load runs one `go list -deps -export -json` over patterns and returns
+// the root (non-dependency, non-stdlib) packages sorted by import path,
+// plus a FileSet and an importer that resolves every import through the
+// listed export data.
+func load(tags string, patterns []string) ([]*listPackage, *token.FileSet, types.Importer, error) {
 	args := []string{"list", "-deps", "-export",
 		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,DepOnly,Standard,Module,Error"}
 	if tags != "" {
@@ -84,7 +82,7 @@ func Run(w io.Writer, analyzers []*analysis.Analyzer, tags string, patterns []st
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return 0, fmt.Errorf("go list: %w", err)
+		return nil, nil, nil, fmt.Errorf("go list: %w", err)
 	}
 
 	exports := map[string]string{}
@@ -95,10 +93,10 @@ func Run(w io.Writer, analyzers []*analysis.Analyzer, tags string, patterns []st
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return 0, fmt.Errorf("decoding go list output: %w", err)
+			return nil, nil, nil, fmt.Errorf("decoding go list output: %w", err)
 		}
 		if p.Error != nil {
-			return 0, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+			return nil, nil, nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
 		}
 		pp := p
 		if pp.Export != "" {
@@ -118,43 +116,102 @@ func Run(w io.Writer, analyzers []*analysis.Analyzer, tags string, patterns []st
 		}
 		return os.Open(file)
 	})
+	return roots, fset, imp, nil
+}
 
+// sourceFiles returns the package's build-selected sources as absolute
+// paths, and the go directive version the type-checker should honor.
+func sourceFiles(p *listPackage) (filenames []string, goVersion string) {
+	if p.Module != nil && p.Module.GoVersion != "" {
+		goVersion = "go" + p.Module.GoVersion
+	}
+	for _, gf := range p.GoFiles {
+		filenames = append(filenames, filepath.Join(p.Dir, gf))
+	}
+	return filenames, goVersion
+}
+
+// Run executes the analyzers over the packages matched by patterns (with
+// optional build tags) and prints findings to w. It returns the number of
+// findings; a non-nil error means the load itself failed.
+func Run(w io.Writer, analyzers []*analysis.Analyzer, tags string, patterns []string) (int, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return 0, err
+	}
+	roots, fset, imp, err := load(tags, patterns)
+	if err != nil {
+		return 0, err
+	}
 	var findings []finding
 	for _, p := range roots {
 		if len(p.CgoFiles) > 0 {
 			fmt.Fprintf(w, "c56-lint: skipping %s: cgo packages are not supported\n", p.ImportPath)
 			continue
 		}
-		goVersion := ""
-		if p.Module != nil && p.Module.GoVersion != "" {
-			goVersion = "go" + p.Module.GoVersion
-		}
-		var filenames []string
-		for _, gf := range p.GoFiles {
-			filenames = append(filenames, filepath.Join(p.Dir, gf))
-		}
+		filenames, goVersion := sourceFiles(p)
 		fs, err := analyzePackage(analyzers, fset, imp, p.ImportPath, goVersion, filenames)
 		if err != nil {
 			return 0, err
 		}
 		findings = append(findings, fs...)
 	}
+	// One globally deterministic report: sorted by file, line and column
+	// across all packages (not just within each), with exact repeats
+	// printed once. The same site can surface twice when overlapping
+	// patterns visit a package through two roots, or when a cross-package
+	// analyzer (metricname's duplicate registry) reports one collision
+	// from both of its ends.
+	sortFindings(findings)
+	findings = dedupFindings(findings)
 	for _, f := range findings {
 		fmt.Fprintln(w, f)
 	}
 	return len(findings), nil
 }
 
-// analyzePackage parses and type-checks one package, runs every analyzer,
-// and returns the surviving (non-suppressed) findings sorted by position.
-func analyzePackage(analyzers []*analysis.Analyzer, fset *token.FileSet, imp types.Importer,
-	importPath, goVersion string, filenames []string) ([]finding, error) {
+// sortFindings orders findings by file, line, column, then analyzer and
+// message so equal positions still print deterministically.
+func sortFindings(fs []finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.message < b.message
+	})
+}
+
+// dedupFindings drops adjacent identical findings (same position,
+// analyzer and message). Call after sortFindings.
+func dedupFindings(fs []finding) []finding {
+	out := fs[:0]
+	for _, f := range fs {
+		if len(out) > 0 && f == out[len(out)-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// checkPackage parses and type-checks one package's sources.
+func checkPackage(fset *token.FileSet, imp types.Importer, importPath, goVersion string,
+	filenames []string) ([]*ast.File, *types.Package, *types.Info, error) {
 
 	var files []*ast.File
 	for _, fn := range filenames {
 		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("parsing %s: %w", fn, err)
+			return nil, nil, nil, fmt.Errorf("parsing %s: %w", fn, err)
 		}
 		files = append(files, f)
 	}
@@ -169,7 +226,19 @@ func analyzePackage(analyzers []*analysis.Analyzer, fset *token.FileSet, imp typ
 	conf := types.Config{Importer: imp, GoVersion: goVersion}
 	pkg, err := conf.Check(importPath, fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return files, pkg, info, nil
+}
+
+// analyzePackage parses and type-checks one package, runs every analyzer,
+// and returns the surviving (non-suppressed) findings sorted by position.
+func analyzePackage(analyzers []*analysis.Analyzer, fset *token.FileSet, imp types.Importer,
+	importPath, goVersion string, filenames []string) ([]finding, error) {
+
+	files, pkg, info, err := checkPackage(fset, imp, importPath, goVersion, filenames)
+	if err != nil {
+		return nil, err
 	}
 
 	allowed, badDirectives := analysis.Suppressions(fset, files)
@@ -197,15 +266,6 @@ func analyzePackage(analyzers []*analysis.Analyzer, fset *token.FileSet, imp typ
 			findings = append(findings, finding{pos: fset.Position(d.Pos), analyzer: a.Name, message: d.Message})
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].pos, findings[j].pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Column < b.Column
-	})
+	sortFindings(findings)
 	return findings, nil
 }

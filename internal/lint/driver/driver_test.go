@@ -1,0 +1,218 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"code56/internal/lint"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeCfg marshals a vet config the way cmd/go does and returns its path.
+func writeCfg(t *testing.T, dir string, cfg vetConfig) string {
+	t.Helper()
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return writeFile(t, dir, "vet.cfg", string(blob))
+}
+
+// xorViolation is a hand-rolled XOR loop the xorloop analyzer must flag.
+const xorViolation = `package kern
+
+func XorInPlace(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+`
+
+func TestSortFindingsGlobalOrder(t *testing.T) {
+	pos := func(file string, line, col int) token.Position {
+		return token.Position{Filename: file, Line: line, Column: col}
+	}
+	fs := []finding{
+		{pos: pos("b.go", 1, 1), analyzer: "xorloop", message: "m"},
+		{pos: pos("a.go", 9, 1), analyzer: "xorloop", message: "m"},
+		{pos: pos("a.go", 2, 5), analyzer: "noalloc", message: "m"},
+		{pos: pos("a.go", 2, 5), analyzer: "lockcheck", message: "m"},
+		{pos: pos("a.go", 2, 1), analyzer: "xorloop", message: "m"},
+	}
+	sortFindings(fs)
+	var got []string
+	for _, f := range fs {
+		got = append(got, f.String())
+	}
+	want := []string{
+		"a.go:2:1: m (xorloop)",
+		"a.go:2:5: m (lockcheck)",
+		"a.go:2:5: m (noalloc)",
+		"a.go:9:1: m (xorloop)",
+		"b.go:1:1: m (xorloop)",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("global sort order:\ngot:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+func TestDedupFindings(t *testing.T) {
+	p := token.Position{Filename: "a.go", Line: 3, Column: 7}
+	fs := []finding{
+		{pos: p, analyzer: "xorloop", message: "dup"},
+		{pos: p, analyzer: "xorloop", message: "dup"},
+		{pos: p, analyzer: "xorloop", message: "different message"},
+		{pos: p, analyzer: "noalloc", message: "dup"},
+	}
+	sortFindings(fs)
+	out := dedupFindings(fs)
+	if len(out) != 3 {
+		t.Fatalf("dedup kept %d findings, want 3: %v", len(out), out)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			t.Errorf("adjacent duplicate survived dedup: %v", out[i])
+		}
+	}
+}
+
+// A VetxOnly dependency visit must write the (empty) facts file for the
+// go command's cache and produce no diagnostics — without even needing
+// readable sources.
+func TestUnitcheckerVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := writeCfg(t, dir, vetConfig{
+		ID:         "m/kern",
+		ImportPath: "m/kern",
+		GoFiles:    []string{filepath.Join(dir, "does-not-exist.go")},
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	})
+	var buf bytes.Buffer
+	n, err := RunUnitchecker(&buf, lint.Suite(), cfg)
+	if err != nil || n != 0 {
+		t.Fatalf("VetxOnly visit: n=%d err=%v, want 0, nil", n, err)
+	}
+	if fi, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	} else if fi.Size() != 0 {
+		t.Errorf("facts file has %d bytes, want empty", fi.Size())
+	}
+}
+
+// Test-only units — the generated test main (ID ends in ".test") and the
+// external test package (import path ends in "_test") — are skipped even
+// when their sources would violate an invariant.
+func TestUnitcheckerSkipsTestOnlyUnits(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		id, ipath string
+	}{
+		{"test main unit", "m/kern.test", "m/kern.test"},
+		{"external test package", "m/kern [m/kern.test]", "m/kern_test"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			src := writeFile(t, dir, "kern.go", xorViolation)
+			cfg := writeCfg(t, dir, vetConfig{
+				ID:         tc.id,
+				ImportPath: tc.ipath,
+				GoFiles:    []string{src},
+				VetxOutput: filepath.Join(dir, "out.vetx"),
+			})
+			var buf bytes.Buffer
+			n, err := RunUnitchecker(&buf, lint.Suite(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 0 {
+				t.Errorf("test-only unit produced %d findings, want 0:\n%s", n, buf.String())
+			}
+		})
+	}
+}
+
+// A unit whose GoFiles are empty, or shrink to empty once in-package
+// _test.go files are dropped, analyzes nothing and succeeds.
+func TestUnitcheckerEmptyPackage(t *testing.T) {
+	dir := t.TempDir()
+	testSrc := writeFile(t, dir, "kern_test.go", `package kern
+`)
+	for _, tc := range []struct {
+		name    string
+		goFiles []string
+	}{
+		{"no files at all", nil},
+		{"only in-package test files", []string{testSrc}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := writeCfg(t, t.TempDir(), vetConfig{
+				ID:         "m/kern",
+				ImportPath: "m/kern",
+				GoFiles:    tc.goFiles,
+				VetxOutput: filepath.Join(dir, "out.vetx"),
+			})
+			var buf bytes.Buffer
+			n, err := RunUnitchecker(&buf, lint.Suite(), cfg)
+			if err != nil || n != 0 {
+				t.Fatalf("empty unit: n=%d err=%v, want 0, nil", n, err)
+			}
+		})
+	}
+}
+
+// The go command encodes a -tags selection as the cfg's GoFiles list (a
+// noasm build simply lists different sources); the tool must analyze
+// exactly that list. The default-config file carries a violation, the
+// noasm replacement is clean — so the finding must appear for the first
+// config and disappear for the second.
+func TestUnitcheckerTagConfigPropagation(t *testing.T) {
+	dir := t.TempDir()
+	defSrc := writeFile(t, dir, "kern_default.go", "//go:build !noasm\n\n"+xorViolation)
+	noasmSrc := writeFile(t, dir, "kern_noasm.go", `//go:build noasm
+
+package kern
+
+func XorInPlace(dst, src []byte) {
+	copy(dst, src)
+}
+`)
+
+	run := func(src string) (int, string) {
+		t.Helper()
+		cfg := writeCfg(t, t.TempDir(), vetConfig{
+			ID:         "m/kern",
+			ImportPath: "m/kern",
+			GoFiles:    []string{src},
+			VetxOutput: filepath.Join(t.TempDir(), "out.vetx"),
+		})
+		var buf bytes.Buffer
+		n, err := RunUnitchecker(&buf, lint.Suite(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, buf.String()
+	}
+
+	if n, out := run(defSrc); n != 1 || !strings.Contains(out, "(xorloop)") {
+		t.Errorf("default config: n=%d out=%q, want the xorloop finding", n, out)
+	}
+	if n, out := run(noasmSrc); n != 0 {
+		t.Errorf("noasm config: n=%d out=%q, want clean", n, out)
+	}
+}

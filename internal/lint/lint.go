@@ -1,4 +1,4 @@
-// Package lint holds the c56-lint analyzer suite: five checks that turn
+// Package lint holds the c56-lint analyzer suite: seven checks that turn
 // this repository's load-bearing conventions — invariants that previously
 // lived only in reviewers' heads — into mechanically enforced rules.
 //
@@ -15,6 +15,13 @@
 //   - metricname: telemetry names are compile-time constants in
 //     pkg.snake_case with no cross-package duplicates, so dashboards and
 //     the README metric reference cannot drift from the code.
+//   - lockcheck: every access to a field marked `//c56:guardedby <mu>`
+//     happens with the named sibling mutex held (exclusively for writes),
+//     or inside a function marked `//c56:requires <mu>` whose call sites
+//     are checked instead — the checklocks discipline, path-sensitively.
+//   - noalloc: functions marked `//c56:noalloc` are statically proven free
+//     of allocating constructs on their success paths, backing the
+//     AllocsPerRun regression tests with whole-body coverage.
 //
 // The analyzers are built on internal/lint/analysis (a stdlib-only
 // re-implementation of the x/tools go/analysis shape) and are exercised by
@@ -29,7 +36,7 @@ import (
 	"code56/internal/lint/analysis"
 )
 
-// Suite returns the five c56-lint analyzers in reporting order.
+// Suite returns the seven c56-lint analyzers in reporting order.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		XorLoop,
@@ -37,6 +44,8 @@ func Suite() []*analysis.Analyzer {
 		UnsafeGate,
 		CtxFlow,
 		MetricName,
+		Lockcheck,
+		NoAlloc,
 	}
 }
 

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"code56/internal/lint"
+	"code56/internal/lint/analysistest"
+)
+
+// TestLockcheck runs the lockcheck fixtures: guarded-field access modes,
+// path-sensitive lock tracking (defer, branches, loops, break/continue),
+// requires propagation, instance precision, annotation validation, and
+// the PR 3 heal-vs-write regression shape (regression.go).
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Lockcheck, "lockcheck")
+}

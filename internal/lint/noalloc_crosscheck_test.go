@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestNoallocAnnotationsHaveAllocTests cross-checks the static and
+// runtime halves of the zero-allocation contract over every internal
+// package: each exported function carrying //c56:noalloc must be
+// exercised inside a testing.AllocsPerRun assertion in its package's
+// tests, and — the converse — each exported package function exercised
+// under AllocsPerRun must carry the annotation. The lint analyzer proves
+// the property intraprocedurally; AllocsPerRun observes the whole call
+// tree at runtime; each check catches what the other structurally cannot
+// (trusted-table optimism vs. unpinned hot paths).
+func TestNoallocAnnotationsHaveAllocTests(t *testing.T) {
+	root := filepath.Join("..", "..")
+	var pkgDirs []string
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			pkgDirs = append(pkgDirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dir := range pkgDirs {
+		annotated, defined, tested, err := scanNoallocPackage(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, name := range sortedNames(annotated) {
+			if !tested[name] {
+				t.Errorf("%s: exported //c56:noalloc function %s has no AllocsPerRun regression test", dir, name)
+			}
+		}
+		for _, name := range sortedNames(tested) {
+			if defined[name] && !annotated[name] {
+				t.Errorf("%s: exported function %s is pinned by an AllocsPerRun test but lacks //c56:noalloc", dir, name)
+			}
+		}
+	}
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// scanNoallocPackage parses one package directory (tag-blind: all files,
+// all build configurations) and returns three name sets over its exported
+// functions and methods: those annotated //c56:noalloc, all defined ones,
+// and those called inside testing.AllocsPerRun closures in the package's
+// test files.
+func scanNoallocPackage(dir string) (annotated, defined, tested map[string]bool, err error) {
+	annotated, defined, tested = map[string]bool{}, map[string]bool{}, map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			collectAllocTested(f, tested)
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || !exportedReceiver(fd) {
+				continue
+			}
+			defined[fd.Name.Name] = true
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if strings.TrimSpace(c.Text) == "//c56:noalloc" {
+						annotated[fd.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return annotated, defined, tested, nil
+}
+
+// exportedReceiver reports whether fd is a plain function or a method on
+// an exported type (methods on unexported types are not part of the
+// package's exported API).
+func exportedReceiver(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	typ := fd.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return false
+}
+
+// collectAllocTested adds to `tested` every exported name called inside
+// the closures a test function hands to testing.AllocsPerRun. Two shapes
+// are recognized: a function literal passed directly, and a variable
+// argument (the table-of-closures idiom), for which every function
+// literal in the enclosing test function is scanned instead.
+func collectAllocTested(f *ast.File, tested map[string]bool) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		var scanWholeDecl bool
+		var lits []*ast.FuncLit
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "AllocsPerRun" || len(call.Args) != 2 {
+				return true
+			}
+			if lit, ok := call.Args[1].(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			} else {
+				scanWholeDecl = true
+			}
+			return true
+		})
+		if scanWholeDecl {
+			lits = lits[:0]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lits = append(lits, lit)
+				}
+				return true
+			})
+		}
+		for _, lit := range lits {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					if fun.IsExported() {
+						tested[fun.Name] = true
+					}
+				case *ast.SelectorExpr:
+					if fun.Sel.IsExported() {
+						tested[fun.Sel.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}

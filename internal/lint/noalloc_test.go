@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"code56/internal/lint"
+	"code56/internal/lint/analysistest"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.NoAlloc, "noalloc")
+}

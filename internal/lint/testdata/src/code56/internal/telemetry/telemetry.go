@@ -7,9 +7,9 @@ package telemetry
 // Counter is a monotonically increasing counter.
 type Counter struct{ v int64 }
 
-func (c *Counter) Inc()          {}
-func (c *Counter) Add(d int64)   {}
-func (c *Counter) Value() int64  { return c.v }
+func (c *Counter) Inc()         {}
+func (c *Counter) Add(d int64)  {}
+func (c *Counter) Value() int64 { return c.v }
 
 // Gauge is an instantaneous value.
 type Gauge struct{ v int64 }

@@ -8,7 +8,7 @@ type littleEndian struct{}
 // LittleEndian is the little-endian ByteOrder.
 var LittleEndian littleEndian
 
-func (littleEndian) Uint64(b []byte) uint64      { return 0 }
+func (littleEndian) Uint64(b []byte) uint64       { return 0 }
 func (littleEndian) PutUint64(b []byte, v uint64) {}
-func (littleEndian) Uint32(b []byte) uint32      { return 0 }
+func (littleEndian) Uint32(b []byte) uint32       { return 0 }
 func (littleEndian) PutUint32(b []byte, v uint32) {}

@@ -1,0 +1,17 @@
+// Package errors is a hermetic fixture stub of the standard library's
+// errors package for the noalloc fixtures: Is/As are in the trusted set,
+// New allocates.
+package errors
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+// New returns an error that formats as text.
+func New(text string) error { return &errorString{s: text} }
+
+// Is reports whether any error in err's tree matches target.
+func Is(err, target error) bool { return err == target }
+
+// As finds the first error in err's tree matching target.
+func As(err error, target any) bool { return false }

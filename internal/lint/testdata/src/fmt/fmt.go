@@ -1,0 +1,13 @@
+// Package fmt is a hermetic fixture stub of the standard library's fmt
+// package: enough surface for the noalloc fixtures to exercise variadic
+// interface boxing and the failure-path exemptions.
+package fmt
+
+// Errorf formats an error.
+func Errorf(format string, args ...any) error { return nil }
+
+// Sprintf formats a string.
+func Sprintf(format string, args ...any) string { return format }
+
+// Printf writes formatted output.
+func Printf(format string, args ...any) (int, error) { return 0, nil }

@@ -1,0 +1,318 @@
+// Fixture for the lockcheck analyzer: guarded-by access checking, lock
+// modes, path sensitivity, requires propagation, and annotation
+// validation. Every `// want` comment pins one diagnostic.
+package lockcheck
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int //c56:guardedby mu
+	name string
+}
+
+func readUnlocked(c *counter) int {
+	return c.n // want `n read without holding mu`
+}
+
+func writeUnlocked(c *counter) {
+	c.n = 1 // want `n written without holding mu`
+}
+
+func incUnlocked(c *counter) {
+	c.n++ // want `n written without holding mu`
+}
+
+func unguardedOK(c *counter) string {
+	return c.name // name carries no annotation
+}
+
+func lockedOK(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+func explicitUnlock(c *counter) {
+	c.mu.Lock()
+	c.n = 7
+	c.mu.Unlock()
+	c.n = 8 // want `n written without holding mu`
+}
+
+func earlyReturnUnderDefer(c *counter, stop bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if stop {
+		return c.n // defer holds the lock to every exit
+	}
+	c.n++
+	return c.n
+}
+
+func suppressed(c *counter) int {
+	return c.n //lint:allow lockcheck cold stats path, torn reads acceptable
+}
+
+// instance precision: a's lock never vouches for b's fields.
+func wrongInstance(a, b *counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	b.n++ // want `n written without holding mu`
+}
+
+// branch join: the lock survives only when every live arm holds it.
+func branchJoin(c *counter, p bool) {
+	if p {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	c.n++ // both arms locked
+	c.mu.Unlock()
+}
+
+func branchDrop(c *counter, p bool) {
+	c.mu.Lock()
+	if p {
+		c.mu.Unlock()
+	}
+	c.n++ // want `n written without holding mu`
+}
+
+func branchTerminates(c *counter, p bool) {
+	c.mu.Lock()
+	if p {
+		c.mu.Unlock()
+		return
+	}
+	c.n++ // the unlocking arm returned; this path still holds mu
+	c.mu.Unlock()
+}
+
+// loop back edge: iteration two enters with whatever the bottom of the
+// body (or a continue) guarantees.
+func loopRelockOK(c *counter) {
+	c.mu.Lock()
+	for i := 0; i < 8; i++ {
+		c.n++ // re-locked at the bottom, so every iteration holds mu
+		c.mu.Unlock()
+		c.mu.Lock()
+	}
+	c.mu.Unlock()
+}
+
+func loopDrop(c *counter) {
+	c.mu.Lock()
+	for i := 0; i < 8; i++ {
+		c.n++ // want `n written without holding mu`
+		c.mu.Unlock()
+	}
+}
+
+// break carries its held set to the loop exit — the worker-loop shape:
+// acquire inside `for {}`, leave via break while holding.
+func breakHolding(c *counter) {
+	for {
+		c.mu.Lock()
+		if c.n > 3 {
+			break
+		}
+		c.mu.Unlock()
+	}
+	c.n = 0 // held: the only way out of the loop is the locked break
+	c.mu.Unlock()
+}
+
+func continueUnlocked(c *counter) {
+	for i := 0; i < 8; i++ {
+		c.mu.Lock()
+		if c.n == 1 {
+			c.mu.Unlock()
+			continue
+		}
+		c.n++ // this path still holds mu
+		c.mu.Unlock()
+	}
+}
+
+// switch: break leaves the switch with the current state.
+func switchBreak(c *counter, k int) {
+	c.mu.Lock()
+	switch k {
+	case 0:
+		c.n++
+	case 1:
+		break
+	default:
+		c.n = k
+	}
+	c.n++ // every arm (and the break) kept the lock
+	c.mu.Unlock()
+}
+
+// closures assume nothing about the creator's locks.
+func closureUnlocked(c *counter) func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.n++ // want `n written without holding mu`
+	}
+}
+
+func closureLocksItself(c *counter) func() {
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}
+}
+
+// constructors: locals freshly built in this body are unpublished, so
+// guarded fields may be initialized without the lock.
+func newCounter(n int) *counter {
+	c := &counter{}
+	c.n = n
+	return c
+}
+
+func newCounterVar(n int) counter {
+	var c counter
+	c.n = n
+	return c
+}
+
+// rebinding ends the exemption.
+func rebound(global *counter) {
+	c := &counter{}
+	c.n = 1
+	c = global
+	c.n = 2 // want `n written without holding mu`
+}
+
+// requires: the callee body runs with the lock held; call sites must hold
+// it exclusively.
+
+//c56:requires mu
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+//c56:requires mu
+func (c *counter) doubleBumpLocked() {
+	c.bumpLocked() // transitively satisfied by this function's own requires
+	c.bumpLocked()
+}
+
+func callsHelperLocked(c *counter) {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+func callsHelperUnlocked(c *counter) {
+	c.bumpLocked() // want `call to bumpLocked requires holding mu exclusively`
+}
+
+// rwcounter exercises the RWMutex modes: reads accept RLock, writes need
+// the exclusive lock.
+type rwcounter struct {
+	mu sync.RWMutex
+	m  map[string]int //c56:guardedby mu
+}
+
+func rlockRead(r *rwcounter, k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+func rlockWrite(r *rwcounter, k string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.m[k] = 1 // want `m written while mu is held only for reading`
+}
+
+// the double-checked RWMutex upgrade idiom: read under RLock, re-check
+// and write under Lock.
+func doubleChecked(r *rwcounter, k string) int {
+	r.mu.RLock()
+	v, ok := r.m[k]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.m[k]; ok {
+		return v
+	}
+	r.m[k] = 42
+	return 42
+}
+
+func afterRUnlock(r *rwcounter, k string) int {
+	r.mu.RLock()
+	r.mu.RUnlock()
+	return r.m[k] // want `m read without holding mu`
+}
+
+// nested instances: the chain to the field names the chain to its guard.
+type inner struct {
+	mu sync.Mutex
+	v  int //c56:guardedby mu
+}
+
+type outer struct {
+	a inner
+	b inner
+}
+
+func nestedOK(o *outer) {
+	o.a.mu.Lock()
+	o.a.v++
+	o.a.mu.Unlock()
+}
+
+func nestedWrongSibling(o *outer) {
+	o.a.mu.Lock()
+	defer o.a.mu.Unlock()
+	o.b.v++ // want `b\.v written without holding b\.mu`
+}
+
+// waiter exercises cond.Wait, which releases and reacquires the lock
+// atomically — lock-preserving from the checker's view.
+type waiter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	busy bool //c56:guardedby mu
+}
+
+func waitLoop(w *waiter) {
+	w.mu.Lock()
+	for w.busy {
+		w.cond.Wait()
+	}
+	w.busy = true
+	w.mu.Unlock()
+}
+
+// annotation validation.
+type badGuard struct {
+	mu sync.Mutex
+	a  int        //c56:guardedby lock // want `no sibling sync.Mutex or sync.RWMutex field named "lock"`
+	b  sync.Mutex //c56:guardedby b // want `a mutex cannot guard itself`
+	c  int        //c56:guardedby // want `malformed annotation`
+}
+
+//c56:requires mu // want `requires a method with a named struct receiver`
+func notAMethod() {}
+
+type hasNoMutex struct {
+	n int
+}
+
+//c56:requires mu // want `receiver has no sync.Mutex or sync.RWMutex field named "mu"`
+func (h *hasNoMutex) m() {}

@@ -1,0 +1,53 @@
+// Regression fixture: the PR 3 heal-vs-write clobber shape.
+//
+// The online migrator repairs a block it failed to read (readOrRepair) by
+// reconstructing the data and rewriting it. The shipped bug: the rewrite
+// used block contents read *before* taking writeMu, so an application
+// write that landed in between was silently clobbered by the stale
+// reconstruction. The fix re-reads and re-checks under writeMu before
+// rewriting. With the staged block annotated as guarded by writeMu,
+// lockcheck flags the racy shape mechanically: healRacy stages the
+// reconstruction before acquiring the lock.
+package lockcheck
+
+import "sync"
+
+type healer struct {
+	writeMu sync.Mutex
+	// staged is the reconstruction about to be rewritten; it must only be
+	// produced and consumed under writeMu, or a concurrent application
+	// write between the stale read and the rewrite is lost.
+	staged []byte //c56:guardedby writeMu
+	dirty  bool   //c56:guardedby writeMu
+}
+
+func reconstruct(into []byte) {}
+
+// healRacy is the PR 3 bug: the reconstruction is staged from a read taken
+// before writeMu, so the rewrite clobbers any write that raced in.
+func (h *healer) healRacy() {
+	reconstruct(h.staged) // want `staged read without holding writeMu`
+	h.dirty = true        // want `dirty written without holding writeMu`
+	h.writeMu.Lock()
+	defer h.writeMu.Unlock()
+	h.flushLocked()
+}
+
+// healSafe is the negative twin — the fixed shape: take writeMu first,
+// re-check, and reconstruct under the lock so the rewrite and any racing
+// application write serialize.
+func (h *healer) healSafe() {
+	h.writeMu.Lock()
+	defer h.writeMu.Unlock()
+	if !h.dirty {
+		return // re-check under the lock: someone else healed it first
+	}
+	reconstruct(h.staged)
+	h.dirty = false
+	h.flushLocked()
+}
+
+//c56:requires writeMu
+func (h *healer) flushLocked() {
+	h.staged = h.staged[:0]
+}

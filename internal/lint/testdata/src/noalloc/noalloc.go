@@ -1,0 +1,287 @@
+// Fixture for the noalloc analyzer: allocating constructs, interface
+// boxing, callee proofs, closure shapes, and the failure-path exemptions.
+// Every `// want` comment pins one diagnostic.
+package noalloc
+
+import (
+	"errors"
+	"fmt"
+
+	"code56/internal/bufpool"
+)
+
+type point struct{ x, y int }
+
+// unannotated functions may allocate freely.
+func unannotated(n int) []byte { return make([]byte, n) }
+
+// --- allocating builtins and literals ---
+
+//c56:noalloc
+func usesMake(n int) []byte {
+	return make([]byte, n) // want `make allocates in //c56:noalloc function usesMake`
+}
+
+//c56:noalloc
+func usesNew() *int {
+	return new(int) // want `new allocates`
+}
+
+//c56:noalloc
+func usesAppend(dst []byte, b byte) []byte {
+	return append(dst, b) // want `append may grow its backing array \(allocates\)`
+}
+
+//c56:noalloc
+func mapWrite(m map[string]int, k string) {
+	m[k] = 1 // want `map assignment may allocate`
+}
+
+//c56:noalloc
+func mapReadOK(m map[string]int, k string) int {
+	return m[k] // reads never grow the table
+}
+
+//c56:noalloc
+func literals() {
+	_ = []int{1, 2}       // want `slice literal allocates`
+	_ = map[string]int{}  // want `map literal allocates`
+	_ = &point{x: 1}      // want `&composite literal allocates`
+	_ = point{x: 1, y: 2} // a value-typed struct literal lives on the stack
+}
+
+//c56:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//c56:noalloc
+func concatAssign(s *string, t string) {
+	*s += t // want `string concatenation allocates`
+}
+
+//c56:noalloc
+func conv(s string) []byte {
+	return []byte(s) // want `conversion between string and byte/rune slice allocates`
+}
+
+//c56:noalloc
+func numericConvOK(x int) int64 {
+	return int64(x) // numeric conversions are register moves
+}
+
+// --- interface boxing: the true positive and its negative twin ---
+
+//c56:noalloc
+func takeAny(v any) {
+	_ = v
+}
+
+// boxArg passes a concrete int where an interface is expected: the
+// compiler must heap-box the value.
+//
+//c56:noalloc
+func boxArg(n int) {
+	takeAny(n) // want `argument boxes int into (any|interface\{\}) \(allocates\)`
+}
+
+// boxArgTwin is the negative twin: the value is already an interface, so
+// passing it through copies a two-word header and allocates nothing.
+//
+//c56:noalloc
+func boxArgTwin(v any) {
+	takeAny(v)
+}
+
+// boxPointerOK: a pointer stores directly in the interface data word — the
+// *entry-box idiom bufpool uses to keep sync.Pool traffic allocation-free.
+//
+//c56:noalloc
+func boxPointerOK(p *point) {
+	takeAny(p)
+}
+
+//c56:noalloc
+func returnsBoxed(n int) any {
+	return n // want `return boxes int into (any|interface\{\}) \(allocates\)`
+}
+
+//c56:noalloc
+func assignBoxed(n int) {
+	var v any
+	v = n // want `assignment boxes int into (any|interface\{\}) \(allocates\)`
+	_ = v
+}
+
+//c56:noalloc
+func convBoxed(n int) any {
+	return any(n) // want `conversion boxes int into (any|interface\{\}) \(allocates\)`
+}
+
+//c56:noalloc
+func declBoxed(n int) {
+	var v any = n // want `assignment boxes int into (any|interface\{\}) \(allocates\)`
+	_ = v
+}
+
+// sprintfHot shows the fmt-style variadic shape: the call is untrusted
+// AND the int argument boxes into the variadic any slot.
+//
+//c56:noalloc
+func sprintfHot(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `calls fmt.Sprintf, which is not in the noalloc trusted set` `argument boxes int into (any|interface\{\}) \(allocates\)`
+}
+
+// --- failure-path exemptions ---
+
+// coldErrorPath: a nested block concluding with a non-nil error return is
+// a failure path; fmt.Errorf there never runs in the steady state.
+//
+//c56:noalloc
+func coldErrorPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n)
+	}
+	return nil
+}
+
+//c56:noalloc
+func coldPanicPath(ok bool) {
+	if !ok {
+		panic(fmt.Sprintf("bad state"))
+	}
+}
+
+// hotErrorReturn: the top-level statement list gets no exemption — this
+// function allocates every time it runs.
+//
+//c56:noalloc
+func hotErrorReturn(n int) error {
+	return fmt.Errorf("always: %d", n) // want `calls fmt.Errorf, which is not in the noalloc trusted set` `argument boxes int into (any|interface\{\}) \(allocates\)`
+}
+
+// --- callee proofs ---
+
+//c56:noalloc
+func leafAnnotated(n int) int { return n * 2 }
+
+//c56:noalloc
+func callsAnnotated(n int) int {
+	return leafAnnotated(n) // the proof composes through annotated callees
+}
+
+func helper(n int) int { return n }
+
+//c56:noalloc
+func callsUnannotated(n int) int {
+	return helper(n) // want `calls helper, which is not marked //c56:noalloc`
+}
+
+// asmStub has no body: an assembly kernel, implicitly trusted leaf code.
+func asmStub(dst *byte, src *byte, n int)
+
+//c56:noalloc
+func callsStub(dst, src *byte, n int) {
+	asmStub(dst, src, n)
+}
+
+//c56:noalloc
+func rentsBuffer(n int) []byte {
+	return bufpool.Get(n) // bufpool.Get is in the trusted table
+}
+
+//c56:noalloc
+func mintsError(msg string) error {
+	return errors.New(msg) // want `calls errors.New, which is not in the noalloc trusted set`
+}
+
+//c56:noalloc
+func inspectsError(err, target error) bool {
+	return errors.Is(err, target) // errors.Is is in the trusted table
+}
+
+// --- methods ---
+
+type ring struct{ buf []byte }
+
+//c56:noalloc
+func (r *ring) reset() {
+	for i := range r.buf {
+		r.buf[i] = 0 // a slice element write, not a map write
+	}
+}
+
+//c56:noalloc
+func (r *ring) clear() {
+	r.reset() // annotated method in the same package
+}
+
+// --- closures ---
+
+//c56:noalloc
+func escapingClosure(n int) func() int {
+	return func() int { return n } // want `closure captures variables \(allocates\)`
+}
+
+//c56:noalloc
+func staticFuncOK() func(int) int {
+	return func(x int) int { return x * x } // capture-free: a static value
+}
+
+//c56:noalloc
+func localClosureOK(n int) int {
+	double := func() int { return n * 2 }
+	return double() // only ever called: the closure stays on the stack
+}
+
+//c56:noalloc
+func localClosureAlloc(n int) []byte {
+	build := func() []byte {
+		return make([]byte, n) // want `make allocates in //c56:noalloc function localClosureAlloc`
+	}
+	return build()
+}
+
+//c56:noalloc
+func leakedClosure(n int) func() int {
+	f := func() int { return n } // want `closure captures variables \(allocates\)`
+	return f
+}
+
+//c56:noalloc
+func iifeOK(n int) int {
+	return func() int { return n + 1 }() // immediately invoked: runs inline
+}
+
+//c56:noalloc
+func dynamicCall(f func() int) int {
+	return f() // want `dynamic call through f cannot be proven alloc-free`
+}
+
+//c56:noalloc
+func spawns(done func()) {
+	go done() // want `go statement starts a goroutine \(allocates\)`
+}
+
+// --- suppression and hot-path shapes ---
+
+//c56:noalloc
+func suppressedMiss(n int) []byte {
+	return make([]byte, n) //lint:allow noalloc pool miss mints a fresh buffer by design
+}
+
+//c56:noalloc
+func hotPathOK(dst, src []byte) int {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	copy(dst[:n], src[:n])
+	p := point{x: 1, y: 2}
+	return p.x + n
+}
+
+// --- annotation validation ---
+
+//c56:noalloc always // want `malformed annotation: //c56:noalloc takes no arguments`
+func malformed() {}

@@ -1,0 +1,43 @@
+// Package sync is a hermetic fixture stub of the standard library's sync
+// package: just enough surface (with the production method sets on Mutex
+// and RWMutex) for the lockcheck and noalloc fixtures to type-check. The
+// analyzers match lock operations by package path "sync" plus receiver
+// type, so the stub exercises exactly the production matching logic.
+package sync
+
+// Mutex is a mutual exclusion lock stub.
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) Unlock()       {}
+func (m *Mutex) TryLock() bool { return false }
+
+// RWMutex is a reader/writer mutual exclusion lock stub.
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+// Locker is the Lock/Unlock interface.
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+// Cond is a condition variable stub. Wait atomically releases and
+// reacquires L, so lockcheck treats it as lock-preserving.
+type Cond struct{ L Locker }
+
+func NewCond(l Locker) *Cond { return &Cond{L: l} }
+
+func (c *Cond) Wait()      {}
+func (c *Cond) Signal()    {}
+func (c *Cond) Broadcast() {}
+
+// Pool is a free-list stub.
+type Pool struct{ New func() any }
+
+func (p *Pool) Get() any  { return p.New() }
+func (p *Pool) Put(x any) {}

@@ -92,16 +92,19 @@ type JournalState struct {
 // with OpenJournal, inspect State, then either attach it to a migrator
 // (AttachJournal) or close it.
 type Journal struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// dir and log are fixed at construction; the log's methods are still
+	// always driven under mu so its records stay ordered.
 	dir      string
 	log      *wal.Log
-	state    JournalState
-	interval int64
-	lastCP   int64 // cursor at the last checkpoint
+	state    JournalState //c56:guardedby mu
+	interval int64        //c56:guardedby mu
+	// lastCP is the cursor at the last checkpoint.
+	lastCP int64 //c56:guardedby mu
 	// syncDisks and finishMeta are wired by AttachJournal.
-	syncDisks  func() error
-	finishMeta durable.Meta
-	crash      *wal.CrashPoints
+	syncDisks  func() error     //c56:guardedby mu
+	finishMeta durable.Meta     //c56:guardedby mu
+	crash      *wal.CrashPoints //c56:guardedby mu
 }
 
 // OpenJournal opens (creating if absent) the directory's intent log and
@@ -229,6 +232,8 @@ func (j *Journal) maybeCheckpoint(cursor int64) error {
 
 // checkpointLocked: sync data disks, then journal the watermark, then
 // sync the log. Caller holds j.mu.
+//
+//c56:requires mu
 func (j *Journal) checkpointLocked(cursor int64) error {
 	if j.syncDisks != nil {
 		if err := j.syncDisks(); err != nil {

@@ -50,42 +50,51 @@ type OnlineMigrator struct {
 
 	mu            sync.Mutex
 	cond          *sync.Cond
-	pendingWrites int
-	userPaused    bool
-	parallelism   int
-	workers       int            // conversion goroutines still running
-	parked        int            // workers waiting on writes/pause
-	nextClaim     int64          // next stripe a worker will claim
-	cursor        int64          // contiguous watermark of converted stripes
-	inProgress    map[int64]bool // stripes being converted right now
-	dirtySet      map[int64]bool // in-progress stripes written concurrently
-	doneSet       map[int64]bool // converted stripes above the watermark
-	started       bool
-	finished      bool
-	err           error
-	done          chan struct{}
+	pendingWrites int  //c56:guardedby mu
+	userPaused    bool //c56:guardedby mu
+	parallelism   int  //c56:guardedby mu
+	// workers counts conversion goroutines still running; parked, those
+	// waiting on writes/pause. nextClaim is the next stripe a worker will
+	// claim and cursor the contiguous watermark of converted stripes.
+	workers   int   //c56:guardedby mu
+	parked    int   //c56:guardedby mu
+	nextClaim int64 //c56:guardedby mu
+	cursor    int64 //c56:guardedby mu
+	// inProgress holds stripes being converted right now; dirtySet,
+	// in-progress stripes written concurrently; doneSet, converted stripes
+	// above the watermark.
+	inProgress map[int64]bool //c56:guardedby mu
+	dirtySet   map[int64]bool //c56:guardedby mu
+	doneSet    map[int64]bool //c56:guardedby mu
+	started    bool           //c56:guardedby mu
+	finished   bool           //c56:guardedby mu
+	err        error          //c56:guardedby mu
+	done       chan struct{}
 	// wake is closed (and replaced) by interruptLocked to cut short any
 	// worker sleeping in its throttle interval when the migration must
 	// react now: cancellation, a conversion error, or Pause.
-	wake chan struct{}
+	wake chan struct{} //c56:guardedby mu
 
 	// throttle, if positive, is slept between stripes to bound the
 	// conversion's interference with foreground I/O.
-	throttle time.Duration
+	throttle time.Duration //c56:guardedby mu
 	// onProgress, if set, is called (without locks held) after each
 	// stripe completes.
-	onProgress func(converted, total int64)
+	onProgress func(converted, total int64) //c56:guardedby mu
 	// journal, if attached, records begin/watermark/finish intent records
 	// so a crash mid-migration reopens to a resumable state (see
 	// AttachJournal; nil for purely in-memory migrations).
-	journal *Journal
+	journal *Journal //c56:guardedby mu
 
-	stats     MigrationStats
-	startTime time.Time
-	endTime   time.Time
+	stats     MigrationStats //c56:guardedby mu
+	startTime time.Time      //c56:guardedby mu
+	endTime   time.Time      //c56:guardedby mu
 
-	tel  onlineTel
-	span *telemetry.Span // the migrate.online root span
+	// tel is rebound only before Start (see SetTelemetry), so the running
+	// migration reads it without the lock.
+	tel onlineTel
+	// span is the migrate.online root span, set once by StartContext.
+	span *telemetry.Span //c56:guardedby mu
 }
 
 // onlineTel holds the migrator's bound telemetry instruments (see README
@@ -297,6 +306,8 @@ func (m *OnlineMigrator) ResumeFrom(stripe int64) error {
 // interruptLocked wakes any worker sleeping in its throttle interval: the
 // current wake channel is closed (a closed channel stays readable, so no
 // wakeup is ever missed) and replaced for future sleeps. Caller holds m.mu.
+//
+//c56:requires mu
 func (m *OnlineMigrator) interruptLocked() {
 	close(m.wake)
 	m.wake = make(chan struct{})
@@ -534,8 +545,14 @@ func (m *OnlineMigrator) Result() (*raid6.Array, error) {
 // parallelism) and marks the migration finished when they drain.
 func (m *OnlineMigrator) convert() {
 	defer close(m.done)
+	// Snapshot the worker count under the lock: SetParallelism rejects
+	// changes after Start, but convert runs on its own goroutine and must
+	// not read the field while another Start-era caller still holds mu.
+	m.mu.Lock()
+	workers := m.parallelism
+	m.mu.Unlock()
 	var wg sync.WaitGroup
-	for w := 0; w < m.parallelism; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -577,6 +594,8 @@ func (m *OnlineMigrator) convert() {
 // waitRunnable parks the calling worker while application writes are in
 // flight or the migration is paused. Caller must hold m.mu; the lock is
 // held on return. Returns false if the worker should exit (error elsewhere).
+//
+//c56:requires mu
 func (m *OnlineMigrator) waitRunnable() bool {
 	for (m.pendingWrites > 0 || m.userPaused) && m.err == nil {
 		m.parked++
@@ -787,9 +806,10 @@ func (m *OnlineMigrator) readOrRepair(row int64, disk int, buf []byte) error {
 	}
 	m.mu.Lock()
 	m.stats.FaultsRepaired++
+	span := m.span
 	m.mu.Unlock()
 	m.tel.faultRepairs.Inc()
-	m.span.Event("migrate.fault_repaired",
+	span.Event("migrate.fault_repaired",
 		telemetry.A("row", row), telemetry.A("disk", disk))
 	return nil
 }

@@ -47,8 +47,8 @@ type Server struct {
 	mux *http.ServeMux
 
 	mu      sync.RWMutex
-	checks  []namedCheck
-	sources []namedSource
+	checks  []namedCheck  //c56:guardedby mu
+	sources []namedSource //c56:guardedby mu
 
 	// quit is closed by Close: active ?watch=1 streams end at their next
 	// tick instead of holding a graceful shutdown hostage until every

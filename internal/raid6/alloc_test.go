@@ -103,3 +103,18 @@ func TestWriteBlockRMWAllocationFree(t *testing.T) {
 		t.Errorf("read-modify-write allocates %.1f times per call, want 0", n)
 	}
 }
+
+// TestLocateAllocationFree pins the logical-to-physical address math at
+// zero allocations — Locate runs once per block on every I/O path.
+func TestLocateAllocationFree(t *testing.T) {
+	skipIfRace(t)
+	a := newWarmArray(t, 2)
+	if n := testing.AllocsPerRun(100, func() {
+		stripe, cell := a.Locate(7)
+		if stripe < 0 || cell.Row < 0 {
+			t.Fatal("Locate returned a negative coordinate")
+		}
+	}); n != 0 {
+		t.Errorf("Locate allocates %.1f times per call, want 0", n)
+	}
+}

@@ -162,33 +162,43 @@ func (a *Array) BlockSize() int { return a.blockSize }
 func (a *Array) DataPerStripe() int { return len(a.dataCells) }
 
 // Locate maps a logical data block to its stripe index and cell coordinate.
+//
+//c56:noalloc
 func (a *Array) Locate(logical int64) (stripe int64, cell layout.Coord) {
 	n := int64(len(a.dataCells))
 	return logical / n, a.dataCells[logical%n]
 }
 
 // blockAddr returns the disk block address of cell c in stripe s.
+//
+//c56:noalloc
 func (a *Array) blockAddr(stripe int64, c layout.Coord) int64 {
 	return stripe*int64(a.geom.Rows) + int64(c.Row)
 }
 
 // readCell reads one cell into buf directly from its disk (honoring the
 // per-stripe rotation when enabled).
+//
+//c56:noalloc
 func (a *Array) readCell(stripe int64, c layout.Coord, buf []byte) error {
 	return a.diskFor(stripe, c.Col).Read(a.blockAddr(stripe, c), buf)
 }
 
 // writeCell writes one cell.
+//
+//c56:noalloc
 func (a *Array) writeCell(stripe int64, c layout.Coord, data []byte) error {
 	return a.diskFor(stripe, c.Col).Write(a.blockAddr(stripe, c), data)
 }
 
 // failedColumns returns the failed disk indices.
+//
+//c56:noalloc
 func (a *Array) failedColumns() []int {
 	var f []int
 	for i := 0; i < a.geom.Cols; i++ {
 		if a.disks.Disk(i).Failed() {
-			f = append(f, i)
+			f = append(f, i) //lint:allow noalloc enumerating failures allocates only when disks are down
 		}
 	}
 	return f
@@ -199,6 +209,8 @@ func (a *Array) failedColumns() []int {
 // the array's pool — callers hand it back with a.stripes.Put when done. The
 // erasure set is nil while the stripe is fully readable, so the healthy path
 // allocates nothing.
+//
+//c56:noalloc
 func (a *Array) loadStripe(stripe int64) (*layout.Stripe, layout.ErasureSet, error) {
 	s := a.stripes.Get()
 	var es layout.ErasureSet
@@ -211,9 +223,9 @@ func (a *Array) loadStripe(stripe int64) (*layout.Stripe, layout.ErasureSet, err
 			case isDegradable(err):
 				s.Zero(c)
 				if es == nil {
-					es = make(layout.ErasureSet)
+					es = make(layout.ErasureSet) //lint:allow noalloc erasure bookkeeping exists only once cells are unreadable
 				}
-				es[c] = true
+				es[c] = true //lint:allow noalloc erasure bookkeeping exists only once cells are unreadable
 			default:
 				a.stripes.Put(s)
 				return nil, nil, err
@@ -226,6 +238,8 @@ func (a *Array) loadStripe(stripe int64) (*layout.Stripe, layout.ErasureSet, err
 // isDegradable reports whether a read error can be served by
 // reconstruction: fail-stopped disks, latent sector errors, and transient
 // faults that survived the disk's retry policy.
+//
+//c56:noalloc
 func isDegradable(err error) bool {
 	return errors.Is(err, vdisk.ErrFailed) || errors.Is(err, vdisk.ErrLatent) ||
 		errors.Is(err, vdisk.ErrTransient)
@@ -235,6 +249,8 @@ func isDegradable(err error) bool {
 // (or a needed block) is unavailable. A single unreadable cell is rebuilt
 // through one parity chain — horizontal first (see degradedRead); wider
 // damage falls back to whole-stripe reconstruction.
+//
+//c56:noalloc
 func (a *Array) ReadBlock(logical int64, buf []byte) error {
 	a.tel.blockReads.Inc()
 	stripe, cell := a.Locate(logical)
@@ -270,6 +286,8 @@ func (a *Array) ReadCell(stripe int64, cell layout.Coord, buf []byte) error {
 // diagonal-parity disk. If no single chain has all its other members
 // readable (multiple failures intersecting every chain), it falls back to
 // loading the whole stripe and running the full decoder.
+//
+//c56:noalloc
 func (a *Array) degradedRead(stripe int64, cell layout.Coord, buf []byte) error {
 	a.tel.degradedReads.Inc()
 	if a.reconstructCell(stripe, cell, buf) {
@@ -281,7 +299,7 @@ func (a *Array) degradedRead(stripe int64, cell layout.Coord, buf []byte) error 
 		return err
 	}
 	defer a.stripes.Put(s)
-	if _, err := layout.Reconstruct(a.code, s, es); err != nil {
+	if _, err := layout.Reconstruct(a.code, s, es); err != nil { //lint:allow noalloc multi-erasure fallback decodes the whole stripe; the single-chain fast path is the steady state
 		return fmt.Errorf("%w: %v", ErrTooManyFailures, err)
 	}
 	copy(buf, s.Block(cell))
@@ -291,6 +309,8 @@ func (a *Array) degradedRead(stripe int64, cell layout.Coord, buf []byte) error 
 // reconstructCell tries to rebuild one cell from a single parity chain,
 // horizontal chains first. It reports whether any chain succeeded; on
 // success buf holds the cell's contents.
+//
+//c56:noalloc
 func (a *Array) reconstructCell(stripe int64, cell layout.Coord, buf []byte) bool {
 	for _, horizontal := range [2]bool{true, false} {
 		for _, ch := range a.chains {
@@ -306,6 +326,8 @@ func (a *Array) reconstructCell(stripe int64, cell layout.Coord, buf []byte) boo
 }
 
 // chainContains reports whether cell is a member (parity or cover) of ch.
+//
+//c56:noalloc
 func chainContains(ch layout.Chain, cell layout.Coord) bool {
 	if ch.Parity == cell {
 		return true
@@ -323,6 +345,8 @@ func chainContains(ch layout.Chain, cell layout.Coord) bool {
 // are walked directly (ch.Members would allocate the combined slice) and the
 // read scratch is rented from bufpool, keeping the single-chain degraded
 // read allocation-free.
+//
+//c56:noalloc
 func (a *Array) xorChainInto(stripe int64, ch layout.Chain, cell layout.Coord, buf []byte) bool {
 	for i := range buf {
 		buf[i] = 0
@@ -355,6 +379,8 @@ func (a *Array) xorChainInto(stripe int64, ch layout.Chain, cell layout.Coord, b
 // read-modify-write: read the old data, XOR the delta into every covering
 // parity. With failures present it falls back to stripe
 // reconstruct-modify-write.
+//
+//c56:noalloc
 func (a *Array) WriteBlock(logical int64, data []byte) error {
 	if len(data) != a.blockSize {
 		return fmt.Errorf("raid6: write of %d bytes, want %d", len(data), a.blockSize)
@@ -364,9 +390,10 @@ func (a *Array) WriteBlock(logical int64, data []byte) error {
 	if len(a.failedColumns()) == 0 {
 		return a.writeRMW(stripe, cell, data)
 	}
-	return a.writeDegraded(stripe, cell, data)
+	return a.writeDegraded(stripe, cell, data) //lint:allow noalloc degraded writes reconstruct the whole stripe; RMW is the steady state
 }
 
+//c56:noalloc
 func (a *Array) writeRMW(stripe int64, cell layout.Coord, data []byte) error {
 	old := bufpool.Get(a.blockSize)
 	defer bufpool.Put(old)
@@ -389,8 +416,8 @@ func (a *Array) writeRMW(stripe int64, cell layout.Coord, data []byte) error {
 	// fixed array keeps the healthy write path allocation-free.
 	var queueArr [16]layout.Coord
 	queue := queueArr[:0]
-	queue = append(queue, cell)
-	parity := old // the old data is folded into delta already; reuse as scratch
+	queue = append(queue, cell) //lint:allow noalloc the cascade queue lives in the fixed 16-slot array
+	parity := old               // the old data is folded into delta already; reuse as scratch
 	for len(queue) > 0 {
 		at := queue[0]
 		queue = queue[1:]
@@ -405,7 +432,7 @@ func (a *Array) writeRMW(stripe int64, cell layout.Coord, data []byte) error {
 				return err
 			}
 			a.tel.parityUpdates.Inc()
-			queue = append(queue, p)
+			queue = append(queue, p) //lint:allow noalloc the cascade queue lives in the fixed 16-slot array
 		}
 	}
 	return nil
@@ -446,6 +473,8 @@ func (a *Array) writeDegraded(stripe int64, cell layout.Coord, data []byte) erro
 
 // EncodeStripe recomputes and writes all parities of stripe s from its data
 // cells (full-stripe parity generation).
+//
+//c56:noalloc
 func (a *Array) EncodeStripe(stripe int64) error {
 	s, es, err := a.loadStripe(stripe)
 	if err != nil {

@@ -21,6 +21,8 @@ func (a *Array) SetRotation(on bool) { a.rotate = on }
 func (a *Array) Rotated() bool { return a.rotate }
 
 // diskFor maps a stripe's logical column to its physical disk.
+//
+//c56:noalloc
 func (a *Array) diskFor(stripe int64, col int) *vdisk.Disk {
 	if a.rotate {
 		col = (col + int(stripe%int64(a.geom.Cols))) % a.geom.Cols

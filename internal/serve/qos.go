@@ -39,11 +39,13 @@ func (q QoS) maxWait() time.Duration {
 // wait it returns, so concurrent requests serialize their shaping delays
 // instead of all sleeping until the same refill instant and stampeding.
 type tokenBucket struct {
-	mu     sync.Mutex
-	rate   int64 // bytes per second; <= 0 means unlimited
-	burst  int64 // bucket depth in bytes
-	tokens float64
-	last   time.Time
+	mu sync.Mutex
+	// rate (bytes per second; <= 0 means unlimited) and burst (bucket
+	// depth in bytes) are fixed at construction.
+	rate   int64
+	burst  int64
+	tokens float64   //c56:guardedby mu
+	last   time.Time //c56:guardedby mu
 }
 
 func newTokenBucket(rate, burst int64) *tokenBucket {

@@ -73,8 +73,8 @@ type Server struct {
 	reg *telemetry.Registry
 
 	mu      sync.RWMutex
-	tenants map[string]*Tenant
-	metrics map[string]*tenantMetrics
+	tenants map[string]*Tenant        //c56:guardedby mu
+	metrics map[string]*tenantMetrics //c56:guardedby mu
 
 	reads            *telemetry.Counter
 	writes           *telemetry.Counter

@@ -37,7 +37,7 @@ type Volume struct {
 	blocks int64 // addressable logical blocks
 
 	mu sync.RWMutex
-	io BlockIO
+	io BlockIO //c56:guardedby mu
 }
 
 // Name returns the volume's name.
@@ -72,7 +72,7 @@ type Tenant struct {
 	bucket *tokenBucket
 
 	mu      sync.RWMutex
-	volumes map[string]*Volume
+	volumes map[string]*Volume //c56:guardedby mu
 
 	inflight atomic.Int64
 }

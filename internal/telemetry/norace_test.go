@@ -1,0 +1,5 @@
+//go:build !race
+
+package telemetry
+
+const raceEnabled = false

@@ -41,7 +41,7 @@ type Sink interface {
 // unconditionally. Sinks can be attached at any time.
 type Tracer struct {
 	mu     sync.RWMutex
-	sinks  []Sink
+	sinks  []Sink //c56:guardedby mu
 	nextID atomic.Uint64
 	active atomic.Bool // true once a sink is attached
 }
@@ -183,11 +183,14 @@ func (s *JSONLSink) Emit(e Event) {
 // the "trace.dropped_spans" counter of the bound registry) so silent event
 // loss under load is visible rather than inferred.
 type RingSink struct {
-	mu      sync.Mutex
-	buf     []Event
-	next    int
-	total   int
-	dropped *Counter // mirrors the eviction count into a registry
+	mu    sync.Mutex
+	buf   []Event //c56:guardedby mu
+	next  int     //c56:guardedby mu
+	total int     //c56:guardedby mu
+	// dropped mirrors the eviction count into a registry. It is rebound
+	// by SetTelemetry under mu but carries no annotation: Counter pointers
+	// are safe to Inc through even while being swapped.
+	dropped *Counter
 }
 
 // NewRingSink returns a ring sink with the given capacity, counting

@@ -1,0 +1,43 @@
+package vdisk
+
+import "testing"
+
+// The healthy-path disk I/O methods carry //c56:noalloc annotations —
+// raid6's zero-allocation stripe paths sit directly on top of them — and
+// c56-lint proves them allocation-free statically. These AllocsPerRun
+// assertions are the runtime half of that contract; fault paths (latent
+// injection, retries, fail-stop) are exempt by design and exercised in
+// faults_test.go instead.
+func TestHealthyDiskIOAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	a := NewArray(3, 4096)
+	buf := make([]byte, a.BlockSize())
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	d := a.Disk(0)
+	if err := d.Write(5, buf); err != nil { // warm the backing page map
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]func(){
+		"Disk.Read": func() {
+			if err := d.Read(5, buf); err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+		},
+		"Disk.Write": func() {
+			if err := d.Write(5, buf); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+		},
+		"Disk.Failed":     func() { _ = d.Failed() },
+		"Array.Disk":      func() { _ = a.Disk(0) },
+		"Array.BlockSize": func() { _ = a.BlockSize() },
+	} {
+		if n := testing.AllocsPerRun(200, fn); n != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", name, n)
+		}
+	}
+}

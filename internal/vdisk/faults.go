@@ -95,6 +95,8 @@ func (d *Disk) SetRetry(max int, base time.Duration) error {
 }
 
 // retryPolicy snapshots the disk's retry knobs.
+//
+//c56:noalloc
 func (d *Disk) retryPolicy() (int, time.Duration) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -102,6 +104,8 @@ func (d *Disk) retryPolicy() (int, time.Duration) {
 }
 
 // backoff returns the sleep before retry attempt n (1-based).
+//
+//c56:noalloc
 func backoff(base time.Duration, n int) time.Duration {
 	if base <= 0 {
 		return 0

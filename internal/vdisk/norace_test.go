@@ -1,0 +1,5 @@
+//go:build !race
+
+package vdisk
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package vdisk
+
+// raceEnabled reports whether the race detector instruments this build; its
+// shadow-memory bookkeeping allocates, so AllocsPerRun assertions skip.
+const raceEnabled = true

@@ -201,7 +201,9 @@ func loadDisk(r io.Reader, blockSize int, backend Backend) (*Disk, error) {
 		return nil, fmt.Errorf("vdisk: opening store for disk %d: %w", id, err)
 	}
 	d := NewDiskStore(int(id), blockSize, store)
+	d.mu.Lock()
 	d.failed = failed != 0
+	d.mu.Unlock()
 	var nBlocks uint32
 	if err := binary.Read(r, binary.LittleEndian, &nBlocks); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
@@ -232,7 +234,9 @@ func loadDisk(r io.Reader, blockSize int, backend Backend) (*Disk, error) {
 		if err := binary.Read(r, binary.LittleEndian, &addr); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 		}
+		d.mu.Lock()
 		d.latent[addr] = true
+		d.mu.Unlock()
 	}
 	return d, nil
 }

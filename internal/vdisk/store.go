@@ -79,9 +79,10 @@ func (MemBackend) Open(id, blockSize int) (BlockStore, error) {
 // and remains the zero-configuration default for tests and simulations.
 type MemStore struct {
 	mu       sync.RWMutex
-	pageSize int
-	pages    map[int64][]byte
-	size     int64 // high-water mark in bytes
+	pageSize int              // fixed at construction
+	pages    map[int64][]byte //c56:guardedby mu
+	// size is the high-water mark in bytes.
+	size int64 //c56:guardedby mu
 }
 
 // NewMemStore returns an empty in-memory store with the given page size

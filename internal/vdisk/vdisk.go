@@ -63,24 +63,27 @@ type Disk struct {
 	id        int
 	blockSize int
 
-	mu     sync.RWMutex
+	mu sync.RWMutex
+	// store is fixed at construction (Replace wipes media through the
+	// store's Resetter rather than swapping the store), so it carries no
+	// guard annotation.
 	store  BlockStore
-	failed bool
+	failed bool //c56:guardedby mu
 	// failedErr caches the wrapped fail-stop error, built on first use:
 	// every I/O against a failed disk returns the same value, so the
 	// degraded-read hot path (reconstruct around the failure, possibly for
 	// millions of blocks) does not allocate a fresh error per call.
-	failedErr error
-	latent    map[int64]bool
-	stats     Stats
+	failedErr error          //c56:guardedby mu
+	latent    map[int64]bool //c56:guardedby mu
+	stats     Stats          //c56:guardedby mu
 	tel       diskTel
 
 	// faults, when non-nil, is the armed fault injector (see faults.go).
-	faults *faultState
+	faults *faultState //c56:guardedby mu
 	// retryMax/retryBase are the transient-error retry policy: up to
 	// retryMax retries with exponential backoff starting at retryBase.
-	retryMax  int
-	retryBase time.Duration
+	retryMax  int           //c56:guardedby mu
+	retryBase time.Duration //c56:guardedby mu
 }
 
 // NewDisk returns an empty memory-backed disk with the given id and block
@@ -121,6 +124,8 @@ func (d *Disk) BlockSize() int { return d.blockSize }
 // Read copies block b into buf. buf must be exactly one block long.
 // Transient faults from the injector are retried per the SetRetry policy
 // before the error is surfaced.
+//
+//c56:noalloc
 func (d *Disk) Read(b int64, buf []byte) error {
 	if b < 0 || len(buf) != d.blockSize {
 		return fmt.Errorf("%w: read block %d, buf %d", ErrBadBlock, b, len(buf))
@@ -136,6 +141,7 @@ func (d *Disk) Read(b int64, buf []byte) error {
 	}
 }
 
+//c56:noalloc
 func (d *Disk) readAttempt(b int64, buf []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -168,6 +174,9 @@ func (d *Disk) readAttempt(b int64, buf []byte) error {
 
 // faultCheck runs the fail-stop state and the armed injector against one
 // I/O attempt. Caller holds d.mu.
+//
+//c56:requires mu
+//c56:noalloc
 func (d *Disk) faultCheck(b int64, write bool) error {
 	if d.failed {
 		if d.failedErr == nil {
@@ -195,8 +204,8 @@ func (d *Disk) faultCheck(b int64, write bool) error {
 		return fmt.Errorf("%w: disk %d block %d", ErrTransient, d.id, b)
 	}
 	if !write && f.cfg.LatentProb > 0 && !d.latent[b] && f.rng.Float64() < f.cfg.LatentProb {
-		d.latent[b] = true
-		d.tel.tr.Event("vdisk.latent_injected", telemetry.A("disk", d.id), telemetry.A("block", b))
+		d.latent[b] = true                                                                          //lint:allow noalloc latent-error injection is a simulated-fault path, not steady state
+		d.tel.tr.Event("vdisk.latent_injected", telemetry.A("disk", d.id), telemetry.A("block", b)) //lint:allow noalloc fault-path trace event
 	}
 	return nil
 }
@@ -204,6 +213,8 @@ func (d *Disk) faultCheck(b int64, write bool) error {
 // Write stores data as block b. data must be exactly one block long.
 // Writing clears any latent error on the block. Transient faults from the
 // injector are retried per the SetRetry policy.
+//
+//c56:noalloc
 func (d *Disk) Write(b int64, data []byte) error {
 	if b < 0 || len(data) != d.blockSize {
 		return fmt.Errorf("%w: write block %d, data %d", ErrBadBlock, b, len(data))
@@ -219,6 +230,7 @@ func (d *Disk) Write(b int64, data []byte) error {
 	}
 }
 
+//c56:noalloc
 func (d *Disk) writeAttempt(b int64, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -304,6 +316,8 @@ func (d *Disk) Fail() {
 }
 
 // Failed reports whether the disk is fail-stopped.
+//
+//c56:noalloc
 func (d *Disk) Failed() bool {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -385,19 +399,21 @@ func (d *Disk) BlocksInUse() int {
 // Array is an ordered set of disks sharing a block size and a Backend. It
 // supports the add/remove operations RAID level migration performs.
 type Array struct {
-	mu        sync.RWMutex
+	mu sync.RWMutex
+	// blockSize is fixed at construction and shared by every disk, so it
+	// carries no guard annotation.
 	blockSize int
-	disks     []*Disk
-	nextID    int
-	backend   Backend
-	reg       *telemetry.Registry
-	tr        *telemetry.Tracer
+	disks     []*Disk             //c56:guardedby mu
+	nextID    int                 //c56:guardedby mu
+	backend   Backend             //c56:guardedby mu
+	reg       *telemetry.Registry //c56:guardedby mu
+	tr        *telemetry.Tracer   //c56:guardedby mu
 
 	// faults/retryMax/retryBase remember the array-wide fault scenario and
 	// retry policy so disks attached later with Add() join them.
-	faults    *FaultConfig
-	retryMax  int
-	retryBase time.Duration
+	faults    *FaultConfig  //c56:guardedby mu
+	retryMax  int           //c56:guardedby mu
+	retryBase time.Duration //c56:guardedby mu
 }
 
 // NewArray returns an array of n fresh memory-backed disks.
@@ -455,6 +471,8 @@ func (a *Array) Backend() Backend {
 }
 
 // BlockSize returns the shared block size.
+//
+//c56:noalloc
 func (a *Array) BlockSize() int { return a.blockSize }
 
 // Len returns the number of disks.
@@ -465,6 +483,8 @@ func (a *Array) Len() int {
 }
 
 // Disk returns disk i.
+//
+//c56:noalloc
 func (a *Array) Disk(i int) *Disk {
 	a.mu.RLock()
 	defer a.mu.RUnlock()

@@ -148,6 +148,8 @@ func asmKernels(level int, name string) kernelSet {
 // keeps cached stores; otherwise the returned count (< 64, possibly 0) is
 // the number of leading bytes the caller must fold through the word path
 // so dst reaches the 64-byte alignment VMOVNTDQ requires.
+//
+//c56:noalloc
 func ntPeel(dst []byte) int {
 	if len(dst) < NonTemporalThreshold {
 		return -1
@@ -157,12 +159,22 @@ func ntPeel(dst []byte) int {
 
 // Package-level kernel bindings: dispatch on the init-selected level.
 
-func xorKernel(dst, src []byte)          { xorLevel(asmLevel, dst, src) }
-func xorIntoKernel(dst, a, b []byte)     { xorIntoLevel(asmLevel, dst, a, b) }
-func fold2Kernel(dst, a, b []byte)       { fold2Level(asmLevel, dst, a, b) }
-func fold3Kernel(dst, a, b, c []byte)    { fold3Level(asmLevel, dst, a, b, c) }
+//c56:noalloc
+func xorKernel(dst, src []byte) { xorLevel(asmLevel, dst, src) }
+
+//c56:noalloc
+func xorIntoKernel(dst, a, b []byte) { xorIntoLevel(asmLevel, dst, a, b) }
+
+//c56:noalloc
+func fold2Kernel(dst, a, b []byte) { fold2Level(asmLevel, dst, a, b) }
+
+//c56:noalloc
+func fold3Kernel(dst, a, b, c []byte) { fold3Level(asmLevel, dst, a, b, c) }
+
+//c56:noalloc
 func fold4Kernel(dst, a, b, c, e []byte) { fold4Level(asmLevel, dst, a, b, c, e) }
 
+//c56:noalloc
 func xorLevel(level int, dst, src []byte) {
 	n := len(dst)
 	if level == levelNone || n < asmMinLen {
@@ -191,6 +203,7 @@ func xorLevel(level int, dst, src []byte) {
 	}
 }
 
+//c56:noalloc
 func xorIntoLevel(level int, dst, a, b []byte) {
 	n := len(dst)
 	if level == levelNone || n < asmMinLen {
@@ -219,6 +232,7 @@ func xorIntoLevel(level int, dst, a, b []byte) {
 	}
 }
 
+//c56:noalloc
 func fold2Level(level int, dst, a, b []byte) {
 	n := len(dst)
 	if level == levelNone || n < asmMinLen {
@@ -247,6 +261,7 @@ func fold2Level(level int, dst, a, b []byte) {
 	}
 }
 
+//c56:noalloc
 func fold3Level(level int, dst, a, b, c []byte) {
 	n := len(dst)
 	if level == levelNone || n < asmMinLen {
@@ -275,6 +290,7 @@ func fold3Level(level int, dst, a, b, c []byte) {
 	}
 }
 
+//c56:noalloc
 func fold4Level(level int, dst, a, b, c, e []byte) {
 	n := len(dst)
 	if level == levelNone || n < asmMinLen {

@@ -36,12 +36,22 @@ func availableKernels() []kernelSet {
 	}
 }
 
-func xorKernel(dst, src []byte)          { xorNeon(dst, src) }
-func xorIntoKernel(dst, a, b []byte)     { xorIntoNeon(dst, a, b) }
-func fold2Kernel(dst, a, b []byte)       { fold2Neon(dst, a, b) }
-func fold3Kernel(dst, a, b, c []byte)    { fold3Neon(dst, a, b, c) }
+//c56:noalloc
+func xorKernel(dst, src []byte) { xorNeon(dst, src) }
+
+//c56:noalloc
+func xorIntoKernel(dst, a, b []byte) { xorIntoNeon(dst, a, b) }
+
+//c56:noalloc
+func fold2Kernel(dst, a, b []byte) { fold2Neon(dst, a, b) }
+
+//c56:noalloc
+func fold3Kernel(dst, a, b, c []byte) { fold3Neon(dst, a, b, c) }
+
+//c56:noalloc
 func fold4Kernel(dst, a, b, c, e []byte) { fold4Neon(dst, a, b, c, e) }
 
+//c56:noalloc
 func xorNeon(dst, src []byte) {
 	n := len(dst)
 	if n < neonMinLen {
@@ -55,6 +65,7 @@ func xorNeon(dst, src []byte) {
 	}
 }
 
+//c56:noalloc
 func xorIntoNeon(dst, a, b []byte) {
 	n := len(dst)
 	if n < neonMinLen {
@@ -68,6 +79,7 @@ func xorIntoNeon(dst, a, b []byte) {
 	}
 }
 
+//c56:noalloc
 func fold2Neon(dst, a, b []byte) {
 	n := len(dst)
 	if n < neonMinLen {
@@ -81,6 +93,7 @@ func fold2Neon(dst, a, b []byte) {
 	}
 }
 
+//c56:noalloc
 func fold3Neon(dst, a, b, c []byte) {
 	n := len(dst)
 	if n < neonMinLen {
@@ -94,6 +107,7 @@ func fold3Neon(dst, a, b, c []byte) {
 	}
 }
 
+//c56:noalloc
 func fold4Neon(dst, a, b, c, e []byte) {
 	n := len(dst)
 	if n < neonMinLen {

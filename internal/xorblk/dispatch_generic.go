@@ -17,8 +17,17 @@ func Features() []string { return nil }
 // availableKernels lists the tiers this build can run, fastest first.
 func availableKernels() []kernelSet { return []kernelSet{wideKernels, wordKernels} }
 
-func xorKernel(dst, src []byte)          { xorWide(dst, src) }
-func xorIntoKernel(dst, a, b []byte)     { xorIntoWide(dst, a, b) }
-func fold2Kernel(dst, a, b []byte)       { fold2Wide(dst, a, b) }
-func fold3Kernel(dst, a, b, c []byte)    { fold3Wide(dst, a, b, c) }
+//c56:noalloc
+func xorKernel(dst, src []byte) { xorWide(dst, src) }
+
+//c56:noalloc
+func xorIntoKernel(dst, a, b []byte) { xorIntoWide(dst, a, b) }
+
+//c56:noalloc
+func fold2Kernel(dst, a, b []byte) { fold2Wide(dst, a, b) }
+
+//c56:noalloc
+func fold3Kernel(dst, a, b, c []byte) { fold3Wide(dst, a, b, c) }
+
+//c56:noalloc
 func fold4Kernel(dst, a, b, c, e []byte) { fold4Wide(dst, a, b, c, e) }

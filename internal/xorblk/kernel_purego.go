@@ -18,10 +18,19 @@ func Features() []string { return nil }
 // availableKernels lists the tiers this build can run: the word path only.
 func availableKernels() []kernelSet { return []kernelSet{wordKernels} }
 
-func xorKernel(dst, src []byte)       { xorWords(dst, src) }
-func xorIntoKernel(dst, a, b []byte)  { xorIntoWords(dst, a, b) }
-func fold2Kernel(dst, a, b []byte)    { fold2Words(dst, a, b) }
+//c56:noalloc
+func xorKernel(dst, src []byte) { xorWords(dst, src) }
+
+//c56:noalloc
+func xorIntoKernel(dst, a, b []byte) { xorIntoWords(dst, a, b) }
+
+//c56:noalloc
+func fold2Kernel(dst, a, b []byte) { fold2Words(dst, a, b) }
+
+//c56:noalloc
 func fold3Kernel(dst, a, b, c []byte) { fold3Words(dst, a, b, c) }
+
+//c56:noalloc
 func fold4Kernel(dst, a, b, c, e []byte) {
 	fold4Words(dst, a, b, c, e)
 }

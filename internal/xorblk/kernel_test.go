@@ -104,10 +104,14 @@ func TestKernelAllocations(t *testing.T) {
 		make([]byte, 4096), make([]byte, 4096)}
 	for name, fn := range map[string]func(){
 		"Xor":           func() { Xor(dst, srcs[0]) },
+		"XorBytes":      func() { XorBytes(dst, srcs[0]) },
+		"XorWords":      func() { XorWords(dst, srcs[0]) },
 		"XorInto":       func() { XorInto(dst, srcs[0], srcs[1]) },
 		"XorMulti":      func() { XorMulti(dst, srcs...) },
 		"XorMultiRange": func() { XorMultiRange(dst, 5, 4091, srcs...) },
 		"Accumulate":    func() { AccumulateMulti(dst, srcs...) },
+		"IsZero":        func() { IsZero(dst) },
+		"Equal":         func() { Equal(dst, srcs[0]) },
 	} {
 		if n := testing.AllocsPerRun(100, fn); n != 0 {
 			t.Errorf("%s allocates %.1f times per call, want 0", name, n)

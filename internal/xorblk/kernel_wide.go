@@ -39,13 +39,18 @@ var wideKernels = kernelSet{
 
 // ptr returns b's data pointer for alignment tests. The empty-slice case
 // never reaches it (callers test length first).
+//
+//c56:noalloc
 func ptr(b []byte) uintptr { return uintptr(unsafe.Pointer(unsafe.SliceData(b))) }
 
 // words reinterprets b's aligned prefix as uint64s.
+//
+//c56:noalloc
 func words(b []byte) []uint64 {
 	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8)
 }
 
+//c56:noalloc
 func xorWide(dst, src []byte) {
 	n := len(dst)
 	if n < wideWords*8 || (ptr(dst)|ptr(src))&7 != 0 {
@@ -74,6 +79,7 @@ func xorWide(dst, src []byte) {
 	}
 }
 
+//c56:noalloc
 func xorIntoWide(dst, a, b []byte) {
 	n := len(dst)
 	if n < wideWords*8 || (ptr(dst)|ptr(a)|ptr(b))&7 != 0 {
@@ -103,6 +109,7 @@ func xorIntoWide(dst, a, b []byte) {
 	}
 }
 
+//c56:noalloc
 func fold2Wide(dst, a, b []byte) {
 	n := len(dst)
 	if n < wideWords*8 || (ptr(dst)|ptr(a)|ptr(b))&7 != 0 {
@@ -132,6 +139,7 @@ func fold2Wide(dst, a, b []byte) {
 	}
 }
 
+//c56:noalloc
 func fold3Wide(dst, a, b, c []byte) {
 	n := len(dst)
 	if n < wideWords*8 || (ptr(dst)|ptr(a)|ptr(b)|ptr(c))&7 != 0 {
@@ -162,6 +170,7 @@ func fold3Wide(dst, a, b, c []byte) {
 	}
 }
 
+//c56:noalloc
 func fold4Wide(dst, a, b, c, e []byte) {
 	n := len(dst)
 	if n < wideWords*8 || (ptr(dst)|ptr(a)|ptr(b)|ptr(c)|ptr(e))&7 != 0 {

@@ -48,6 +48,8 @@ const wordSize = 8
 // checkLen panics when dst and src lengths differ, naming both lengths —
 // a mismatch is always a programming error in stripe handling (blocks within
 // a stripe share one block size), and the lengths identify the culprit.
+//
+//c56:noalloc
 func checkLen(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("xorblk: length mismatch: dst %d bytes, src %d bytes", len(dst), len(src)))
@@ -56,6 +58,8 @@ func checkLen(dst, src []byte) {
 
 // Xor sets dst[i] ^= src[i] for all i through the fastest available kernel.
 // dst and src must have equal length; it panics otherwise.
+//
+//c56:noalloc
 func Xor(dst, src []byte) {
 	checkLen(dst, src)
 	xorKernel(dst, src)
@@ -64,6 +68,8 @@ func Xor(dst, src []byte) {
 // XorBytes is the portable byte-at-a-time kernel. It is exported as the
 // reference implementation that benchmarks and fuzz tests compare the word
 // and wide paths against; library code should call Xor.
+//
+//c56:noalloc
 func XorBytes(dst, src []byte) {
 	checkLen(dst, src)
 	for i := range dst {
@@ -74,12 +80,16 @@ func XorBytes(dst, src []byte) {
 // XorWords is the word-at-a-time kernel: eight bytes per iteration through
 // encoding/binary. It is exported so benchmarks can compare it against the
 // wide path; library code should call Xor, which selects the fastest kernel.
+//
+//c56:noalloc
 func XorWords(dst, src []byte) {
 	checkLen(dst, src)
 	xorWords(dst, src)
 }
 
 // xorWords is the word path body (no length check).
+//
+//c56:noalloc
 func xorWords(dst, src []byte) {
 	n := len(dst) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
@@ -94,6 +104,8 @@ func xorWords(dst, src []byte) {
 
 // XorInto computes dst = a ^ b without reading dst's prior contents.
 // All three slices must have equal length.
+//
+//c56:noalloc
 func XorInto(dst, a, b []byte) {
 	checkLen(dst, a)
 	checkLen(dst, b)
@@ -101,6 +113,8 @@ func XorInto(dst, a, b []byte) {
 }
 
 // xorIntoWords is the word path for XorInto.
+//
+//c56:noalloc
 func xorIntoWords(dst, a, b []byte) {
 	n := len(dst) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
@@ -115,6 +129,8 @@ func xorIntoWords(dst, a, b []byte) {
 
 // fold2Words sets dst[i] ^= a[i] ^ b[i] in one pass over dst (2 source
 // streams), word path.
+//
+//c56:noalloc
 func fold2Words(dst, a, b []byte) {
 	n := len(dst) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
@@ -130,6 +146,8 @@ func fold2Words(dst, a, b []byte) {
 
 // fold3Words sets dst[i] ^= a[i] ^ b[i] ^ c[i] in one pass over dst (3 source
 // streams), word path.
+//
+//c56:noalloc
 func fold3Words(dst, a, b, c []byte) {
 	n := len(dst) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
@@ -146,6 +164,8 @@ func fold3Words(dst, a, b, c []byte) {
 
 // fold4Words sets dst[i] ^= a[i] ^ b[i] ^ c[i] ^ e[i] in one pass over dst
 // (4 source streams), word path.
+//
+//c56:noalloc
 func fold4Words(dst, a, b, c, e []byte) {
 	n := len(dst) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
@@ -163,6 +183,8 @@ func fold4Words(dst, a, b, c, e []byte) {
 
 // foldAll XORs every source into dst, consuming sources four, three and two
 // at a time so each pass over dst folds as many streams as possible.
+//
+//c56:noalloc
 func foldAll(dst []byte, srcs [][]byte) {
 	for len(srcs) >= 4 {
 		fold4Kernel(dst, srcs[0], srcs[1], srcs[2], srcs[3])
@@ -184,6 +206,8 @@ func foldAll(dst []byte, srcs [][]byte) {
 // (the first source is copied, not XORed), the cost model's unit of
 // computation. Folding k sources therefore never exceeds the k block XORs
 // of k sequential Xor calls into a zeroed dst.
+//
+//c56:noalloc
 func XorMulti(dst []byte, srcs ...[]byte) int {
 	for _, s := range srcs {
 		checkLen(dst, s)
@@ -204,6 +228,8 @@ func XorMulti(dst []byte, srcs ...[]byte) int {
 // workers. Panics if the range is out of bounds or any source's length
 // differs from dst's. Like XorMulti it returns the source fold count
 // (len(srcs)-1, or 0 when srcs is empty). It allocates nothing.
+//
+//c56:noalloc
 func XorMultiRange(dst []byte, lo, hi int, srcs ...[]byte) int {
 	if lo < 0 || hi > len(dst) || lo > hi {
 		panic(fmt.Sprintf("xorblk: range [%d,%d) outside block of %d bytes", lo, hi, len(dst)))
@@ -236,6 +262,8 @@ func XorMultiRange(dst []byte, lo, hi int, srcs ...[]byte) int {
 // AccumulateMulti XORs every source into dst, preserving dst's existing
 // contents. It returns the number of XOR block operations performed, which
 // the migration cost model uses to count computation work.
+//
+//c56:noalloc
 func AccumulateMulti(dst []byte, srcs ...[]byte) int {
 	for _, s := range srcs {
 		checkLen(dst, s)
@@ -247,6 +275,8 @@ func AccumulateMulti(dst []byte, srcs ...[]byte) int {
 // IsZero reports whether every byte of b is zero. Parity verification uses
 // it: XOR of a full, consistent parity chain (including the parity block)
 // must be the zero block.
+//
+//c56:noalloc
 func IsZero(b []byte) bool {
 	n := len(b) &^ (wordSize - 1)
 	for i := 0; i < n; i += wordSize {
@@ -263,6 +293,8 @@ func IsZero(b []byte) bool {
 }
 
 // Equal reports whether a and b have identical length and contents.
+//
+//c56:noalloc
 func Equal(a, b []byte) bool {
 	if len(a) != len(b) {
 		return false
